@@ -1,0 +1,78 @@
+//! Criterion micro-benches for the shadow-memory substrate: adaptive array
+//! commits, footprint construction, and raw FastTrack state transitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bigfoot_bfj::ConcreteRange;
+use bigfoot_detectors::SyncClocks;
+use bigfoot_shadow::{ArrayShadow, RangeSet};
+use bigfoot_vc::{AccessKind, Tid, VarState, VectorClock};
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut clock = VectorClock::new();
+    clock.tick(Tid(0));
+
+    c.bench_function("array/coarse_whole_commit", |b| {
+        let mut sh = ArrayShadow::new(4096);
+        b.iter(|| {
+            sh.apply(
+                ConcreteRange::contiguous(0, 4096),
+                AccessKind::Write,
+                Tid(0),
+                &clock,
+            )
+            .shadow_ops
+        })
+    });
+    c.bench_function("array/fine_per_element_pass", |b| {
+        b.iter(|| {
+            let mut sh = ArrayShadow::new(256);
+            // Misaligned strided commit forces fine-grained.
+            sh.apply(
+                ConcreteRange { lo: 3, hi: 11, step: 2 },
+                AccessKind::Write,
+                Tid(0),
+                &clock,
+            );
+            let mut ops = 0;
+            for i in 0..256 {
+                ops += sh
+                    .apply(ConcreteRange::singleton(i), AccessKind::Write, Tid(0), &clock)
+                    .shadow_ops;
+            }
+            ops
+        })
+    });
+    c.bench_function("footprint/sequential_build", |b| {
+        b.iter(|| {
+            let mut rs = RangeSet::new();
+            for i in 0..1024 {
+                rs.push_index(i);
+            }
+            rs.len()
+        })
+    });
+    c.bench_function("varstate/same_epoch_reads", |b| {
+        let mut v = VarState::new();
+        v.read(Tid(0), &clock).unwrap();
+        b.iter(|| v.read(Tid(0), &clock).is_ok())
+    });
+    c.bench_function("sync/lock_handover", |b| {
+        b.iter(|| {
+            let mut s = SyncClocks::new();
+            for _ in 0..100 {
+                s.release(Tid(0), bigfoot_bfj::ObjId(0));
+                s.acquire(Tid(1), bigfoot_bfj::ObjId(0));
+                s.release(Tid(1), bigfoot_bfj::ObjId(0));
+                s.acquire(Tid(0), bigfoot_bfj::ObjId(0));
+            }
+            s.sync_ops()
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_shadow
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for S TATIC BF itself (the §6.1 scaling claim): full
+//! pipeline per benchmark program, plus the RedCard baseline instrumenter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bigfoot::{instrument, redcard_instrument};
+use bigfoot_workloads::{benchmarks, Scale};
+
+fn bench_static(c: &mut Criterion) {
+    let programs = benchmarks(Scale::Small);
+    let mut group = c.benchmark_group("static_analysis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for b in &programs {
+        group.bench_with_input(
+            BenchmarkId::new("bigfoot", b.name),
+            &b.program,
+            |bench, p| bench.iter(|| instrument(p).stats.checks_inserted),
+        );
+    }
+    for b in programs.iter().take(4) {
+        group.bench_with_input(
+            BenchmarkId::new("redcard", b.name),
+            &b.program,
+            |bench, p| bench.iter(|| redcard_instrument(p).0.stmt_count()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

@@ -1,0 +1,322 @@
+//! Regenerates every table and figure of the paper's evaluation (§6).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [table1|table2|fig2|fig8|static|all] [--scale small|full] [--reps N]
+//! ```
+//!
+//! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
+//!   time overheads for FT/RC/SS/SC/BF (wall clock plus the op-count
+//!   model).
+//! * `table2` — shadow-space overhead relative to FastTrack.
+//! * `fig2`   — the headline mean-overhead comparison row.
+//! * `fig8`   — per-benchmark check ratios (arrays vs fields) and the
+//!   BF/FT overhead ratio.
+//! * `static` — the §6.1 static-analysis scaling claim.
+
+use bigfoot_bench::{geomean, mean, measure, measure_ablation, BenchResult, ABLATIONS, DETECTORS};
+use bigfoot_workloads::{benchmark, benchmarks, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let scale = if args.iter().any(|a| a == "--scale")
+        && args.iter().any(|a| a == "small")
+        || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "small")
+    {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    let reps = args
+        .windows(2)
+        .find(|w| w[0] == "--reps")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(3);
+
+    if what == "ablation" {
+        ablation(scale, reps);
+        return;
+    }
+
+    eprintln!(
+        "measuring 19 benchmarks at {scale:?} scale, {reps} reps per detector …"
+    );
+    let results: Vec<BenchResult> = benchmarks(scale)
+        .iter()
+        .map(|b| {
+            eprintln!("  {}", b.name);
+            measure(b.name, &b.program, reps)
+        })
+        .collect();
+    match what.as_str() {
+        "table1" => table1(&results),
+        "table2" => table2(&results),
+        "fig2" => fig2(&results),
+        "fig8" => fig8(&results),
+        "static" => static_stats(&results),
+        _ => {
+            table1(&results);
+            println!();
+            table2(&results);
+            println!();
+            fig8(&results);
+            println!();
+            fig2(&results);
+            println!();
+            static_stats(&results);
+        }
+    }
+}
+
+fn table1(results: &[BenchResult]) {
+    println!("== Table 1: checker performance ==");
+    println!(
+        "{:<11} {:>7} {:>9} {:>6} {:>9} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} {:>6}",
+        "program",
+        "methods",
+        "s/meth",
+        "CR",
+        "base(ms)",
+        "FT",
+        "RC",
+        "SS",
+        "SC",
+        "BF",
+        "RC/FT",
+        "SS/FT",
+        "SC/FT",
+        "BF/FT"
+    );
+    for r in results {
+        let base = r.base_time;
+        let ft = r.run("FT").overhead(base);
+        let rc = r.run("RC").overhead(base);
+        let ss = r.run("SS").overhead(base);
+        let sc = r.run("SC").overhead(base);
+        let bf = r.run("BF").overhead(base);
+        let cr = r.run("BF").stats.check_ratio();
+        println!(
+            "{:<11} {:>7} {:>9.4} {:>6.2} {:>9.2} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            r.name,
+            r.static_stats.methods,
+            r.static_stats.time_per_method().as_secs_f64(),
+            cr,
+            base.as_secs_f64() * 1e3,
+            ft,
+            rc,
+            ss,
+            sc,
+            bf,
+            ratio(rc, ft),
+            ratio(ss, ft),
+            ratio(sc, ft),
+            ratio(bf, ft),
+        );
+    }
+    let mean_cr = mean(results.iter().map(|r| r.run("BF").stats.check_ratio()));
+    print!("{:<11} {:>7} {:>9.4} {:>6.2} {:>9} |", "Mean",
+        results.iter().map(|r| r.static_stats.methods).sum::<usize>(),
+        mean(results.iter().map(|r| r.static_stats.time_per_method().as_secs_f64())),
+        mean_cr, "");
+    for d in ["FT", "RC", "SS", "SC", "BF"] {
+        print!(" {:>7.2}", geomean(results.iter().map(|r| r.run(d).overhead(r.base_time))));
+    }
+    print!(" |");
+    for d in ["RC", "SS", "SC", "BF"] {
+        print!(
+            " {:>6.2}",
+            geomean(
+                results
+                    .iter()
+                    .map(|r| ratio(r.run(d).overhead(r.base_time), r.run("FT").overhead(r.base_time)))
+            )
+        );
+    }
+    println!();
+    println!();
+    println!("-- operation-count cost model (shadow+footprint+check+sync units, relative to FT) --");
+    println!(
+        "{:<11} {:>10} | {:>6} {:>6} {:>6} {:>6}",
+        "program", "FT units", "RC", "SS", "SC", "BF"
+    );
+    for r in results {
+        let ft = r.run("FT").model_cost();
+        println!(
+            "{:<11} {:>10.0} | {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            r.name,
+            ft,
+            r.run("RC").model_cost() / ft,
+            r.run("SS").model_cost() / ft,
+            r.run("SC").model_cost() / ft,
+            r.run("BF").model_cost() / ft,
+        );
+    }
+    print!("{:<11} {:>10} |", "GeoMean", "");
+    for d in ["RC", "SS", "SC", "BF"] {
+        print!(
+            " {:>6.2}",
+            geomean(results.iter().map(|r| r.run(d).model_cost() / r.run("FT").model_cost()))
+        );
+    }
+    println!();
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b <= 1e-9 {
+        1.0
+    } else {
+        a / b
+    }
+}
+
+fn table2(results: &[BenchResult]) {
+    println!("== Table 2: checker space overhead (relative to FastTrack) ==");
+    println!(
+        "{:<11} {:>10} {:>8} | {:>6} {:>6} {:>6} {:>6}",
+        "program", "base cells", "FT/base", "RC/FT", "SS/FT", "SC/FT", "BF/FT"
+    );
+    for r in results {
+        let ft = r.run("FT").stats.shadow_space_peak.max(1) as f64;
+        println!(
+            "{:<11} {:>10} {:>8.2} | {:>6.2} {:>6.2} {:>6.2} {:>6.2}",
+            r.name,
+            r.heap_cells,
+            ft / r.heap_cells.max(1) as f64,
+            r.run("RC").stats.shadow_space_peak as f64 / ft,
+            r.run("SS").stats.shadow_space_peak as f64 / ft,
+            r.run("SC").stats.shadow_space_peak as f64 / ft,
+            r.run("BF").stats.shadow_space_peak as f64 / ft,
+        );
+    }
+    print!("{:<11} {:>10} {:>8.2} |", "GeoMean", "",
+        geomean(results.iter().map(|r| {
+            r.run("FT").stats.shadow_space_peak.max(1) as f64 / r.heap_cells.max(1) as f64
+        })));
+    for d in ["RC", "SS", "SC", "BF"] {
+        print!(
+            " {:>6.2}",
+            geomean(results.iter().map(|r| {
+                r.run(d).stats.shadow_space_peak as f64
+                    / r.run("FT").stats.shadow_space_peak.max(1) as f64
+            }))
+        );
+    }
+    println!();
+}
+
+fn fig2(results: &[BenchResult]) {
+    println!("== Figure 2: detector comparison (geomean run-time overhead) ==");
+    println!("{:<10} {:>28} {:>12}", "detector", "check motion/compression", "overhead");
+    let descr = [
+        ("FT", "none"),
+        ("RC", "static redundancy elim."),
+        ("SS", "dynamic array compression"),
+        ("SC", "RC + SS"),
+        ("BF", "static motion + coalescing"),
+    ];
+    for (d, what) in descr {
+        let oh = geomean(results.iter().map(|r| r.run(d).overhead(r.base_time)));
+        println!("{d:<10} {what:>28} {oh:>11.2}x");
+    }
+    let bf_over_ft = geomean(results.iter().map(|r| {
+        ratio(
+            r.run("BF").overhead(r.base_time),
+            r.run("FT").overhead(r.base_time),
+        )
+    }));
+    println!(
+        "BigFoot incurs {:.0}% of FastTrack's overhead (paper: 39%).",
+        bf_over_ft * 100.0
+    );
+}
+
+fn fig8(results: &[BenchResult]) {
+    println!("== Figure 8: check ratios and BF/FT overhead ==");
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9}",
+        "program", "FT CR", "BF CR", "BF arrays", "BF fields"
+    );
+    let mut rows: Vec<&BenchResult> = results.iter().collect();
+    rows.sort_by(|a, b| {
+        a.run("BF")
+            .stats
+            .check_ratio()
+            .partial_cmp(&b.run("BF").stats.check_ratio())
+            .unwrap()
+    });
+    for r in &rows {
+        let bf = &r.run("BF").stats;
+        let accesses = bf.accesses().max(1) as f64;
+        println!(
+            "{:<11} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            r.name,
+            1.0,
+            bf.check_ratio(),
+            bf.array_checks as f64 / accesses,
+            bf.field_checks as f64 / accesses,
+        );
+    }
+    println!();
+    println!("{:<11} {:>12}", "program", "BF/FT time");
+    for r in &rows {
+        println!(
+            "{:<11} {:>12.2}",
+            r.name,
+            ratio(
+                r.run("BF").overhead(r.base_time),
+                r.run("FT").overhead(r.base_time)
+            )
+        );
+    }
+}
+
+/// Ablation study: each row disables one ingredient of the analysis on a
+/// representative benchmark subset.
+fn ablation(scale: Scale, reps: usize) {
+    println!("== Ablation: BigFoot minus one ingredient (op-model cost and check ratio) ==");
+    let names = ["crypt", "moldyn", "raytracer", "lufact", "sparse", "h2"];
+    println!("{:<14} {:>12} {:>8} {:>12} {:>10}", "config", "benchmark", "CR", "model cost", "checks");
+    for name in names {
+        let b = benchmark(name, scale).expect("benchmark");
+        for (label, opts) in ABLATIONS {
+            let run = measure_ablation(&b.program, opts, reps);
+            println!(
+                "{:<14} {:>12} {:>8.3} {:>12.0} {:>10}",
+                label,
+                name,
+                run.stats.check_ratio(),
+                run.model_cost(),
+                run.stats.checks,
+            );
+        }
+        println!();
+    }
+}
+
+fn static_stats(results: &[BenchResult]) {
+    println!("== §6.1: StaticBF scaling ==");
+    println!("{:<11} {:>8} {:>12}", "program", "methods", "sec/method");
+    for r in results {
+        println!(
+            "{:<11} {:>8} {:>12.5}",
+            r.name,
+            r.static_stats.methods,
+            r.static_stats.time_per_method().as_secs_f64()
+        );
+    }
+    let avg = mean(
+        results
+            .iter()
+            .map(|r| r.static_stats.time_per_method().as_secs_f64()),
+    );
+    println!(
+        "mean: {avg:.5} s/method (paper: 0.16 s/method on much larger Java methods)"
+    );
+    let _ = DETECTORS;
+}

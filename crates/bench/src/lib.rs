@@ -1,0 +1,256 @@
+//! Measurement harness shared by the `repro` binary and the criterion
+//! benches: runs every detector configuration of the paper over a
+//! benchmark program and collects timing, operation counts, and space.
+
+use bigfoot::{instrument, instrument_with, naive_instrument, redcard_instrument, Instrumented,
+    InstrumentOptions};
+use bigfoot_bfj::{Interp, NullSink, Program, SchedPolicy};
+use bigfoot_detectors::{ArrayEngine, CheckSource, Detector, ProxyTable, Stats};
+use std::time::{Duration, Instant};
+
+/// The detector configurations of Fig. 2, in presentation order.
+pub const DETECTORS: [&str; 5] = ["FT", "RC", "SS", "SC", "BF"];
+
+/// One detector's measurements on one benchmark.
+#[derive(Debug, Clone)]
+pub struct DetectorRun {
+    /// Short name (FT/RC/SS/SC/BF).
+    pub name: &'static str,
+    /// Wall-clock time of the monitored run.
+    pub time: Duration,
+    /// Detector statistics.
+    pub stats: Stats,
+}
+
+impl DetectorRun {
+    /// Overhead versus the base time (CheckerTime − BaseTime), in
+    /// multiples of the base time.
+    pub fn overhead(&self, base: Duration) -> f64 {
+        (self.time.as_secs_f64() - base.as_secs_f64()).max(0.0) / base.as_secs_f64().max(1e-9)
+    }
+
+    /// An architecture-independent cost model: one unit per shadow
+    /// operation, a third per footprint insertion, a tenth per check
+    /// dispatch, and three per synchronization operation (vector-clock
+    /// joins). Used to cross-check the wall-clock numbers.
+    pub fn model_cost(&self) -> f64 {
+        self.stats.shadow_ops as f64
+            + self.stats.footprint_ops as f64 / 3.0
+            + self.stats.checks as f64 / 10.0
+            + self.stats.sync_ops as f64 * 3.0
+    }
+}
+
+/// All measurements for one benchmark.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Wall-clock base (uninstrumented, no detector) time.
+    pub base_time: Duration,
+    /// Base heap cells (Table 2 denominator).
+    pub heap_cells: u64,
+    /// Static-analysis statistics for the BigFoot instrumentation.
+    pub static_stats: bigfoot::AnalysisStats,
+    /// Per-detector runs, in [`DETECTORS`] order.
+    pub runs: Vec<DetectorRun>,
+}
+
+impl BenchResult {
+    /// The run for a detector name.
+    pub fn run(&self, name: &str) -> &DetectorRun {
+        self.runs.iter().find(|r| r.name == name).expect("detector")
+    }
+}
+
+/// Median-of-`reps` wall time for running `program` into `make_sink`'s
+/// detector (or `None` for the base run). Returns the last run's stats.
+fn timed<F: FnMut() -> Option<Detector>>(
+    program: &Program,
+    reps: usize,
+    mut make_sink: F,
+) -> (Duration, Option<Stats>) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last_stats = None;
+    for _ in 0..reps.max(1) {
+        match make_sink() {
+            None => {
+                let t0 = Instant::now();
+                Interp::new(program, SchedPolicy::default())
+                    .run(&mut NullSink)
+                    .expect("run");
+                times.push(t0.elapsed());
+            }
+            Some(mut det) => {
+                let t0 = Instant::now();
+                Interp::new(program, SchedPolicy::default())
+                    .run(&mut det)
+                    .expect("run");
+                times.push(t0.elapsed());
+                last_stats = Some(det.finish());
+            }
+        }
+    }
+    times.sort();
+    (times[times.len() / 2], last_stats)
+}
+
+/// Runs the full detector matrix over one benchmark program.
+///
+/// Instrumentation cost is charged faithfully: FastTrack and SlimState run
+/// the *naively instrumented* program (one check statement per access, as
+/// RoadRunner inserts one callback per access), RedCard/SlimCard run the
+/// RedCard-instrumented program, and BigFoot runs the BigFoot-instrumented
+/// program. Overheads are all relative to the uninstrumented base run.
+pub fn measure(name: &'static str, program: &Program, reps: usize) -> BenchResult {
+    let inst: Instrumented = instrument(program);
+    let (rc_prog, rc_proxies) = redcard_instrument(program);
+    let naive = naive_instrument(program);
+
+    let (base_time, _) = timed(program, reps, || None);
+    let heap_cells = {
+        let mut i = Interp::new(program, SchedPolicy::default());
+        i.run(&mut NullSink).expect("run");
+        i.heap().cells()
+    };
+
+    let mut runs = Vec::new();
+    let (t, s) = timed(&naive, reps, || {
+        Some(Detector::new(
+            "FastTrack",
+            CheckSource::CheckEvents,
+            ArrayEngine::Fine,
+            ProxyTable::identity(),
+        ))
+    });
+    runs.push(DetectorRun { name: "FT", time: t, stats: s.unwrap() });
+    let (t, s) = timed(&rc_prog, reps, || Some(Detector::redcard(rc_proxies.clone())));
+    runs.push(DetectorRun { name: "RC", time: t, stats: s.unwrap() });
+    let (t, s) = timed(&naive, reps, || {
+        Some(Detector::new(
+            "SlimState",
+            CheckSource::CheckEvents,
+            ArrayEngine::Footprint,
+            ProxyTable::identity(),
+        ))
+    });
+    runs.push(DetectorRun { name: "SS", time: t, stats: s.unwrap() });
+    let (t, s) = timed(&rc_prog, reps, || Some(Detector::slimcard(rc_proxies.clone())));
+    runs.push(DetectorRun { name: "SC", time: t, stats: s.unwrap() });
+    let (t, s) = timed(&inst.program, reps, || {
+        Some(Detector::bigfoot(inst.proxies.clone()))
+    });
+    runs.push(DetectorRun { name: "BF", time: t, stats: s.unwrap() });
+
+    BenchResult {
+        name,
+        base_time,
+        heap_cells,
+        static_stats: inst.stats,
+        runs,
+    }
+}
+
+/// One ablation configuration of the static analysis.
+pub const ABLATIONS: [(&str, InstrumentOptions); 5] = [
+    (
+        "full",
+        InstrumentOptions {
+            anticipation: true,
+            coalescing: true,
+            loop_invariants: true,
+            field_proxies: true,
+        },
+    ),
+    (
+        "-anticipation",
+        InstrumentOptions {
+            anticipation: false,
+            coalescing: true,
+            loop_invariants: true,
+            field_proxies: true,
+        },
+    ),
+    (
+        "-coalescing",
+        InstrumentOptions {
+            anticipation: true,
+            coalescing: false,
+            loop_invariants: true,
+            field_proxies: true,
+        },
+    ),
+    (
+        "-loop-motion",
+        InstrumentOptions {
+            anticipation: true,
+            coalescing: true,
+            loop_invariants: false,
+            field_proxies: true,
+        },
+    ),
+    (
+        "-proxies",
+        InstrumentOptions {
+            anticipation: true,
+            coalescing: true,
+            loop_invariants: true,
+            field_proxies: false,
+        },
+    ),
+];
+
+/// Runs the BigFoot detector under one ablation configuration and returns
+/// (wall time, stats).
+pub fn measure_ablation(
+    program: &Program,
+    options: InstrumentOptions,
+    reps: usize,
+) -> DetectorRun {
+    let inst = instrument_with(program, options);
+    let (t, s) = timed(&inst.program, reps, || {
+        Some(Detector::bigfoot(inst.proxies.clone()))
+    });
+    DetectorRun {
+        name: "BF",
+        time: t,
+        stats: s.expect("stats"),
+    }
+}
+
+/// Geometric mean of positive values (zeroes clamped to a small epsilon,
+/// as overheads of 0 would otherwise collapse the mean).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-3).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// A pure-detector measurement that replays the instrumented program once
+/// and returns only the statistics (no timing) — cheap enough for tests.
+pub fn stats_only(name: &'static str, program: &Program) -> BenchResult {
+    measure(name, program, 1)
+}

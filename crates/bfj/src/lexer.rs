@@ -1,0 +1,428 @@
+//! Tokenizer for BFJ surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    // Keywords
+    Class,
+    Meth,
+    Field,
+    Main,
+    Skip,
+    If,
+    Else,
+    While,
+    For,
+    Acq,
+    Rel,
+    Join,
+    Fork,
+    Return,
+    New,
+    NewArray,
+    True,
+    False,
+    Null,
+    Check,
+    Loop,
+    Exit,
+    Volatile,
+    Wait,
+    Notify,
+    // Punctuation & operators
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Slash,
+    Colon,
+    DotDot,
+    Assign,
+    Arrow, // <- (the renaming operator)
+    Plus,
+    Minus,
+    Star,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Token::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(n) => write!(f, "integer `{n}`"),
+            Class => write!(f, "`class`"),
+            Meth => write!(f, "`meth`"),
+            Field => write!(f, "`field`"),
+            Main => write!(f, "`main`"),
+            Skip => write!(f, "`skip`"),
+            If => write!(f, "`if`"),
+            Else => write!(f, "`else`"),
+            While => write!(f, "`while`"),
+            For => write!(f, "`for`"),
+            Acq => write!(f, "`acq`"),
+            Rel => write!(f, "`rel`"),
+            Join => write!(f, "`join`"),
+            Fork => write!(f, "`fork`"),
+            Return => write!(f, "`return`"),
+            New => write!(f, "`new`"),
+            NewArray => write!(f, "`new_array`"),
+            True => write!(f, "`true`"),
+            False => write!(f, "`false`"),
+            Null => write!(f, "`null`"),
+            Check => write!(f, "`check`"),
+            Loop => write!(f, "`loop`"),
+            Exit => write!(f, "`exit`"),
+            Volatile => write!(f, "`volatile`"),
+            Wait => write!(f, "`wait`"),
+            Notify => write!(f, "`notify`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Semi => write!(f, "`;`"),
+            Comma => write!(f, "`,`"),
+            Dot => write!(f, "`.`"),
+            Slash => write!(f, "`/`"),
+            Colon => write!(f, "`:`"),
+            DotDot => write!(f, "`..`"),
+            Assign => write!(f, "`=`"),
+            Arrow => write!(f, "`<-`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Percent => write!(f, "`%`"),
+            EqEq => write!(f, "`==`"),
+            NotEq => write!(f, "`!=`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            AndAnd => write!(f, "`&&`"),
+            OrOr => write!(f, "`||`"),
+            Bang => write!(f, "`!`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub line: u32,
+}
+
+/// An error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes BFJ source text.
+///
+/// Comments run from `//` to end of line.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on any character outside the language.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Spanned {
+                        token: Token::Slash,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(v as i64))
+                            .unwrap_or(i64::MAX);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Int(n),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '$' || d == '\'' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let token = match s.as_str() {
+                    "class" => Token::Class,
+                    "meth" => Token::Meth,
+                    "field" => Token::Field,
+                    "main" => Token::Main,
+                    "skip" => Token::Skip,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "for" => Token::For,
+                    "acq" => Token::Acq,
+                    "rel" => Token::Rel,
+                    "join" => Token::Join,
+                    "fork" => Token::Fork,
+                    "return" => Token::Return,
+                    "new" => Token::New,
+                    "new_array" => Token::NewArray,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "null" => Token::Null,
+                    "check" => Token::Check,
+                    "loop" => Token::Loop,
+                    "exit" => Token::Exit,
+                    "volatile" => Token::Volatile,
+                    "wait" => Token::Wait,
+                    "notify" => Token::Notify,
+                    _ => Token::Ident(s),
+                };
+                out.push(Spanned { token, line });
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, want, a, b| {
+                    if chars.peek() == Some(&want) {
+                        chars.next();
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let token = match c {
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    ';' => Token::Semi,
+                    ',' => Token::Comma,
+                    ':' => Token::Colon,
+                    '.' => two(&mut chars, '.', Token::DotDot, Token::Dot),
+                    '=' => two(&mut chars, '=', Token::EqEq, Token::Assign),
+                    '!' => two(&mut chars, '=', Token::NotEq, Token::Bang),
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            Token::Le
+                        } else if chars.peek() == Some(&'-') {
+                            chars.next();
+                            Token::Arrow
+                        } else {
+                            Token::Lt
+                        }
+                    }
+                    '>' => two(&mut chars, '=', Token::Ge, Token::Gt),
+                    '+' => Token::Plus,
+                    '-' => Token::Minus,
+                    '*' => Token::Star,
+                    '%' => Token::Percent,
+                    '&' => {
+                        if chars.peek() == Some(&'&') {
+                            chars.next();
+                            Token::AndAnd
+                        } else {
+                            return Err(LexError { ch: '&', line });
+                        }
+                    }
+                    '|' => {
+                        if chars.peek() == Some(&'|') {
+                            chars.next();
+                            Token::OrOr
+                        } else {
+                            return Err(LexError { ch: '|', line });
+                        }
+                    }
+                    other => return Err(LexError { ch: other, line }),
+                };
+                out.push(Spanned { token, line });
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_basic_tokens() {
+        assert_eq!(
+            toks("x = a[i] + 1;"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Ident("a".into()),
+                Token::LBracket,
+                Token::Ident("i".into()),
+                Token::RBracket,
+                Token::Plus,
+                Token::Int(1),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dotdot_vs_dot() {
+        assert_eq!(
+            toks("a[0..n]"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LBracket,
+                Token::Int(0),
+                Token::DotDot,
+                Token::Ident("n".into()),
+                Token::RBracket,
+                Token::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a.f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("f".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let t = tokenize("x = 1; // set x\ny = 2;").unwrap();
+        assert_eq!(t[0].line, 1);
+        let y = t.iter().find(|s| s.token == Token::Ident("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn lex_arrow_and_comparisons() {
+        assert_eq!(
+            toks("i' <- i; a <= b; c < d;"),
+            vec![
+                Token::Ident("i'".into()),
+                Token::Arrow,
+                Token::Ident("i".into()),
+                Token::Semi,
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Semi,
+                Token::Ident("c".into()),
+                Token::Lt,
+                Token::Ident("d".into()),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_error_reports_line() {
+        let err = tokenize("x = 1;\n y = @;").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn lex_keywords() {
+        assert_eq!(
+            toks("fork t = w.run(); join(t);"),
+            vec![
+                Token::Fork,
+                Token::Ident("t".into()),
+                Token::Assign,
+                Token::Ident("w".into()),
+                Token::Dot,
+                Token::Ident("run".into()),
+                Token::LParen,
+                Token::RParen,
+                Token::Semi,
+                Token::Join,
+                Token::LParen,
+                Token::Ident("t".into()),
+                Token::RParen,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+}

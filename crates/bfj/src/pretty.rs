@@ -1,0 +1,375 @@
+//! Pretty-printer for BFJ programs.
+//!
+//! Output is valid surface syntax: `parse_program(pretty(p))` reproduces
+//! the same AST (modulo statement ids), which the test suite verifies by
+//! round-tripping random programs.
+
+use crate::ast::*;
+use bigfoot_vc::AccessKind;
+use std::fmt::Write;
+
+/// Renders a whole program as parseable source text.
+pub fn pretty(p: &Program) -> String {
+    let mut out = String::new();
+    for c in &p.classes {
+        class(&mut out, c);
+    }
+    out.push_str("main {\n");
+    block_body(&mut out, &p.main, 1);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a single statement (and any nested blocks) at indent 0.
+pub fn pretty_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    stmt(&mut out, s, 0);
+    out
+}
+
+/// Renders an expression.
+pub fn pretty_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(&mut out, e, 0);
+    out
+}
+
+/// Renders a check path like `w: p.x/y/z` or `r: a[0..n:2]`.
+pub fn pretty_check_path(cp: &CheckPath) -> String {
+    let mut out = String::new();
+    check_path(&mut out, cp);
+    out
+}
+
+fn class(out: &mut String, c: &ClassDef) {
+    let _ = writeln!(out, "class {} {{", c.name);
+    for f in &c.fields {
+        if c.volatiles.contains(f) {
+            let _ = writeln!(out, "    volatile {f};");
+        } else {
+            let _ = writeln!(out, "    field {f};");
+        }
+    }
+    for m in &c.methods {
+        let _ = write!(out, "    meth {}(", m.name);
+        for (i, p) in m.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{p}");
+        }
+        out.push_str(") {\n");
+        block_body(out, &m.body, 2);
+        let _ = writeln!(out, "        return {};", pretty_expr(&m.ret));
+        out.push_str("    }\n");
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block_body(out: &mut String, b: &Block, level: usize) {
+    for s in &b.stmts {
+        stmt(out, s, level);
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match &s.kind {
+        StmtKind::Skip => out.push_str("skip;\n"),
+        StmtKind::Assign { x, e } => {
+            let _ = writeln!(out, "{x} = {};", pretty_expr(e));
+        }
+        StmtKind::Rename { fresh, old } => {
+            let _ = writeln!(out, "{fresh} <- {old};");
+        }
+        StmtKind::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
+            block_body(out, then_b, level + 1);
+            if else_b.stmts.is_empty() {
+                indent(out, level);
+                out.push_str("}\n");
+            } else {
+                indent(out, level);
+                out.push_str("} else {\n");
+                block_body(out, else_b, level + 1);
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::Loop { head, exit, tail } => {
+            // `while` sugar when the head is empty and the exit test is a
+            // negation (exactly what the parser produces for `while`);
+            // otherwise the canonical mid-test form.
+            if head.stmts.is_empty() {
+                if let Expr::Unop(Unop::Not, cond) = exit {
+                    let _ = writeln!(out, "while ({}) {{", pretty_expr(cond));
+                    block_body(out, tail, level + 1);
+                    indent(out, level);
+                    out.push_str("}\n");
+                    return;
+                }
+            }
+            out.push_str("loop {\n");
+            block_body(out, head, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}} exit ({}) {{", pretty_expr(exit));
+            block_body(out, tail, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Acquire { lock } => {
+            let _ = writeln!(out, "acq({lock});");
+        }
+        StmtKind::Release { lock } => {
+            let _ = writeln!(out, "rel({lock});");
+        }
+        StmtKind::New { x, class } => {
+            let _ = writeln!(out, "{x} = new {class};");
+        }
+        StmtKind::NewArray { x, len } => {
+            let _ = writeln!(out, "{x} = new_array({});", pretty_expr(len));
+        }
+        StmtKind::ReadField { x, obj, field } => {
+            let _ = writeln!(out, "{x} = {obj}.{field};");
+        }
+        StmtKind::WriteField { obj, field, src } => {
+            let _ = writeln!(out, "{obj}.{field} = {src};");
+        }
+        StmtKind::ReadArr { x, arr, idx } => {
+            let _ = writeln!(out, "{x} = {arr}[{}];", pretty_expr(idx));
+        }
+        StmtKind::WriteArr { arr, idx, src } => {
+            let _ = writeln!(out, "{arr}[{}] = {src};", pretty_expr(idx));
+        }
+        StmtKind::Call {
+            x,
+            recv,
+            meth,
+            args,
+        } => {
+            let _ = write!(out, "{x} = {recv}.{meth}(");
+            args_list(out, args);
+            out.push_str(");\n");
+        }
+        StmtKind::Fork {
+            x,
+            recv,
+            meth,
+            args,
+        } => {
+            let _ = write!(out, "fork {x} = {recv}.{meth}(");
+            args_list(out, args);
+            out.push_str(");\n");
+        }
+        StmtKind::Join { t } => {
+            let _ = writeln!(out, "join({t});");
+        }
+        StmtKind::Wait { lock } => {
+            let _ = writeln!(out, "wait({lock});");
+        }
+        StmtKind::Notify { lock } => {
+            let _ = writeln!(out, "notify({lock});");
+        }
+        StmtKind::Check { paths } => {
+            out.push_str("check(");
+            for (i, cp) in paths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                check_path(out, cp);
+            }
+            out.push_str(");\n");
+        }
+    }
+}
+
+fn args_list(out: &mut String, args: &[crate::Sym]) {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{a}");
+    }
+}
+
+fn check_path(out: &mut String, cp: &CheckPath) {
+    out.push_str(match cp.kind {
+        AccessKind::Read => "r: ",
+        AccessKind::Write => "w: ",
+    });
+    match &cp.path {
+        Path::Fields { base, fields } => {
+            let _ = write!(out, "{base}.");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push('/');
+                }
+                let _ = write!(out, "{f}");
+            }
+        }
+        Path::Arr { base, range } => {
+            let _ = write!(out, "{base}[{}", pretty_expr(&range.lo));
+            let singleton = matches!(
+                (&range.hi, &range.lo),
+                (Expr::Binop(Binop::Add, a, b), lo)
+                    if a.as_ref() == lo && matches!(b.as_ref(), Expr::Int(1)) && range.step == 1
+            );
+            if !singleton {
+                let _ = write!(out, "..{}", pretty_expr(&range.hi));
+                if range.step != 1 {
+                    let _ = write!(out, ":{}", range.step);
+                }
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Operator precedence levels for minimal parenthesization.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) | Expr::Len(_) => 6,
+        Expr::Unop(..) => 5,
+        Expr::Binop(op, ..) => match op {
+            Binop::Mul | Binop::Div | Binop::Mod => 4,
+            Binop::Add | Binop::Sub => 3,
+            Binop::Eq | Binop::Ne | Binop::Lt | Binop::Le | Binop::Gt | Binop::Ge => 2,
+            Binop::And => 1,
+            Binop::Or => 0,
+        },
+    }
+}
+
+fn expr(out: &mut String, e: &Expr, min_prec: u8) {
+    let my = prec(e);
+    let need_parens = my < min_prec;
+    if need_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Null => out.push_str("null"),
+        Expr::Var(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Expr::Len(a) => {
+            let _ = write!(out, "{a}.length");
+        }
+        Expr::Unop(op, a) => {
+            out.push(match op {
+                Unop::Neg => '-',
+                Unop::Not => '!',
+            });
+            expr(out, a, 5);
+        }
+        Expr::Binop(op, a, b) => {
+            let sym = match op {
+                Binop::Add => "+",
+                Binop::Sub => "-",
+                Binop::Mul => "*",
+                Binop::Div => "/",
+                Binop::Mod => "%",
+                Binop::Eq => "==",
+                Binop::Ne => "!=",
+                Binop::Lt => "<",
+                Binop::Le => "<=",
+                Binop::Gt => ">",
+                Binop::Ge => ">=",
+                Binop::And => "&&",
+                Binop::Or => "||",
+            };
+            // Left-associative operators print the left child at their own
+            // level; comparisons are non-associative in the grammar, so
+            // both sides need parentheses when nested.
+            let left_min = if op.is_comparison() { my + 1 } else { my };
+            expr(out, a, left_min);
+            let _ = write!(out, " {sym} ");
+            expr(out, b, my + 1);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let src = r#"
+            class Point {
+                field x; field y;
+                meth move(dx) {
+                    this.x = this.x + dx;
+                    return 0;
+                }
+            }
+            main {
+                p = new Point;
+                r = p.move(3);
+            }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_checks_and_loops() {
+        let src = r#"
+            main {
+                a = new_array(10);
+                for (i = 0; i < 10; i = i + 1) {
+                    a[i] = i * 2;
+                }
+                check(r: a[0..10], w: a[0..10:2], r: a[3]);
+            }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn precedence_minimal_parens() {
+        let e = Expr::Binop(
+            Binop::Mul,
+            Box::new(Expr::add(Expr::var("a"), Expr::var("b"))),
+            Box::new(Expr::var("c")),
+        );
+        assert_eq!(pretty_expr(&e), "(a + b) * c");
+        let e2 = Expr::add(
+            Expr::Binop(Binop::Mul, Box::new(Expr::var("a")), Box::new(Expr::var("b"))),
+            Expr::var("c"),
+        );
+        assert_eq!(pretty_expr(&e2), "a * b + c");
+    }
+
+    #[test]
+    fn sub_is_left_associative_in_print() {
+        // (a - b) - c must not print as a - b - c ... it may, since that
+        // re-parses identically; but a - (b - c) must keep its parens.
+        let e = Expr::sub(Expr::var("a"), Expr::sub(Expr::var("b"), Expr::var("c")));
+        assert_eq!(pretty_expr(&e), "a - (b - c)");
+    }
+}

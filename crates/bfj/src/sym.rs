@@ -1,0 +1,117 @@
+//! Interned identifiers.
+//!
+//! BFJ programs, analysis facts, and interpreter environments all name
+//! things (locals, fields, classes, methods) constantly; interning gives
+//! them copyable `u32` identity with O(1) comparison and hashing.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier (variable, field, class, or method name).
+///
+/// Two `Sym`s are equal iff they were interned from the same string. The
+/// interner is global and append-only, so `Sym`s from different programs
+/// can be compared freely.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::Sym;
+///
+/// let a = Sym::intern("x");
+/// let b = Sym::intern("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s`, returning its symbol.
+    pub fn intern(s: &str) -> Sym {
+        let mut int = interner().lock().expect("interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Sym(id);
+        }
+        let id = int.strings.len() as u32;
+        // Leaked strings live for the program's lifetime; identifier sets
+        // are small and bounded by source text.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        int.map.insert(leaked, id);
+        int.strings.push(leaked);
+        Sym(id)
+    }
+
+    /// Interns a fresh symbol guaranteed not to collide with any source
+    /// identifier, by embedding a counter: `base$n`.
+    pub fn fresh(base: &str) -> Sym {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Sym::intern(&format!("{base}${n}"))
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("interner poisoned");
+        int.strings[self.0 as usize]
+    }
+}
+
+impl std::fmt::Debug for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Sym::intern("foo"), Sym::intern("foo"));
+        assert_ne!(Sym::intern("foo"), Sym::intern("bar"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Sym::fresh("t");
+        let b = Sym::fresh("t");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("t$"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = Sym::intern("movePts");
+        assert_eq!(format!("{s}"), "movePts");
+    }
+}

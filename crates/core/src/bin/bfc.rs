@@ -1,0 +1,269 @@
+//! `bfc` — the BigFoot compiler/checker command line.
+//!
+//! ```text
+//! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
+//! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
+//!                      [--seed N] [--schedules N]
+//! bfc run <file.bfj>
+//! bfc stats <file.bfj>
+//! bfc trace <file.bfj> [--seed N] [--limit N]
+//! ```
+//!
+//! * `instrument` prints the instrumented program.
+//! * `check` executes the program under a detector (optionally across
+//!   several random schedules) and reports any data races.
+//! * `run` executes the program uninstrumented and prints `main`'s
+//!   final integer variables.
+//! * `stats` prints the static-analysis summary and per-detector work for
+//!   one run.
+
+use bigfoot::{instrument, naive_instrument, redcard_instrument};
+use bigfoot_bfj::{
+    parse_program, pretty, Interp, NullSink, Program, SchedPolicy, Tid, Value,
+};
+use bigfoot_detectors::{Detector, DjitDetector, Stats};
+use std::io::Write;
+use std::process::ExitCode;
+
+/// `outln!` that tolerates a closed stdout (e.g. piping into `head`):
+/// on a broken pipe the process exits quietly instead of panicking.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        let mut out = std::io::stdout().lock();
+        if writeln!(out, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// `print!` variant of [`outln!`].
+macro_rules! outp {
+    ($($arg:tt)*) => {{
+        let mut out = std::io::stdout().lock();
+        if write!(out, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bfc: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
+            eprintln!("  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N]");
+            eprintln!("  bfc run <file.bfj>");
+            eprintln!("  bfc stats <file.bfj>");
+            eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let file = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing input file")?;
+    let program = load(file)?;
+    match cmd.as_str() {
+        "instrument" => {
+            let mode = flag(args, "--mode").unwrap_or_else(|| "bigfoot".into());
+            let out = match mode.as_str() {
+                "bigfoot" => instrument(&program).program,
+                "redcard" => redcard_instrument(&program).0,
+                "naive" => naive_instrument(&program),
+                other => return Err(format!("unknown mode `{other}`")),
+            };
+            outp!("{}", pretty(&out));
+            Ok(ExitCode::SUCCESS)
+        }
+        "run" => {
+            let mut interp = Interp::new(&program, SchedPolicy::default());
+            interp
+                .run(&mut NullSink)
+                .map_err(|e| format!("runtime error: {e}"))?;
+            if let Some(env) = interp.final_env(Tid(0)) {
+                let mut vars: Vec<_> = env
+                    .iter()
+                    .filter_map(|(k, v)| match v {
+                        Value::Int(n) => Some((k.as_str(), *n)),
+                        _ => None,
+                    })
+                    .collect();
+                vars.sort();
+                for (k, v) in vars {
+                    if !k.contains('$') && !k.contains('\'') {
+                        outln!("{k} = {v}");
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let which = flag(args, "--detector").unwrap_or_else(|| "bigfoot".into());
+            let seed: u64 = match flag(args, "--seed") {
+                Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`"))?,
+                None => 1,
+            };
+            let schedules: u64 = match flag(args, "--schedules") {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| format!("invalid --schedules `{s}`"))?,
+                None => 1,
+            };
+            let mut any_race = false;
+            for i in 0..schedules {
+                let policy = if schedules == 1 && seed == 1 {
+                    SchedPolicy::default()
+                } else {
+                    SchedPolicy::Random {
+                        seed: seed + i,
+                        switch_inv: 2,
+                    }
+                };
+                let stats = check_once(&program, &which, policy)?;
+                if stats.has_races() {
+                    any_race = true;
+                    outln!("schedule {}: {} race(s)", i + 1, stats.races.len());
+                    for race in &stats.races {
+                        outln!("  {} — {}", race.target, race.info);
+                    }
+                } else {
+                    outln!(
+                        "schedule {}: no races ({} accesses, {} checks, {} shadow ops)",
+                        i + 1,
+                        stats.accesses(),
+                        stats.checks,
+                        stats.shadow_ops
+                    );
+                }
+            }
+            Ok(if any_race {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "stats" => {
+            let inst = instrument(&program);
+            outln!(
+                "static analysis: {} methods, {:.3} ms/method, {} checks inserted",
+                inst.stats.methods,
+                inst.stats.time_per_method().as_secs_f64() * 1e3,
+                inst.stats.checks_inserted
+            );
+            let mut bf = Detector::bigfoot(inst.proxies.clone());
+            Interp::new(&inst.program, SchedPolicy::default())
+                .run(&mut bf)
+                .map_err(|e| format!("runtime error: {e}"))?;
+            let bf = bf.finish();
+            let mut ft = Detector::fasttrack();
+            Interp::new(&program, SchedPolicy::default())
+                .run(&mut ft)
+                .map_err(|e| format!("runtime error: {e}"))?;
+            let ft = ft.finish();
+            outln!("{:<20} {:>12} {:>12}", "", "FastTrack", "BigFoot");
+            outln!("{:<20} {:>12} {:>12}", "accesses", ft.accesses(), bf.accesses());
+            outln!("{:<20} {:>12} {:>12}", "checks", ft.checks, bf.checks);
+            outln!(
+                "{:<20} {:>12.3} {:>12.3}",
+                "check ratio",
+                ft.check_ratio(),
+                bf.check_ratio()
+            );
+            outln!("{:<20} {:>12} {:>12}", "shadow ops", ft.shadow_ops, bf.shadow_ops);
+            outln!(
+                "{:<20} {:>12} {:>12}",
+                "shadow space", ft.shadow_space_end, bf.shadow_space_end
+            );
+            outln!("{:<20} {:>12} {:>12}", "races", ft.races.len(), bf.races.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "trace" => {
+            // Print the instrumented program's event stream — the exact
+            // view a dynamic detector gets.
+            let seed: u64 = match flag(args, "--seed") {
+                Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`"))?,
+                None => 0,
+            };
+            let limit: usize = match flag(args, "--limit") {
+                Some(s) => s.parse().map_err(|_| format!("invalid --limit `{s}`"))?,
+                None => 200,
+            };
+            let inst = instrument(&program);
+            let policy = if seed == 0 {
+                SchedPolicy::default()
+            } else {
+                SchedPolicy::Random {
+                    seed,
+                    switch_inv: 2,
+                }
+            };
+            let mut sink = bigfoot_bfj::RecordingSink::default();
+            Interp::new(&inst.program, policy)
+                .run(&mut sink)
+                .map_err(|e| format!("runtime error: {e}"))?;
+            let total = sink.events.len();
+            for ev in sink.events.iter().take(limit) {
+                outln!("{ev:?}");
+            }
+            if total > limit {
+                outln!("… {} more events (raise --limit to see them)", total - limit);
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Runs one schedule under the named detector configuration.
+fn check_once(program: &Program, which: &str, policy: SchedPolicy) -> Result<Stats, String> {
+    let run_detector = |prog: &Program, mut det: Detector| -> Result<Stats, String> {
+        Interp::new(prog, policy)
+            .run(&mut det)
+            .map_err(|e| format!("runtime error: {e}"))?;
+        Ok(det.finish())
+    };
+    match which {
+        "bigfoot" => {
+            let inst = instrument(program);
+            run_detector(&inst.program, Detector::bigfoot(inst.proxies.clone()))
+        }
+        "fasttrack" => run_detector(program, Detector::fasttrack()),
+        "slimstate" => run_detector(program, Detector::slimstate()),
+        "redcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            run_detector(&rc, Detector::redcard(proxies))
+        }
+        "slimcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            run_detector(&rc, Detector::slimcard(proxies))
+        }
+        "djit" => {
+            let mut det = DjitDetector::new();
+            Interp::new(program, policy)
+                .run(&mut det)
+                .map_err(|e| format!("runtime error: {e}"))?;
+            Ok(det.finish())
+        }
+        other => Err(format!("unknown detector `{other}`")),
+    }
+}

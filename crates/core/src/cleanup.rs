@@ -1,0 +1,300 @@
+//! Post-instrumentation cleanup (the paper's Soot-optimizer analog, §5):
+//! removes renames whose primed variable is never consulted and empty
+//! check statements.
+
+use bigfoot_bfj::{Block, Expr, Program, Stmt, StmtKind, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// Removes dead `x' ← x` renames and empty checks from every method of the
+/// program, in place.
+pub fn cleanup_program(p: &mut Program) {
+    for c in &mut p.classes {
+        for m in &mut c.methods {
+            cleanup_body(&mut m.body, Some(&m.ret));
+        }
+    }
+    let mut main = std::mem::take(&mut p.main);
+    cleanup_body(&mut main, None);
+    p.main = main;
+    p.renumber();
+}
+
+/// Cleans one method body.
+pub fn cleanup_body(body: &mut Block, ret: Option<&Expr>) {
+    loop {
+        // Fold renames whose only consumer is the adjacent assignment:
+        //   x' <- x; x = f(x')   ⇒   x = f(x)
+        // (sound because x' == x at that point). This undoes renames that
+        // no surviving check ended up needing.
+        let mut use_counts: HashMap<Sym, usize> = HashMap::new();
+        count_uses(body, &mut use_counts);
+        if let Some(r) = ret {
+            let mut vars = Vec::new();
+            r.vars(&mut vars);
+            for v in vars {
+                *use_counts.entry(v).or_default() += 1;
+            }
+        }
+        fold_adjacent_renames(body, &use_counts);
+        // Drop renames whose primed variable is never consulted, and empty
+        // checks.
+        let mut used = HashSet::new();
+        collect_uses(body, &mut used);
+        if let Some(r) = ret {
+            note_expr(r, &mut used);
+        }
+        let before = count_stmts(body);
+        prune(body, &used);
+        if count_stmts(body) == before {
+            break;
+        }
+    }
+}
+
+/// Number of times each variable is read anywhere in the block (each
+/// statement contributes at most one count per variable, which is all the
+/// adjacent-rename fold needs for its "single consumer" test).
+fn count_uses(b: &Block, counts: &mut HashMap<Sym, usize>) {
+    for s in &b.stmts {
+        let single = Block {
+            stmts: vec![Stmt {
+                id: s.id,
+                kind: shallow_kind(&s.kind),
+            }],
+        };
+        let mut set = HashSet::new();
+        collect_uses(&single, &mut set);
+        for v in set {
+            *counts.entry(v).or_default() += 1;
+        }
+        match &s.kind {
+            StmtKind::If { then_b, else_b, .. } => {
+                count_uses(then_b, counts);
+                count_uses(else_b, counts);
+            }
+            StmtKind::Loop { head, tail, .. } => {
+                count_uses(head, counts);
+                count_uses(tail, counts);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A copy of the statement kind with nested blocks emptied (so per-
+/// statement use collection does not double-count the bodies).
+fn shallow_kind(kind: &StmtKind) -> StmtKind {
+    match kind {
+        StmtKind::If { cond, .. } => StmtKind::If {
+            cond: cond.clone(),
+            then_b: Block::new(),
+            else_b: Block::new(),
+        },
+        StmtKind::Loop { exit, .. } => StmtKind::Loop {
+            head: Block::new(),
+            exit: exit.clone(),
+            tail: Block::new(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Rewrites `x' <- x; x = f(x')` into `x = f(x)` when the adjacent
+/// assignment is `x'`'s only use.
+fn fold_adjacent_renames(b: &mut Block, counts: &HashMap<Sym, usize>) {
+    let mut i = 0;
+    while i + 1 < b.stmts.len() {
+        let fold = match (&b.stmts[i].kind, &b.stmts[i + 1].kind) {
+            (StmtKind::Rename { fresh, old }, StmtKind::Assign { x, e })
+                if x == old && counts.get(fresh).copied().unwrap_or(0) == uses_in_expr(e, *fresh) =>
+            {
+                Some((*fresh, *old))
+            }
+            _ => None,
+        };
+        if let Some((fresh, old)) = fold {
+            if let StmtKind::Assign { e, .. } = &mut b.stmts[i + 1].kind {
+                *e = e.subst(fresh, &Expr::Var(old));
+            }
+            b.stmts.remove(i);
+            continue;
+        }
+        match &mut b.stmts[i].kind {
+            StmtKind::If { then_b, else_b, .. } => {
+                fold_adjacent_renames(then_b, counts);
+                fold_adjacent_renames(else_b, counts);
+            }
+            StmtKind::Loop { head, tail, .. } => {
+                fold_adjacent_renames(head, counts);
+                fold_adjacent_renames(tail, counts);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Recurse into a possible trailing compound statement.
+    if let Some(last) = b.stmts.last_mut() {
+        match &mut last.kind {
+            StmtKind::If { then_b, else_b, .. } => {
+                fold_adjacent_renames(then_b, counts);
+                fold_adjacent_renames(else_b, counts);
+            }
+            StmtKind::Loop { head, tail, .. } => {
+                fold_adjacent_renames(head, counts);
+                fold_adjacent_renames(tail, counts);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn uses_in_expr(e: &Expr, x: Sym) -> usize {
+    let mut vars = Vec::new();
+    e.vars(&mut vars);
+    vars.into_iter().filter(|v| *v == x).count()
+}
+
+fn count_stmts(b: &Block) -> usize {
+    b.stmts
+        .iter()
+        .map(|s| {
+            1 + match &s.kind {
+                StmtKind::If { then_b, else_b, .. } => count_stmts(then_b) + count_stmts(else_b),
+                StmtKind::Loop { head, tail, .. } => count_stmts(head) + count_stmts(tail),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+fn prune(b: &mut Block, used: &HashSet<Sym>) {
+    b.stmts.retain_mut(|s| match &mut s.kind {
+        StmtKind::Rename { fresh, .. } => used.contains(fresh),
+        StmtKind::Check { paths } => !paths.is_empty(),
+        StmtKind::If { then_b, else_b, .. } => {
+            prune(then_b, used);
+            prune(else_b, used);
+            true
+        }
+        StmtKind::Loop { head, tail, .. } => {
+            prune(head, used);
+            prune(tail, used);
+            true
+        }
+        _ => true,
+    });
+}
+
+fn note_expr(e: &Expr, used: &mut HashSet<Sym>) {
+    let mut vars = Vec::new();
+    e.vars(&mut vars);
+    used.extend(vars);
+}
+
+/// Collects every variable *read* by the block (assignment targets do not
+/// count, but a rename's source does).
+fn collect_uses(b: &Block, used: &mut HashSet<Sym>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Skip => {}
+            StmtKind::Assign { e, .. } => note_expr(e, used),
+            StmtKind::Rename { old, .. } => {
+                used.insert(*old);
+            }
+            StmtKind::New { .. } => {}
+            StmtKind::NewArray { len, .. } => note_expr(len, used),
+            StmtKind::ReadField { obj, .. } => {
+                used.insert(*obj);
+            }
+            StmtKind::WriteField { obj, src, .. } => {
+                used.insert(*obj);
+                used.insert(*src);
+            }
+            StmtKind::ReadArr { arr, idx, .. } => {
+                used.insert(*arr);
+                note_expr(idx, used);
+            }
+            StmtKind::WriteArr { arr, idx, src } => {
+                used.insert(*arr);
+                note_expr(idx, used);
+                used.insert(*src);
+            }
+            StmtKind::Call { recv, args, .. } | StmtKind::Fork { recv, args, .. } => {
+                used.insert(*recv);
+                used.extend(args.iter().copied());
+            }
+            StmtKind::Acquire { lock }
+            | StmtKind::Release { lock }
+            | StmtKind::Wait { lock }
+            | StmtKind::Notify { lock } => {
+                used.insert(*lock);
+            }
+            StmtKind::Join { t } => {
+                used.insert(*t);
+            }
+            StmtKind::Check { paths } => {
+                for cp in paths {
+                    match &cp.path {
+                        bigfoot_bfj::Path::Fields { base, .. } => {
+                            used.insert(*base);
+                        }
+                        bigfoot_bfj::Path::Arr { base, range } => {
+                            used.insert(*base);
+                            note_expr(&range.lo, used);
+                            note_expr(&range.hi, used);
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                note_expr(cond, used);
+                collect_uses(then_b, used);
+                collect_uses(else_b, used);
+            }
+            StmtKind::Loop { head, exit, tail } => {
+                note_expr(exit, used);
+                collect_uses(head, used);
+                collect_uses(tail, used);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{parse_program, pretty};
+
+    #[test]
+    fn unused_rename_is_removed() {
+        let mut p = parse_program("main { i = 0; i' <- i; i = 1; }").unwrap();
+        cleanup_program(&mut p);
+        let out = pretty(&p);
+        assert!(!out.contains("<-"), "{out}");
+    }
+
+    #[test]
+    fn rename_used_in_check_is_kept() {
+        let mut p = parse_program(
+            "main { a = new_array(4); i = 0; i' <- i; i = 1; check(w: a[0..i']); }",
+        )
+        .unwrap();
+        cleanup_program(&mut p);
+        let out = pretty(&p);
+        assert!(out.contains("i' <- i"), "{out}");
+    }
+
+    #[test]
+    fn chained_dead_renames_removed() {
+        // i'' depends on i' which is otherwise dead: both go in one
+        // cleanup.
+        let mut p = parse_program("main { i = 0; i' <- i; i'' <- i'; i = 1; }").unwrap();
+        cleanup_program(&mut p);
+        let out = pretty(&p);
+        assert!(!out.contains("<-"), "{out}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Post-analysis path coalescing (§4).
+//!
+//! Each emitted `check(C)` first drops read paths covered by write paths
+//! (a write check covers read accesses), then partitions the remaining
+//! paths into equivalence classes by provably-equal designators, coalesces
+//! field classes into `d.f1/f2/…` paths, and coalesces array classes into
+//! a single strided range when an *exact* single-range form of the union
+//! exists (otherwise the original paths are kept, as in the paper).
+
+use crate::facts::{path_subsumes, APath, PathFact};
+use bigfoot_bfj::{CheckPath, Path, Stmt, StmtKind, Sym};
+use bigfoot_entail::{coalesce as coalesce_ranges, Kb, SymRange};
+use bigfoot_vc::AccessKind;
+
+/// Builds a single `check(C)` statement from pending access facts, or
+/// `None` when nothing needs checking.
+pub fn emit_check(kb: &mut Kb, facts: &[PathFact]) -> Option<Stmt> {
+    emit_check_opts(kb, facts, true)
+}
+
+/// Like [`emit_check`], optionally disabling the §4 coalescing step (for
+/// the ablation study): redundant-read elimination still applies, but
+/// every surviving fact becomes its own path.
+pub fn emit_check_opts(kb: &mut Kb, facts: &[PathFact], coalesce_paths: bool) -> Option<Stmt> {
+    if facts.is_empty() {
+        return None;
+    }
+    if !coalesce_paths {
+        let mut paths: Vec<CheckPath> = Vec::new();
+        for f in facts {
+            let covered = f.kind == AccessKind::Read
+                && facts.iter().any(|w| {
+                    w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path)
+                });
+            if covered {
+                continue;
+            }
+            let cp = CheckPath {
+                kind: f.kind,
+                path: f.path.to_ast(),
+            };
+            if !paths.contains(&cp) {
+                paths.push(cp);
+            }
+        }
+        if paths.is_empty() {
+            return None;
+        }
+        paths.sort_by_key(bigfoot_bfj::pretty_check_path);
+        return Some(Stmt::new(StmtKind::Check { paths }));
+    }
+    // 1. Read paths fully covered by a write path in the same batch are
+    //    redundant (Fig. 1's read-modify-write elimination).
+    let mut kept: Vec<&PathFact> = Vec::new();
+    for f in facts {
+        let covered = f.kind == AccessKind::Read
+            && facts.iter().any(|w| {
+                w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path)
+            });
+        if !covered {
+            kept.push(f);
+        }
+    }
+    // 2. Partition into designator classes per kind.
+    #[derive(Debug)]
+    struct FieldClass {
+        kind: AccessKind,
+        base: Sym,
+        fields: Vec<Sym>,
+    }
+    #[derive(Debug)]
+    struct ArrClass {
+        kind: AccessKind,
+        base: Sym,
+        ranges: Vec<SymRange>,
+    }
+    let mut field_classes: Vec<FieldClass> = Vec::new();
+    let mut arr_classes: Vec<ArrClass> = Vec::new();
+    for f in kept {
+        match &f.path {
+            APath::Field { base, field } => {
+                let found = field_classes
+                    .iter_mut()
+                    .find(|c| c.kind == f.kind && kb.refs_equal(c.base, *base));
+                match found {
+                    Some(c) => {
+                        if !c.fields.contains(field) {
+                            c.fields.push(*field);
+                        }
+                    }
+                    None => field_classes.push(FieldClass {
+                        kind: f.kind,
+                        base: *base,
+                        fields: vec![*field],
+                    }),
+                }
+            }
+            APath::Arr { base, range } => {
+                let found = arr_classes
+                    .iter_mut()
+                    .find(|c| c.kind == f.kind && kb.refs_equal(c.base, *base));
+                match found {
+                    Some(c) => {
+                        if !c.ranges.contains(range) {
+                            c.ranges.push(range.clone());
+                        }
+                    }
+                    None => arr_classes.push(ArrClass {
+                        kind: f.kind,
+                        base: *base,
+                        ranges: vec![range.clone()],
+                    }),
+                }
+            }
+        }
+    }
+    // 3. Emit coalesced paths.
+    let mut paths: Vec<CheckPath> = Vec::new();
+    for c in field_classes {
+        let mut fields = c.fields;
+        fields.sort_by_key(|f| f.as_str());
+        paths.push(CheckPath {
+            kind: c.kind,
+            path: Path::Fields {
+                base: c.base,
+                fields,
+            },
+        });
+    }
+    for c in arr_classes {
+        match coalesce_ranges(kb, &c.ranges) {
+            Some(merged) => paths.push(CheckPath {
+                kind: c.kind,
+                path: APath::Arr {
+                    base: c.base,
+                    range: merged,
+                }
+                .to_ast(),
+            }),
+            None => {
+                for r in c.ranges {
+                    paths.push(CheckPath {
+                        kind: c.kind,
+                        path: APath::Arr {
+                            base: c.base,
+                            range: r,
+                        }
+                        .to_ast(),
+                    });
+                }
+            }
+        }
+    }
+    if paths.is_empty() {
+        return None;
+    }
+    // Deterministic order for golden tests.
+    paths.sort_by_key(bigfoot_bfj::pretty_check_path);
+    Some(Stmt::new(StmtKind::Check { paths }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_entail::Lin;
+
+    fn field_fact(base: &str, f: &str, kind: AccessKind) -> PathFact {
+        PathFact {
+            path: APath::Field {
+                base: Sym::intern(base),
+                field: Sym::intern(f),
+            },
+            kind,
+        }
+    }
+
+    fn render(s: &Stmt) -> String {
+        bigfoot_bfj::pretty_stmt(s)
+    }
+
+    #[test]
+    fn rmw_read_dropped_under_write() {
+        let mut kb = Kb::new();
+        let facts = vec![
+            field_fact("p", "x", AccessKind::Read),
+            field_fact("p", "x", AccessKind::Write),
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(w: p.x);");
+    }
+
+    #[test]
+    fn fields_coalesce_into_one_path() {
+        let mut kb = Kb::new();
+        let facts = vec![
+            field_fact("p", "x", AccessKind::Write),
+            field_fact("p", "y", AccessKind::Write),
+            field_fact("p", "z", AccessKind::Write),
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(w: p.x/y/z);");
+    }
+
+    #[test]
+    fn different_kinds_stay_separate() {
+        let mut kb = Kb::new();
+        let facts = vec![
+            field_fact("p", "x", AccessKind::Write),
+            field_fact("p", "y", AccessKind::Read),
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(r: p.y, w: p.x);");
+    }
+
+    #[test]
+    fn array_ranges_coalesce() {
+        let mut kb = Kb::new();
+        let a = Sym::intern("arr$c");
+        let facts = vec![
+            PathFact {
+                path: APath::Arr {
+                    base: a,
+                    range: SymRange {
+                        lo: Lin::constant(0),
+                        hi: Lin::constant(50),
+                        step: 1,
+                    },
+                },
+                kind: AccessKind::Read,
+            },
+            PathFact {
+                path: APath::Arr {
+                    base: a,
+                    range: SymRange {
+                        lo: Lin::constant(50),
+                        hi: Lin::constant(100),
+                        step: 1,
+                    },
+                },
+                kind: AccessKind::Read,
+            },
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(r: arr$c[0..100]);");
+    }
+
+    #[test]
+    fn uncoalescible_ranges_kept_separately() {
+        let mut kb = Kb::new();
+        let a = Sym::intern("arr$d");
+        let facts = vec![
+            PathFact {
+                path: APath::Arr {
+                    base: a,
+                    range: SymRange {
+                        lo: Lin::constant(0),
+                        hi: Lin::constant(5),
+                        step: 1,
+                    },
+                },
+                kind: AccessKind::Write,
+            },
+            PathFact {
+                path: APath::Arr {
+                    base: a,
+                    range: SymRange {
+                        lo: Lin::constant(10),
+                        hi: Lin::constant(20),
+                        step: 1,
+                    },
+                },
+                kind: AccessKind::Write,
+            },
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(w: arr$d[0..5], w: arr$d[10..20]);");
+    }
+
+    #[test]
+    fn empty_facts_emit_nothing() {
+        let mut kb = Kb::new();
+        assert!(emit_check(&mut kb, &[]).is_none());
+    }
+
+    #[test]
+    fn aliased_designators_merge() {
+        // x and y provably alias: checks on x.f and y.g coalesce.
+        let mut kb = Kb::new();
+        kb.assume_var_eq(Sym::intern("px"), Sym::intern("py"));
+        let facts = vec![
+            field_fact("px", "f", AccessKind::Write),
+            field_fact("py", "g", AccessKind::Write),
+        ];
+        let s = emit_check(&mut kb, &facts).unwrap();
+        assert_eq!(render(&s).trim(), "check(w: px.f/g);");
+    }
+}

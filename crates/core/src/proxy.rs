@@ -1,0 +1,191 @@
+//! Static field proxy analysis (§4 "Static Field Compression").
+//!
+//! Field `x` is a proxy for `y` when every check touching `y` also touches
+//! `x`; then any trace with a race on `y` also has one on `x`, and the two
+//! fields can share a shadow location. We use the *symmetric* closure
+//! (footnote 2 of the paper) so that racy-address reporting is preserved:
+//! fields group together exactly when each is a proxy for the other, which
+//! is an equivalence relation. Fields never mentioned by any check group
+//! together trivially (they never induce shadow operations).
+//!
+//! BFJ is untyped, so a check path is attributed to every class declaring
+//! all of its fields — a conservative choice that can only reduce
+//! compression, never break precision.
+
+use bigfoot_bfj::{Block, Path, Program, StmtKind, Sym};
+use bigfoot_detectors::ProxyTable;
+use bigfoot_shadow::FieldGrouping;
+use std::collections::HashSet;
+
+/// Computes per-class field groupings from the checks of an instrumented
+/// program (a single pass over all checks, as in the paper).
+pub fn field_proxies(p: &Program) -> ProxyTable {
+    // Collect the distinct field sets appearing in checks.
+    let mut check_sets: Vec<Vec<Sym>> = Vec::new();
+    let mut visit = |b: &Block| collect_checks(b, &mut check_sets);
+    for (_, m) in p.methods() {
+        visit(&m.body);
+    }
+    visit(&p.main);
+    grouping_from_sets(p, &check_sets)
+}
+
+/// Builds per-class groupings from "always together" field sets — used
+/// both for BigFoot (sets = coalesced check paths) and RedCard (sets =
+/// fields accessed within each release-free span).
+pub fn grouping_from_sets(p: &Program, check_sets: &[Vec<Sym>]) -> ProxyTable {
+    let mut by_class = Vec::with_capacity(p.classes.len());
+    for class in &p.classes {
+        let nfields = class.fields.len();
+        let class_fields: HashSet<Sym> = class.fields.iter().copied().collect();
+        // Check sets attributable to this class.
+        let relevant: Vec<&Vec<Sym>> = check_sets
+            .iter()
+            .filter(|set| set.iter().all(|f| class_fields.contains(f)))
+            .collect();
+        // always_with[i]: fields present in every relevant check that
+        // mentions field i (everything, if none does).
+        let mut group_of = vec![u32::MAX; nfields];
+        let mut next_group = 0u32;
+        for i in 0..nfields {
+            if group_of[i] != u32::MAX {
+                continue;
+            }
+            let g = next_group;
+            next_group += 1;
+            group_of[i] = g;
+            #[allow(clippy::needless_range_loop)] // parallel index into fields
+            for j in (i + 1)..nfields {
+                if group_of[j] != u32::MAX {
+                    continue;
+                }
+                if mutually_proxied(class.fields[i], class.fields[j], &relevant) {
+                    group_of[j] = g;
+                }
+            }
+        }
+        let grouping = FieldGrouping::from_assignment(group_of);
+        by_class.push(if grouping.compresses() {
+            Some(grouping)
+        } else {
+            None
+        });
+    }
+    ProxyTable { by_class }
+}
+
+/// True if every check mentioning `a` also mentions `b` and vice versa.
+fn mutually_proxied(a: Sym, b: Sym, checks: &[&Vec<Sym>]) -> bool {
+    checks.iter().all(|set| {
+        let has_a = set.contains(&a);
+        let has_b = set.contains(&b);
+        has_a == has_b
+    })
+}
+
+fn collect_checks(b: &Block, out: &mut Vec<Vec<Sym>>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Check { paths } => {
+                for cp in paths {
+                    if let Path::Fields { fields, .. } = &cp.path {
+                        let mut set = fields.clone();
+                        set.sort_by_key(|f| f.as_str());
+                        set.dedup();
+                        out.push(set);
+                    }
+                }
+            }
+            StmtKind::If { then_b, else_b, .. } => {
+                collect_checks(then_b, out);
+                collect_checks(else_b, out);
+            }
+            StmtKind::Loop { head, tail, .. } => {
+                collect_checks(head, out);
+                collect_checks(tail, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::parse_program;
+
+    #[test]
+    fn always_coalesced_fields_group() {
+        let p = parse_program(
+            "class Point { field x; field y; field z; }
+             main {
+                 p = new Point;
+                 check(w: p.x/y/z);
+                 check(r: p.x/y/z);
+             }",
+        )
+        .unwrap();
+        let table = field_proxies(&p);
+        let g = table.by_class[0].as_ref().expect("compressed");
+        assert_eq!(g.groups, 1);
+    }
+
+    #[test]
+    fn separately_checked_field_stays_alone() {
+        let p = parse_program(
+            "class Point { field x; field y; field z; }
+             main {
+                 p = new Point;
+                 check(w: p.x/y/z);
+                 check(r: p.x);
+             }",
+        )
+        .unwrap();
+        let table = field_proxies(&p);
+        // x is checked alone, so it cannot group with y/z; y and z still
+        // group with each other.
+        let g = table.by_class[0].as_ref().expect("compressed");
+        assert_eq!(g.groups, 2);
+        assert_ne!(g.group(0), g.group(1));
+        assert_eq!(g.group(1), g.group(2));
+    }
+
+    #[test]
+    fn unchecked_fields_group_together() {
+        let p = parse_program(
+            "class C { field a; field b; }
+             main { c = new C; }",
+        )
+        .unwrap();
+        let table = field_proxies(&p);
+        let g = table.by_class[0].as_ref().expect("compressed");
+        assert_eq!(g.groups, 1);
+    }
+
+    #[test]
+    fn foreign_class_checks_do_not_break_grouping() {
+        // The check on d.u cannot be a C object (C lacks u), so C's x/y
+        // grouping is unaffected.
+        let p = parse_program(
+            "class C { field x; field y; }
+             class D { field u; field x; }
+             main {
+                 c = new C;
+                 d = new D;
+                 check(w: c.x/y);
+                 check(w: d.u);
+             }",
+        )
+        .unwrap();
+        let table = field_proxies(&p);
+        let gc = table.by_class[0].as_ref().expect("compressed");
+        assert_eq!(gc.groups, 1);
+        // For D, the solo check on u (and on x, attributable to D? x alone
+        // is a field of both C and D... the c.x/y check is not
+        // attributable to D since D lacks y), so u and x group only if no
+        // relevant check separates them: the d.u check mentions u without
+        // x, so they stay apart.
+        let gd = &table.by_class[1];
+        assert!(gd.is_none(), "{gd:?}");
+    }
+}

@@ -1,0 +1,342 @@
+//! Freshness pre-pass: inserts the `x' ← x` renaming operations of §3.3.
+//!
+//! The check-placement rules require every assignment target to be a
+//! "fresh" variable not mentioned in the history. Reassignments (loop
+//! counters, accumulators) violate this, so before analysis we insert a
+//! rename `x' ← x` capturing the old value and rewrite the assignment's
+//! right-hand side to read `x'` — semantically identical, but the history
+//! can be rewritten to speak about `x'` and keep deferring checks (the
+//! paper's Fig. 6(b), line 5). Unused renames are removed by the cleanup
+//! pass after instrumentation.
+
+use bigfoot_bfj::{Block, Expr, Stmt, StmtKind, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// Rewrites a method body so that every assignment targets a variable not
+/// previously mentioned, inserting renames as needed. Returns the set of
+/// `(original, primed)` pairs created.
+pub fn freshen_body(body: &mut Block, params: &[Sym]) -> Vec<(Sym, Sym)> {
+    let mut st = Freshen {
+        seen: params.iter().copied().collect(),
+        counters: HashMap::new(),
+        created: Vec::new(),
+    };
+    st.seen.insert(Sym::intern("this"));
+    st.block(body);
+    st.created
+}
+
+struct Freshen {
+    seen: HashSet<Sym>,
+    counters: HashMap<Sym, u32>,
+    created: Vec<(Sym, Sym)>,
+}
+
+impl Freshen {
+    fn primed(&mut self, x: Sym) -> Sym {
+        let n = self.counters.entry(x).or_insert(0);
+        *n += 1;
+        let name = if *n == 1 {
+            format!("{x}'")
+        } else {
+            format!("{x}'{n}")
+        };
+        let p = Sym::intern(&name);
+        self.created.push((x, p));
+        p
+    }
+
+    fn note_expr(&mut self, e: &Expr) {
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        self.seen.extend(vars);
+    }
+
+    fn block(&mut self, b: &mut Block) {
+        let mut out: Vec<Stmt> = Vec::with_capacity(b.stmts.len());
+        for mut s in std::mem::take(&mut b.stmts) {
+            // Determine the assignment target, if any.
+            let target = match &s.kind {
+                StmtKind::Assign { x, .. }
+                | StmtKind::New { x, .. }
+                | StmtKind::NewArray { x, .. }
+                | StmtKind::ReadField { x, .. }
+                | StmtKind::ReadArr { x, .. }
+                | StmtKind::Call { x, .. }
+                | StmtKind::Fork { x, .. } => Some(*x),
+                StmtKind::Rename { fresh, .. } => Some(*fresh),
+                _ => None,
+            };
+            if let Some(x) = target {
+                if self.seen.contains(&x) && !matches!(s.kind, StmtKind::Rename { .. }) {
+                    let xp = self.primed(x);
+                    out.push(Stmt::new(StmtKind::Rename { fresh: xp, old: x }));
+                    // The statement's own reads of x refer to the old
+                    // value: rewrite them to x'.
+                    rewrite_reads(&mut s.kind, x, xp);
+                    self.seen.insert(xp);
+                }
+            }
+            // Record every variable the statement mentions.
+            match &s.kind {
+                StmtKind::Assign { x, e } => {
+                    self.seen.insert(*x);
+                    self.note_expr(e);
+                }
+                StmtKind::Rename { fresh, old } => {
+                    self.seen.insert(*fresh);
+                    self.seen.insert(*old);
+                }
+                StmtKind::New { x, .. } => {
+                    self.seen.insert(*x);
+                }
+                StmtKind::NewArray { x, len } => {
+                    self.seen.insert(*x);
+                    self.note_expr(len);
+                }
+                StmtKind::ReadField { x, obj, .. } => {
+                    self.seen.insert(*x);
+                    self.seen.insert(*obj);
+                }
+                StmtKind::WriteField { obj, src, .. } => {
+                    self.seen.insert(*obj);
+                    self.seen.insert(*src);
+                }
+                StmtKind::ReadArr { x, arr, idx } => {
+                    self.seen.insert(*x);
+                    self.seen.insert(*arr);
+                    self.note_expr(idx);
+                }
+                StmtKind::WriteArr { arr, idx, src } => {
+                    self.seen.insert(*arr);
+                    self.note_expr(idx);
+                    self.seen.insert(*src);
+                }
+                StmtKind::Call { x, recv, args, .. } | StmtKind::Fork { x, recv, args, .. } => {
+                    self.seen.insert(*x);
+                    self.seen.insert(*recv);
+                    self.seen.extend(args.iter().copied());
+                }
+                StmtKind::Acquire { lock }
+                | StmtKind::Release { lock }
+                | StmtKind::Wait { lock }
+                | StmtKind::Notify { lock } => {
+                    self.seen.insert(*lock);
+                }
+                StmtKind::Join { t } => {
+                    self.seen.insert(*t);
+                }
+                StmtKind::If { cond, .. } => self.note_expr(cond),
+                StmtKind::Loop { exit, .. } => self.note_expr(exit),
+                StmtKind::Skip | StmtKind::Check { .. } => {}
+            }
+            // Recurse into nested blocks; loops first mark every variable
+            // the body mentions as seen (the body re-executes, so any
+            // assignment inside is a reassignment).
+            match &mut s.kind {
+                StmtKind::If { then_b, else_b, .. } => {
+                    self.block(then_b);
+                    self.block(else_b);
+                }
+                StmtKind::Loop { head, tail, exit } => {
+                    let mut vars = HashSet::new();
+                    collect_vars(head, &mut vars);
+                    collect_vars(tail, &mut vars);
+                    let mut evars = Vec::new();
+                    exit.vars(&mut evars);
+                    vars.extend(evars);
+                    self.seen.extend(vars);
+                    self.block(head);
+                    self.block(tail);
+                }
+                _ => {}
+            }
+            out.push(s);
+        }
+        b.stmts = out;
+    }
+}
+
+/// Rewrites the statement's *reads* of `x` (not its target) to `xp`.
+fn rewrite_reads(kind: &mut StmtKind, x: Sym, xp: Sym) {
+    let fix = |e: &mut Expr| *e = e.subst(x, &Expr::Var(xp));
+    let fix_var = |v: &mut Sym| {
+        if *v == x {
+            *v = xp;
+        }
+    };
+    match kind {
+        StmtKind::Assign { e, .. } => fix(e),
+        StmtKind::NewArray { len, .. } => fix(len),
+        StmtKind::ReadField { obj, .. } => fix_var(obj),
+        StmtKind::ReadArr { arr, idx, .. } => {
+            fix_var(arr);
+            fix(idx);
+        }
+        StmtKind::Call { recv, args, .. } | StmtKind::Fork { recv, args, .. } => {
+            fix_var(recv);
+            for a in args {
+                fix_var(a);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_vars(b: &Block, out: &mut HashSet<Sym>) {
+    for s in &b.stmts {
+        let mut exprs: Vec<&Expr> = Vec::new();
+        match &s.kind {
+            StmtKind::Assign { x, e } => {
+                out.insert(*x);
+                exprs.push(e);
+            }
+            StmtKind::Rename { fresh, old } => {
+                out.insert(*fresh);
+                out.insert(*old);
+            }
+            StmtKind::New { x, .. } => {
+                out.insert(*x);
+            }
+            StmtKind::NewArray { x, len } => {
+                out.insert(*x);
+                exprs.push(len);
+            }
+            StmtKind::ReadField { x, obj, .. } => {
+                out.insert(*x);
+                out.insert(*obj);
+            }
+            StmtKind::WriteField { obj, src, .. } => {
+                out.insert(*obj);
+                out.insert(*src);
+            }
+            StmtKind::ReadArr { x, arr, idx } => {
+                out.insert(*x);
+                out.insert(*arr);
+                exprs.push(idx);
+            }
+            StmtKind::WriteArr { arr, idx, src } => {
+                out.insert(*arr);
+                out.insert(*src);
+                exprs.push(idx);
+            }
+            StmtKind::Call { x, recv, args, .. } | StmtKind::Fork { x, recv, args, .. } => {
+                out.insert(*x);
+                out.insert(*recv);
+                out.extend(args.iter().copied());
+            }
+            StmtKind::Acquire { lock }
+            | StmtKind::Release { lock }
+            | StmtKind::Wait { lock }
+            | StmtKind::Notify { lock } => {
+                out.insert(*lock);
+            }
+            StmtKind::Join { t } => {
+                out.insert(*t);
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                exprs.push(cond);
+                collect_vars(then_b, out);
+                collect_vars(else_b, out);
+            }
+            StmtKind::Loop { head, exit, tail } => {
+                exprs.push(exit);
+                collect_vars(head, out);
+                collect_vars(tail, out);
+            }
+            StmtKind::Skip | StmtKind::Check { .. } => {}
+        }
+        for e in exprs {
+            let mut vars = Vec::new();
+            e.vars(&mut vars);
+            out.extend(vars);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{parse_program, pretty};
+
+    fn freshen(src: &str) -> String {
+        let mut p = parse_program(src).unwrap();
+        let mut main = std::mem::take(&mut p.main);
+        freshen_body(&mut main, &[]);
+        p.main = main;
+        p.renumber();
+        pretty(&p)
+    }
+
+    #[test]
+    fn loop_counter_gets_renamed() {
+        let out = freshen("main { i = 0; while (i < 10) { i = i + 1; } }");
+        assert!(out.contains("i' <- i"), "{out}");
+        assert!(out.contains("i = i' + 1"), "{out}");
+    }
+
+    #[test]
+    fn straightline_fresh_vars_untouched() {
+        let out = freshen("main { x = 1; y = x + 1; z = y * 2; }");
+        assert!(!out.contains("<-"), "{out}");
+    }
+
+    #[test]
+    fn reassignment_of_straightline_var() {
+        let out = freshen("main { x = 1; x = x + 1; }");
+        assert!(out.contains("x' <- x"), "{out}");
+        assert!(out.contains("x = x' + 1"), "{out}");
+    }
+
+    #[test]
+    fn two_reassignments_get_distinct_primes() {
+        let out = freshen("main { x = 1; x = x + 1; x = x * 2; }");
+        assert!(out.contains("x' <- x"), "{out}");
+        assert!(out.contains("x'2 <- x"), "{out}");
+        assert!(out.contains("x = x'2 * 2"), "{out}");
+    }
+
+    #[test]
+    fn loop_local_temp_is_renamed() {
+        // t is assigned each iteration, so it is a reassignment.
+        let out = freshen(
+            "class C { field f; }
+             main {
+                 c = new C;
+                 i = 0;
+                 while (i < 3) { t = c.f; i = i + t; }
+             }",
+        );
+        assert!(out.contains("t' <- t") || out.contains("t'"), "{out}");
+    }
+
+    #[test]
+    fn read_target_renames_receiver_use() {
+        // x = x.f becomes x' <- x; x = x'.f
+        let out = freshen(
+            "class C { field f; }
+             main { x = new C; x = x.f; }",
+        );
+        assert!(out.contains("x' <- x"), "{out}");
+        assert!(out.contains("x = x'.f"), "{out}");
+    }
+
+    #[test]
+    fn freshened_program_reparses_and_runs() {
+        use bigfoot_bfj::{Interp, NullSink, SchedPolicy, Sym, Tid, Value};
+        let src = "main { s = 0; for (i = 0; i < 5; i = i + 1) { s = s + i; } }";
+        let out = freshen(src);
+        let p2 = parse_program(&out).unwrap();
+        let mut interp = Interp::new(&p2, SchedPolicy::default());
+        interp.run(&mut NullSink).unwrap();
+        assert_eq!(
+            interp.final_env(Tid(0)).unwrap()[&Sym::intern("s")],
+            Value::Int(10),
+            "renaming must not change semantics: {out}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the `bfc` command line, driving the real binary.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn bfc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bfc"))
+        .args(args)
+        .output()
+        .expect("run bfc")
+}
+
+fn write_program(name: &str, src: &str) -> String {
+    let dir = std::env::temp_dir().join("bfc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+const RACY: &str = "
+    class C { field x; meth poke(v) { this.x = v; return 0; } }
+    main {
+        c = new C;
+        fork t1 = c.poke(1);
+        fork t2 = c.poke(2);
+        join(t1); join(t2);
+    }";
+
+const CLEAN: &str = "
+    main {
+        a = new_array(16);
+        for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+        total = 0;
+        for (i = 0; i < 16; i = i + 1) { total = total + a[i]; }
+    }";
+
+#[test]
+fn check_exit_codes_signal_races() {
+    let racy = write_program("racy.bfj", RACY);
+    let clean = write_program("clean.bfj", CLEAN);
+    let out = bfc(&["check", &racy]);
+    assert_eq!(out.status.code(), Some(1), "racy program must exit 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("race"));
+    let out = bfc(&["check", &clean]);
+    assert_eq!(out.status.code(), Some(0), "clean program must exit 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no races"));
+}
+
+#[test]
+fn instrument_output_reparses_and_runs() {
+    let clean = write_program("clean2.bfj", CLEAN);
+    let out = bfc(&["instrument", &clean]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("check("), "{text}");
+    // Round-trip: the printed program is valid BFJ and runs identically.
+    let round = write_program("clean2-inst.bfj", &text);
+    let out = bfc(&["run", &round]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("total = 120"));
+}
+
+#[test]
+fn run_prints_final_variables() {
+    let clean = write_program("clean3.bfj", CLEAN);
+    let out = bfc(&["run", &clean]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("total = 120"));
+}
+
+#[test]
+fn stats_compares_detectors() {
+    let clean = write_program("clean4.bfj", CLEAN);
+    let out = bfc(&["stats", &clean]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("FastTrack") && text.contains("BigFoot"), "{text}");
+    assert!(text.contains("check ratio"), "{text}");
+}
+
+#[test]
+fn trace_prints_events_with_limit() {
+    let clean = write_program("clean5.bfj", CLEAN);
+    let out = bfc(&["trace", &clean, "--limit", "5"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("AllocArr"), "{text}");
+    assert!(text.contains("more events"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(bfc(&[]).status.code(), Some(2));
+    assert_eq!(bfc(&["frobnicate", "x.bfj"]).status.code(), Some(2));
+    assert_eq!(bfc(&["check", "/definitely/missing.bfj"]).status.code(), Some(2));
+    let clean = write_program("clean6.bfj", CLEAN);
+    assert_eq!(
+        bfc(&["check", &clean, "--detector", "nosuch"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        bfc(&["check", &clean, "--schedules", "abc"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn every_detector_flag_works() {
+    let racy = write_program("racy2.bfj", RACY);
+    for det in ["bigfoot", "fasttrack", "redcard", "slimstate", "slimcard", "djit"] {
+        let out = bfc(&["check", &racy, "--detector", det, "--schedules", "3"]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{det} must find the race: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}

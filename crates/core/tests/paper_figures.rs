@@ -1,0 +1,305 @@
+//! Golden tests reproducing the paper's worked examples: Fig. 1 (check
+//! placement for `Point.move` / `movePts`), Fig. 3 (one check for three
+//! accesses), and Fig. 6 (conditional and loop contexts).
+
+use bigfoot::instrument;
+use bigfoot_bfj::{parse_program, pretty, Program};
+
+fn instrumented_text(src: &str) -> (Program, String) {
+    let p = parse_program(src).expect("parse");
+    let inst = instrument(&p);
+    let text = pretty(&inst.program);
+    (inst.program, text)
+}
+
+/// Figure 1, left: the standard approach needs six checks in `move`;
+/// BigFoot needs one coalesced write check.
+#[test]
+fn fig1_move_single_coalesced_check() {
+    let (_, text) = instrumented_text(
+        "class Point {
+             field x; field y; field z;
+             meth move(dx, dy, dz) {
+                 tmp = this.x;
+                 this.x = tmp + dx;
+                 tmp = this.y;
+                 this.y = tmp + dy;
+                 tmp = this.z;
+                 this.z = tmp + dz;
+                 return 0;
+             }
+         }
+         main { p = new Point; r = p.move(1, 2, 3); }",
+    );
+    // Exactly one check in `move` (none in main: the call is sync-free
+    // and main has its own terminal check for nothing else... the
+    // accesses all happen in move).
+    assert!(text.contains("check(w: this.x/y/z);"), "{text}");
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+}
+
+/// Figure 1, right: the loop over `a[lo..hi]` induces one coalesced read
+/// check after the loop instead of a check per element.
+#[test]
+fn fig1_movepts_coalesced_array_check() {
+    let (_, text) = instrumented_text(
+        "class Point {
+             field x; field y; field z;
+             meth move(dx, dy, dz) {
+                 this.x = this.x + dx;
+                 this.y = this.y + dy;
+                 this.z = this.z + dz;
+                 return 0;
+             }
+             meth movePts(a, lo, hi) {
+                 for (i = lo; i < hi; i = i + 1) {
+                     p = a[i];
+                     r = p.move(1, 1, 1);
+                 }
+                 return 0;
+             }
+         }
+         main {
+             a = new_array(4);
+             for (i = 0; i < 4; i = i + 1) { a[i] = new Point; }
+             pt = a[0];
+             r = pt.movePts(a, 0, 4);
+         }",
+    );
+    // movePts contains a single read check over the whole traversed
+    // range, placed after the loop.
+    assert!(text.contains("check(r: a[lo..i' + 1]);"), "{text}");
+    // No check inside the movePts loop body: the loop's only checks are
+    // after it.
+    let movepts = text
+        .split("meth movePts")
+        .nth(1)
+        .unwrap()
+        .split("meth ")
+        .next()
+        .unwrap();
+    let loop_body = movepts.split("loop {").nth(1).unwrap();
+    let before_exit = loop_body.split("} exit").next().unwrap();
+    assert!(!before_exit.contains("check("), "loop body has checks: {movepts}");
+}
+
+/// Figure 3: three reads of `b.f` around two critical sections need
+/// exactly one check, placed before the second acquire.
+#[test]
+fn fig3_single_check_before_second_acquire() {
+    let (_, text) = instrumented_text(
+        "class B { field f; }
+         class L { }
+         main {
+             b = new B;
+             lock = new L;
+             acq(lock);
+             x = b.f;
+             rel(lock);
+             y = b.f;
+             acq(lock);
+             z = b.f;
+             rel(lock);
+         }",
+    );
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+    // The check sits between the unsynchronized read and the second
+    // acquire.
+    let pos_check = text.find("check(r: b.f)").expect("check present");
+    let pos_read_y = text.find("y = b.f").unwrap();
+    let second_acq = text.rfind("acq(lock)").unwrap();
+    assert!(pos_read_y < pos_check && pos_check < second_acq, "{text}");
+}
+
+/// Figure 6(a): the branch-local access `b.g` is checked at the end of its
+/// branch; the access `b.f` (anticipated after the if) is checked once,
+/// after the join.
+#[test]
+fn fig6a_conditional_placement() {
+    // The branch condition must be statically unknown (a parameter), or
+    // the dead-branch entailment defers everything to one merged check.
+    let (_, text) = instrumented_text(
+        "class B {
+             field f; field g;
+             meth fig6a(i, b) {
+                 if (i < 0) {
+                     y = b.g;
+                 } else {
+                     x = b.f;
+                 }
+                 z = b.f;
+                 return z;
+             }
+         }
+         main {
+             b = new B;
+             r = b.fig6a(0 - 1, b);
+         }",
+    );
+    // b.g is checked inside the then-branch; b.f once at the end.
+    assert!(text.contains("check(r: b.g)"), "{text}");
+    assert_eq!(text.matches("check(r: b.f)").count(), 1, "{text}");
+    // The else-branch has no check for b.f (it is anticipated by the
+    // later read).
+    let else_part = text.split("} else {").nth(1).unwrap();
+    let else_block = else_part.split('}').next().unwrap();
+    assert!(!else_block.contains("check"), "{text}");
+}
+
+/// Figure 6(b): all checks for the loop move after it, coalesced into a
+/// range check on the array plus a field check.
+#[test]
+fn fig6b_loop_checks_move_out() {
+    let (_, text) = instrumented_text(
+        "class B { field f; }
+         main {
+             b = new B;
+             a = new_array(10);
+             i = 0;
+             while (i < 10) {
+                 t = b.f;
+                 a[i] = t;
+                 i = i + 1;
+             }
+         }",
+    );
+    // No check inside the loop.
+    let loop_body = text.split("loop {").nth(1).unwrap();
+    let inside = loop_body.split("} exit").next().unwrap();
+    assert!(!inside.contains("check("), "{text}");
+    // One check statement covering the array range and the field.
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+    assert!(text.contains("w: a[0..i' + 1]"), "{text}");
+    assert!(text.contains("r: b.f"), "{text}");
+}
+
+/// Strided loops coalesce into strided range checks.
+#[test]
+fn strided_loop_coalesces() {
+    let (_, text) = instrumented_text(
+        "main {
+             a = new_array(100);
+             for (i = 0; i < 100; i = i + 2) { a[i] = i; }
+         }",
+    );
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+    assert!(text.contains(":2]"), "expected strided check: {text}");
+}
+
+/// The §5 alias example: two reads through distinct locals of the same
+/// field need only one check for the dependent accesses.
+#[test]
+fn alias_expressions_dedup_checks() {
+    let (_, text) = instrumented_text(
+        "class A { field f; }
+         class B { field g; }
+         main {
+             a = new A;
+             b0 = new B;
+             a.f = b0;
+             x = a.f;
+             s = x.g;
+             y = a.f;
+             t = y.g;
+         }",
+    );
+    // x and y alias (both loaded from a.f with no intervening write), so
+    // the check on x.g covers the access to y.g and no y.g check exists.
+    assert!(text.contains("r: x.g"), "{text}");
+    assert!(!text.contains("y.g)") && !text.contains("r: y.g"), "{text}");
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+}
+
+/// Redundant re-reads in a single span need one check (RedCard-style
+/// elimination subsumed by BigFoot).
+#[test]
+fn redundant_checks_eliminated() {
+    let (_, text) = instrumented_text(
+        "class C { field f; }
+         main {
+             c = new C;
+             x = c.f;
+             y = c.f;
+             z = c.f;
+         }",
+    );
+    assert_eq!(text.matches("check(").count(), 1, "{text}");
+}
+
+/// Checks cannot move across a release (legitimacy), so a locked write is
+/// checked inside the critical section.
+#[test]
+fn checks_stay_inside_critical_sections() {
+    let (_, text) = instrumented_text(
+        "class C { field f; }
+         class L { }
+         main {
+             c = new C;
+             l = new L;
+             acq(l);
+             c.f = 1;
+             rel(l);
+         }",
+    );
+    let pos_check = text.find("check(w: c.f)").expect("check present");
+    let pos_rel = text.find("rel(l)").unwrap();
+    assert!(pos_check < pos_rel, "check must precede the release: {text}");
+}
+
+/// Calls to methods that synchronize force checks before the call; calls
+/// to sync-free methods do not.
+#[test]
+fn call_killsets_gate_check_motion() {
+    let (_, text) = instrumented_text(
+        "class H {
+             field f;
+             meth pure(v) { return v + 1; }
+             meth locked(l) { acq(l); rel(l); return 0; }
+         }
+         class L { }
+         main {
+             h = new H;
+             l = new L;
+             x = h.f;
+             r1 = h.pure(x);
+             y = h.f;
+             r2 = h.locked(l);
+             z = h.f;
+         }",
+    );
+    // The reads before `pure` defer past it (coalescing with the read
+    // after); the reads before `locked` must be checked before the call.
+    let pos_locked_call = text.find(".locked(").unwrap();
+    let first_check = text.find("check(r: h.f)").expect("check present");
+    assert!(first_check < pos_locked_call, "{text}");
+    // Total: one check before the locked call, one for the final read.
+    assert_eq!(text.matches("check(").count(), 2, "{text}");
+}
+
+/// Instrumented programs still run and compute the same results.
+#[test]
+fn instrumentation_preserves_semantics() {
+    use bigfoot_bfj::{Interp, NullSink, SchedPolicy, Sym, Tid, Value};
+    let src = "
+        class Acc {
+            field total;
+            meth add(v) { this.total = this.total + v; return this.total; }
+        }
+        main {
+            acc = new Acc;
+            s = 0;
+            for (i = 1; i <= 10; i = i + 1) {
+                s = acc.add(i);
+            }
+        }";
+    let p = parse_program(src).unwrap();
+    let inst = instrument(&p);
+    for prog in [&p, &inst.program] {
+        let mut interp = Interp::new(prog, SchedPolicy::default());
+        interp.run(&mut NullSink).unwrap();
+        assert_eq!(
+            interp.final_env(Tid(0)).unwrap()[&Sym::intern("s")],
+            Value::Int(55)
+        );
+    }
+}

@@ -1,0 +1,617 @@
+//! The unified dynamic race detector engine.
+//!
+//! Every detector the paper evaluates is a configuration of the same
+//! machinery (Fig. 2):
+//!
+//! | detector   | check source        | array engine        | field proxies |
+//! |------------|---------------------|---------------------|---------------|
+//! | FastTrack  | every access        | fine per-element    | no            |
+//! | RedCard    | instrumented checks | fine per-element    | static        |
+//! | SlimState  | every access        | footprint + adaptive| no            |
+//! | SlimCard   | instrumented checks | footprint + adaptive| static        |
+//! | BigFoot    | instrumented checks | footprint + adaptive| static        |
+//!
+//! RedCard/SlimCard consume programs instrumented by the RedCard
+//! redundant-check eliminator; BigFoot consumes programs instrumented by
+//! the full check-placement analysis (which also moves and coalesces
+//! checks). The engine itself is identical — that is the paper's point:
+//! the win comes from *which checks arrive*, not from a different runtime.
+
+use crate::stats::{Race, RaceTarget, Stats};
+use crate::sync::SyncClocks;
+use bigfoot_bfj::{ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, ObjId};
+use bigfoot_shadow::{ArrayShadow, FieldGrouping, Footprint, ObjectShadow};
+use bigfoot_vc::{AccessKind, Tid, VarState};
+use std::collections::HashMap;
+
+/// Where the detector's race checks come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckSource {
+    /// Check every raw heap access (FastTrack / SlimState style); `Check`
+    /// events are ignored.
+    RawAccesses,
+    /// Consume `check(C)` events from instrumentation; raw accesses are
+    /// only counted (RedCard / SlimCard / BigFoot style).
+    CheckEvents,
+}
+
+/// How array checks are processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayEngine {
+    /// One shadow location per element, checked immediately.
+    Fine,
+    /// Per-thread footprints committed at synchronization operations, over
+    /// the adaptive compressed array shadow.
+    Footprint,
+}
+
+/// Field-proxy groupings per class (from the static proxy analysis).
+#[derive(Debug, Clone, Default)]
+pub struct ProxyTable {
+    /// `by_class[c]` is the grouping for class index `c`; missing entries
+    /// mean identity (no compression).
+    pub by_class: Vec<Option<FieldGrouping>>,
+}
+
+impl ProxyTable {
+    /// A table with no compression at all.
+    pub fn identity() -> ProxyTable {
+        ProxyTable::default()
+    }
+
+    fn grouping(&self, class: u32, fields: u32) -> FieldGrouping {
+        self.by_class
+            .get(class as usize)
+            .and_then(|g| g.clone())
+            .unwrap_or_else(|| FieldGrouping::identity(fields as usize))
+    }
+}
+
+/// How often (in sync ops) shadow space is sampled for the peak statistic.
+const SPACE_SAMPLE_PERIOD: u64 = 256;
+
+/// A configurable precise dynamic race detector over the event stream.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::{parse_program, Interp, SchedPolicy};
+/// use bigfoot_detectors::Detector;
+///
+/// let p = parse_program(
+///     "class C { field x; meth poke(v) { this.x = v; return 0; } }
+///      main {
+///          c = new C;
+///          fork t1 = c.poke(1);
+///          fork t2 = c.poke(2);
+///          join(t1); join(t2);
+///      }",
+/// )?;
+/// let mut ft = Detector::fasttrack();
+/// Interp::new(&p, SchedPolicy::default()).run(&mut ft)?;
+/// let stats = ft.finish();
+/// assert!(stats.has_races(), "unsynchronized writes race");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Detector {
+    name: String,
+    source: CheckSource,
+    engine: ArrayEngine,
+    proxies: ProxyTable,
+    clocks: SyncClocks,
+    objects: HashMap<ObjId, ObjectShadow>,
+    groupings: HashMap<ObjId, FieldGrouping>,
+    arrays_fine: HashMap<ArrId, Vec<VarState>>,
+    arrays_adaptive: HashMap<ArrId, ArrayShadow>,
+    /// Pending footprints per thread. A thread touches few arrays per
+    /// release-free span, so a small vector beats nested hashing on the
+    /// per-access hot path.
+    footprints: HashMap<Tid, Vec<(ArrId, Footprint)>>,
+    stats: Stats,
+    finished: bool,
+}
+
+impl Detector {
+    /// Creates a detector with an explicit configuration.
+    pub fn new(
+        name: impl Into<String>,
+        source: CheckSource,
+        engine: ArrayEngine,
+        proxies: ProxyTable,
+    ) -> Detector {
+        Detector {
+            name: name.into(),
+            source,
+            engine,
+            proxies,
+            clocks: SyncClocks::new(),
+            objects: HashMap::new(),
+            groupings: HashMap::new(),
+            arrays_fine: HashMap::new(),
+            arrays_adaptive: HashMap::new(),
+            footprints: HashMap::new(),
+            stats: Stats::default(),
+            finished: false,
+        }
+    }
+
+    /// The FastTrack baseline: a check on every access, fine shadow.
+    pub fn fasttrack() -> Detector {
+        Detector::new(
+            "FastTrack",
+            CheckSource::RawAccesses,
+            ArrayEngine::Fine,
+            ProxyTable::identity(),
+        )
+    }
+
+    /// RedCard: instrumented checks (redundancy-eliminated), fine arrays,
+    /// static field proxies.
+    pub fn redcard(proxies: ProxyTable) -> Detector {
+        Detector::new(
+            "RedCard",
+            CheckSource::CheckEvents,
+            ArrayEngine::Fine,
+            proxies,
+        )
+    }
+
+    /// SlimState: a check on every access, dynamic array compression.
+    pub fn slimstate() -> Detector {
+        Detector::new(
+            "SlimState",
+            CheckSource::RawAccesses,
+            ArrayEngine::Footprint,
+            ProxyTable::identity(),
+        )
+    }
+
+    /// SlimCard: RedCard instrumentation + SlimState array compression.
+    pub fn slimcard(proxies: ProxyTable) -> Detector {
+        Detector::new(
+            "SlimCard",
+            CheckSource::CheckEvents,
+            ArrayEngine::Footprint,
+            proxies,
+        )
+    }
+
+    /// DynamicBF: BigFoot instrumentation (moved/coalesced checks),
+    /// dynamic array compression, static field proxies.
+    pub fn bigfoot(proxies: ProxyTable) -> Detector {
+        Detector::new(
+            "BigFoot",
+            CheckSource::CheckEvents,
+            ArrayEngine::Footprint,
+            proxies,
+        )
+    }
+
+    /// The detector's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Read access to the running statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Finalizes the run (commits any remaining footprints, records final
+    /// space) and returns the statistics.
+    pub fn finish(mut self) -> Stats {
+        self.finalize();
+        self.stats
+    }
+
+    fn finalize(&mut self) {
+        if self.finished {
+            return;
+        }
+        let tids: Vec<Tid> = self.footprints.keys().copied().collect();
+        for t in tids {
+            self.commit_footprints(t);
+        }
+        self.sample_space();
+        self.stats.sync_ops = self.clocks.sync_ops();
+        self.finished = true;
+    }
+
+    // ---------------- shadow operations ----------------
+
+    fn field_check(&mut self, t: Tid, obj: ObjId, fields: &[u32], kind: AccessKind) {
+        self.stats.checks += 1;
+        self.stats.field_checks += 1;
+        let grouping = match self.groupings.get(&obj) {
+            Some(g) => g,
+            None => return, // unseen allocation (library object): skip
+        };
+        // Deduplicate proxy groups within one coalesced path: p.x/y/z over
+        // a single group performs a single shadow operation.
+        let mut groups: Vec<u32> = fields.iter().map(|f| grouping.group(*f)).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        let clock = self.clocks.clock(t);
+        let Some(shadow) = self.objects.get_mut(&obj) else {
+            return;
+        };
+        for g in groups {
+            self.stats.shadow_ops += 1;
+            if let Err(info) = shadow.apply(g, kind, t, clock) {
+                self.stats.report_race(Race {
+                    target: RaceTarget::Field(obj, g),
+                    info,
+                });
+            }
+        }
+    }
+
+    fn array_check(&mut self, t: Tid, arr: ArrId, range: ConcreteRange, kind: AccessKind) {
+        self.stats.checks += 1;
+        self.stats.array_checks += 1;
+        match self.engine {
+            ArrayEngine::Fine => {
+                let clock = self.clocks.clock(t);
+                let Some(states) = self.arrays_fine.get_mut(&arr) else {
+                    return;
+                };
+                for i in range.indices() {
+                    if i < 0 || i as usize >= states.len() {
+                        continue;
+                    }
+                    self.stats.shadow_ops += 1;
+                    if let Err(info) = states[i as usize].apply(kind, t, clock) {
+                        self.stats.report_race(Race {
+                            target: RaceTarget::Elems(arr, ConcreteRange::singleton(i)),
+                            info,
+                        });
+                    }
+                }
+            }
+            ArrayEngine::Footprint => {
+                self.stats.footprint_ops += 1;
+                let per_thread = self.footprints.entry(t).or_default();
+                match per_thread.iter_mut().find(|(a, _)| *a == arr) {
+                    Some((_, fp)) => fp.add(kind, range),
+                    None => {
+                        let mut fp = Footprint::new();
+                        fp.add(kind, range);
+                        per_thread.push((arr, fp));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commits all pending footprints of thread `t` against the adaptive
+    /// array shadow (called at each of `t`'s synchronization operations).
+    fn commit_footprints(&mut self, t: Tid) {
+        let Some(per_arr) = self.footprints.get_mut(&t) else {
+            return;
+        };
+        if per_arr.is_empty() {
+            return;
+        }
+        let clock = self.clocks.clock(t);
+        for (arr, fp) in per_arr.iter_mut() {
+            if fp.is_empty() {
+                continue;
+            }
+            let Some(shadow) = self.arrays_adaptive.get_mut(arr) else {
+                continue;
+            };
+            for (kind, ranges) in [
+                (AccessKind::Write, fp.writes.take()),
+                (AccessKind::Read, fp.reads.take()),
+            ] {
+                for r in ranges {
+                    let out = shadow.apply(r, kind, t, clock);
+                    self.stats.shadow_ops += out.shadow_ops;
+                    for (extent, info) in out.races {
+                        self.stats.report_race(Race {
+                            target: RaceTarget::Elems(*arr, extent),
+                            info,
+                        });
+                    }
+                }
+            }
+        }
+        // Every footprint was drained; drop the entries so the per-thread
+        // list does not grow with the number of distinct arrays ever
+        // touched (programs allocate fresh arrays per task).
+        per_arr.clear();
+    }
+
+    fn sample_space(&mut self) {
+        let mut units: u64 = 0;
+        for o in self.objects.values() {
+            units += o.space_units() as u64;
+        }
+        for a in self.arrays_fine.values() {
+            units += a.iter().map(VarState::space_units).sum::<usize>() as u64;
+        }
+        for a in self.arrays_adaptive.values() {
+            units += a.space_units() as u64;
+        }
+        for per_arr in self.footprints.values() {
+            units += per_arr
+                .iter()
+                .map(|(_, fp)| fp.space_units())
+                .sum::<usize>() as u64;
+        }
+        self.stats.observe_space(units);
+    }
+
+    fn on_sync(&mut self, ev: &Event) {
+        // Deferred checks commit *before* the synchronization updates the
+        // clocks, so they run with the clock the accesses happened under.
+        match ev {
+            Event::Acquire { t, lock } => {
+                self.commit_footprints(*t);
+                self.clocks.acquire(*t, *lock);
+            }
+            Event::Release { t, lock } => {
+                self.commit_footprints(*t);
+                self.clocks.release(*t, *lock);
+            }
+            Event::Fork { parent, child } => {
+                self.commit_footprints(*parent);
+                self.clocks.fork(*parent, *child);
+            }
+            Event::Join { parent, child } => {
+                self.commit_footprints(*parent);
+                self.clocks.join(*parent, *child);
+            }
+            Event::ThreadExit { t } => {
+                self.commit_footprints(*t);
+                self.clocks.exit(*t);
+            }
+            Event::VolatileWrite { t, obj, field } => {
+                self.commit_footprints(*t);
+                self.clocks.volatile_write(*t, *obj, *field);
+            }
+            Event::VolatileRead { t, obj, field } => {
+                self.commit_footprints(*t);
+                self.clocks.volatile_read(*t, *obj, *field);
+            }
+            _ => unreachable!("on_sync requires a sync event"),
+        }
+        if self.clocks.sync_ops().is_multiple_of(SPACE_SAMPLE_PERIOD) {
+            self.sample_space();
+        }
+    }
+}
+
+impl EventSink for Detector {
+    fn event(&mut self, ev: &Event) {
+        match ev {
+            Event::AllocObj {
+                obj, class, fields, ..
+            } => {
+                let grouping = self.proxies.grouping(*class, *fields);
+                self.objects.insert(*obj, ObjectShadow::new(grouping.groups));
+                self.groupings.insert(*obj, grouping);
+            }
+            Event::AllocArr { arr, len, .. } => match self.engine {
+                ArrayEngine::Fine => {
+                    self.arrays_fine
+                        .insert(*arr, vec![VarState::new(); *len as usize]);
+                }
+                ArrayEngine::Footprint => {
+                    self.arrays_adaptive
+                        .insert(*arr, ArrayShadow::new(*len as usize));
+                }
+            },
+            Event::Access { t, kind, loc } => {
+                match kind {
+                    AccessKind::Read => self.stats.reads += 1,
+                    AccessKind::Write => self.stats.writes += 1,
+                }
+                if self.source == CheckSource::RawAccesses {
+                    match loc {
+                        Loc::Field(obj, f) => self.field_check(*t, *obj, &[*f], *kind),
+                        Loc::Elem(arr, i) => {
+                            self.array_check(*t, *arr, ConcreteRange::singleton(*i), *kind)
+                        }
+                    }
+                }
+            }
+            Event::Check { t, paths } => {
+                if self.source == CheckSource::CheckEvents {
+                    for (kind, target) in paths {
+                        match target {
+                            CheckTarget::Fields(obj, idxs) => {
+                                self.field_check(*t, *obj, idxs, *kind)
+                            }
+                            CheckTarget::Range(arr, r) => {
+                                if !r.is_empty() {
+                                    self.array_check(*t, *arr, *r, *kind)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            sync => self.on_sync(sync),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{parse_program, Interp, SchedPolicy};
+
+    fn run(src: &str, mut det: Detector) -> Stats {
+        let p = parse_program(src).expect("parse");
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut det)
+            .expect("run");
+        det.finish()
+    }
+
+    const RACY: &str = "
+        class C { field x; meth poke(v) { this.x = v; return 0; } }
+        main {
+            c = new C;
+            fork t1 = c.poke(1);
+            fork t2 = c.poke(2);
+            join(t1); join(t2);
+        }";
+
+    const LOCKED: &str = "
+        class C { field x; meth poke(l, v) { acq(l); this.x = v; rel(l); return 0; } }
+        class L { }
+        main {
+            c = new C;
+            l = new L;
+            fork t1 = c.poke(l, 1);
+            fork t2 = c.poke(l, 2);
+            join(t1); join(t2);
+        }";
+
+    #[test]
+    fn fasttrack_finds_field_race() {
+        let stats = run(RACY, Detector::fasttrack());
+        assert!(stats.has_races());
+        assert_eq!(stats.check_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fasttrack_accepts_locked_program() {
+        let stats = run(LOCKED, Detector::fasttrack());
+        assert!(!stats.has_races(), "{:?}", stats.races);
+    }
+
+    #[test]
+    fn slimstate_agrees_with_fasttrack_on_fields() {
+        assert!(run(RACY, Detector::slimstate()).has_races());
+        assert!(!run(LOCKED, Detector::slimstate()).has_races());
+    }
+
+    #[test]
+    fn array_race_found_by_raw_detectors() {
+        let src = "
+            class W { meth fill(a, v) {
+                for (i = 0; i < a.length; i = i + 1) { a[i] = v; }
+                return 0; } }
+            main {
+                w = new W;
+                a = new_array(64);
+                fork t1 = w.fill(a, 1);
+                fork t2 = w.fill(a, 2);
+                join(t1); join(t2);
+            }";
+        let ft = run(src, Detector::fasttrack());
+        assert!(ft.has_races());
+        let ss = run(src, Detector::slimstate());
+        assert!(ss.has_races());
+        // SlimState commits whole-array footprints: far fewer shadow ops.
+        assert!(ss.shadow_ops < ft.shadow_ops / 4, "ss={} ft={}", ss.shadow_ops, ft.shadow_ops);
+    }
+
+    #[test]
+    fn race_free_array_split_work() {
+        let src = "
+            class W { meth fill(a, lo, hi, v) {
+                for (i = lo; i < hi; i = i + 1) { a[i] = v; }
+                return 0; } }
+            main {
+                w = new W;
+                a = new_array(64);
+                fork t1 = w.fill(a, 0, 32, 1);
+                fork t2 = w.fill(a, 32, 64, 2);
+                join(t1); join(t2);
+            }";
+        for det in [Detector::fasttrack(), Detector::slimstate()] {
+            let stats = run(src, det);
+            assert!(!stats.has_races(), "{:?}", stats.races);
+        }
+    }
+
+    #[test]
+    fn check_events_drive_instrumented_detectors() {
+        // A hand-instrumented program: the coalesced check covers the
+        // whole traversal, as BigFoot's static analysis would emit.
+        let src = "
+            main {
+                a = new_array(100);
+                for (i = 0; i < 100; i = i + 1) { a[i] = i; }
+                check(w: a[0..100]);
+            }";
+        let stats = run(src, Detector::bigfoot(ProxyTable::identity()));
+        assert_eq!(stats.checks, 1);
+        assert_eq!(stats.shadow_ops, 1, "single coalesced shadow op");
+        assert!((stats.check_ratio() - 0.01).abs() < 1e-9);
+        assert!(!stats.has_races());
+    }
+
+    #[test]
+    fn coalesced_field_check_single_op_with_proxies() {
+        let src = "
+            class P { field x; field y; field z; }
+            main {
+                p = new P;
+                p.x = 1; p.y = 2; p.z = 3;
+                check(w: p.x/y/z);
+            }";
+        // Proxy table: class 0 groups all three fields together.
+        let proxies = ProxyTable {
+            by_class: vec![Some(bigfoot_shadow::FieldGrouping::from_assignment(vec![
+                0, 0, 0,
+            ]))],
+        };
+        let stats = run(src, Detector::bigfoot(proxies));
+        assert_eq!(stats.checks, 1);
+        assert_eq!(stats.shadow_ops, 1);
+        // Without proxies the same check needs three shadow ops.
+        let stats = run(src, Detector::bigfoot(ProxyTable::identity()));
+        assert_eq!(stats.shadow_ops, 3);
+    }
+
+    #[test]
+    fn deferred_checks_still_find_races() {
+        // Both threads write the whole array with only a terminal check;
+        // footprints commit at thread exit and the race is caught.
+        let src = "
+            class W { meth fill(a, v) {
+                for (i = 0; i < a.length; i = i + 1) { a[i] = v; }
+                check(w: a[0..a.length]);
+                return 0; } }
+            main {
+                w = new W;
+                a = new_array(32);
+                fork t1 = w.fill(a, 1);
+                fork t2 = w.fill(a, 2);
+                join(t1); join(t2);
+            }";
+        let stats = run(src, Detector::bigfoot(ProxyTable::identity()));
+        assert!(stats.has_races());
+    }
+
+    #[test]
+    fn space_accounting_reflects_compression() {
+        let src = "
+            main {
+                a = new_array(1000);
+                for (i = 0; i < 1000; i = i + 1) { a[i] = i; }
+                check(w: a[0..1000]);
+            }";
+        let bf = run(src, Detector::bigfoot(ProxyTable::identity()));
+        let ft = run(src, Detector::fasttrack());
+        assert!(
+            bf.shadow_space_end * 10 < ft.shadow_space_end,
+            "bf={} ft={}",
+            bf.shadow_space_end,
+            ft.shadow_space_end
+        );
+    }
+
+    #[test]
+    fn sync_ops_counted() {
+        let stats = run(LOCKED, Detector::fasttrack());
+        // 2 forks + 2 joins + 2 acq + 2 rel + 3 exits
+        assert_eq!(stats.sync_ops, 11);
+    }
+}

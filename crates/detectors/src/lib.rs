@@ -1,0 +1,20 @@
+//! Dynamic race detectors for the BigFoot reproduction.
+//!
+//! Implements every detector from the paper's evaluation (Fig. 2) over the
+//! BFJ interpreter's event stream — FastTrack, RedCard, SlimState,
+//! SlimCard, and BigFoot's run time (DynamicBF) — as configurations of one
+//! [`Detector`] engine, plus the dynamic precise-checks verifier of §5.
+//!
+//! See [`Detector`] for the configuration matrix and usage.
+
+mod detector;
+mod djit;
+mod precision;
+mod stats;
+mod sync;
+
+pub use detector::{ArrayEngine, CheckSource, Detector, ProxyTable};
+pub use djit::{DjitDetector, DjitState};
+pub use precision::{verify_precise_checks, PrecisionError};
+pub use stats::{CoarseTarget, Race, RaceTarget, Stats};
+pub use sync::SyncClocks;

@@ -1,0 +1,408 @@
+//! The dynamic precise-checks verifier.
+//!
+//! §5 of the paper: *"we verified [address precision] via an additional
+//! dynamic analysis that checks that each observed execution trace
+//! performs precise checks (in the sense of Section 2)"*. This module is
+//! that analysis: given a recorded trace it checks that
+//!
+//! * **coverage** — every access is covered by some check by the same
+//!   thread on the same location: the check either precedes the access
+//!   with no intervening release, or succeeds it with no intervening
+//!   acquire; a write check covers reads and writes, a read check covers
+//!   only reads (§5);
+//! * **legitimacy** — every check is legitimate for some access by the
+//!   same thread on the same location: the check either precedes the
+//!   access with no intervening acquire, or succeeds it with no
+//!   intervening release; a write check is legitimate only for a write
+//!   access.
+//!
+//! Together these are exactly the conditions under which a trace "has
+//! precise checks": every data race induces a check race and every check
+//! race reflects a data race.
+
+use bigfoot_bfj::{CheckTarget, Event, Loc};
+use bigfoot_vc::{AccessKind, Tid};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One per-thread item relevant to precision checking.
+#[derive(Debug, Clone)]
+enum Item {
+    Access(Loc, AccessKind),
+    Check(Vec<(AccessKind, CheckTarget)>),
+    /// Acquire-like boundary (acquire, join).
+    Acq,
+    /// Release-like boundary (release, fork).
+    Rel,
+}
+
+/// A violation of precise-check placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrecisionError {
+    /// An access had no covering check.
+    UncoveredAccess {
+        /// The accessing thread.
+        t: Tid,
+        /// The location.
+        loc: Loc,
+        /// Read or write.
+        kind: AccessKind,
+    },
+    /// A check was not legitimate for any access.
+    IllegitimateCheck {
+        /// The checking thread.
+        t: Tid,
+        /// Rendered description of the offending path.
+        path: String,
+    },
+}
+
+impl fmt::Display for PrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecisionError::UncoveredAccess { t, loc, kind } => {
+                write!(f, "{kind} of {loc} by {t} has no covering check")
+            }
+            PrecisionError::IllegitimateCheck { t, path } => {
+                write!(f, "check of {path} by {t} is not legitimate for any access")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrecisionError {}
+
+/// True if the check target includes the location.
+fn target_covers_loc(target: &CheckTarget, loc: &Loc) -> bool {
+    match (target, loc) {
+        (CheckTarget::Fields(o1, fs), Loc::Field(o2, f)) => o1 == o2 && fs.contains(f),
+        (CheckTarget::Range(a1, r), Loc::Elem(a2, i)) => a1 == a2 && r.contains(*i),
+        _ => false,
+    }
+}
+
+/// Verifies that a recorded trace has precise checks.
+///
+/// The cost is quadratic in each thread's span lengths, which is fine for
+/// the test programs this verifier runs on.
+///
+/// # Errors
+///
+/// Returns the first [`PrecisionError`] found.
+pub fn verify_precise_checks(events: &[Event]) -> Result<(), PrecisionError> {
+    let mut per_thread: HashMap<Tid, Vec<Item>> = HashMap::new();
+    for ev in events {
+        match ev {
+            Event::Access { t, kind, loc } => {
+                per_thread.entry(*t).or_default().push(Item::Access(*loc, *kind));
+            }
+            Event::Check { t, paths } => {
+                per_thread.entry(*t).or_default().push(Item::Check(paths.clone()));
+            }
+            Event::Acquire { t, .. } => per_thread.entry(*t).or_default().push(Item::Acq),
+            Event::Release { t, .. } => per_thread.entry(*t).or_default().push(Item::Rel),
+            // Volatile accesses synchronize: a volatile write is
+            // release-like, a volatile read acquire-like (§5).
+            Event::VolatileWrite { t, .. } => per_thread.entry(*t).or_default().push(Item::Rel),
+            Event::VolatileRead { t, .. } => per_thread.entry(*t).or_default().push(Item::Acq),
+            // Fork publishes like a release; join observes like an acquire.
+            Event::Fork { parent, .. } => {
+                per_thread.entry(*parent).or_default().push(Item::Rel)
+            }
+            Event::Join { parent, .. } => per_thread.entry(*parent).or_default().push(Item::Acq),
+            Event::ThreadExit { .. } | Event::AllocObj { .. } | Event::AllocArr { .. } => {}
+        }
+    }
+    for (t, items) in &per_thread {
+        verify_thread(*t, items)?;
+    }
+    Ok(())
+}
+
+fn verify_thread(t: Tid, items: &[Item]) -> Result<(), PrecisionError> {
+    // Coverage of accesses.
+    for (i, item) in items.iter().enumerate() {
+        let Item::Access(loc, kind) = item else {
+            continue;
+        };
+        let mut covered = false;
+        // Backward: checks preceding the access with no intervening release.
+        for prev in items[..i].iter().rev() {
+            match prev {
+                Item::Rel => break,
+                Item::Check(paths)
+                    if paths
+                        .iter()
+                        .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc))
+                    => {
+                        covered = true;
+                        break;
+                    }
+                _ => {}
+            }
+        }
+        // Forward: checks succeeding the access with no intervening acquire.
+        if !covered {
+            for next in &items[i + 1..] {
+                match next {
+                    Item::Acq => break,
+                    Item::Check(paths)
+                        if paths
+                            .iter()
+                            .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc))
+                        => {
+                            covered = true;
+                            break;
+                        }
+                    _ => {}
+                }
+            }
+        }
+        if !covered {
+            return Err(PrecisionError::UncoveredAccess {
+                t,
+                loc: *loc,
+                kind: *kind,
+            });
+        }
+    }
+    // Legitimacy of checks.
+    for (i, item) in items.iter().enumerate() {
+        let Item::Check(paths) = item else {
+            continue;
+        };
+        for (ck, tgt) in paths {
+            let legitimate_for = |loc: &Loc, ak: AccessKind| -> bool {
+                // A write check is legitimate only for a write access; a
+                // read check for either.
+                let kind_ok = match ck {
+                    AccessKind::Write => ak == AccessKind::Write,
+                    AccessKind::Read => true,
+                };
+                kind_ok && target_covers_loc(tgt, loc)
+            };
+            let mut legit = check_covers_nothing(tgt);
+            // Backward: accesses the check succeeds with no intervening
+            // release.
+            if !legit {
+                for prev in items[..i].iter().rev() {
+                    match prev {
+                        Item::Rel => break,
+                        Item::Access(loc, ak)
+                            if legitimate_for(loc, *ak) => {
+                                legit = true;
+                                break;
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            // Forward: accesses the check precedes with no intervening
+            // acquire.
+            if !legit {
+                for next in &items[i + 1..] {
+                    match next {
+                        Item::Acq => break,
+                        Item::Access(loc, ak)
+                            if legitimate_for(loc, *ak) => {
+                                legit = true;
+                                break;
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            if !legit {
+                return Err(PrecisionError::IllegitimateCheck {
+                    t,
+                    path: format!("{tgt:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Empty ranges check nothing and are vacuously legitimate.
+fn check_covers_nothing(tgt: &CheckTarget) -> bool {
+    match tgt {
+        CheckTarget::Fields(_, fs) => fs.is_empty(),
+        CheckTarget::Range(_, r) => r.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{parse_program, Interp, RecordingSink, SchedPolicy};
+
+    fn trace(src: &str) -> Vec<Event> {
+        let p = parse_program(src).unwrap();
+        let mut sink = RecordingSink::default();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut sink)
+            .unwrap();
+        sink.events
+    }
+
+    #[test]
+    fn per_access_checks_are_precise() {
+        let events = trace(
+            "class C { field f; }
+             main {
+                 c = new C;
+                 check(w: c.f);
+                 c.f = 1;
+                 x = c.f;
+                 check(r: c.f);
+             }",
+        );
+        verify_precise_checks(&events).unwrap();
+    }
+
+    #[test]
+    fn missing_check_is_uncovered() {
+        let events = trace(
+            "class C { field f; }
+             main { c = new C; c.f = 1; }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        assert!(matches!(err, PrecisionError::UncoveredAccess { .. }));
+    }
+
+    #[test]
+    fn read_check_does_not_cover_write() {
+        let events = trace(
+            "class C { field f; }
+             main { c = new C; check(r: c.f); c.f = 1; }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        assert!(matches!(err, PrecisionError::UncoveredAccess { .. }));
+    }
+
+    #[test]
+    fn write_check_covers_prior_read_in_span() {
+        // Fig. 1: the read check in a read-modify-write is redundant with
+        // the write check.
+        let events = trace(
+            "class C { field f; }
+             main { c = new C; x = c.f; c.f = x + 1; check(w: c.f); }",
+        );
+        verify_precise_checks(&events).unwrap();
+    }
+
+    #[test]
+    fn check_after_release_is_a_false_alarm_risk() {
+        // The write check placed after the release is not legitimate.
+        let events = trace(
+            "class C { field f; }
+             class L { }
+             main {
+                 c = new C; l = new L;
+                 acq(l);
+                 c.f = 1;
+                 rel(l);
+                 check(w: c.f);
+             }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        assert!(matches!(err, PrecisionError::IllegitimateCheck { .. }));
+    }
+
+    #[test]
+    fn figure3_single_check_covers_three_accesses() {
+        // The paper's Fig. 3: one check suffices for all three reads of
+        // b.f — it covers the locked read at line 2 (forward, no
+        // intervening acquire before the check), the unlocked read at
+        // line 4 (backward), and the second locked read at line 7
+        // (forward across the acquire? no — the *check precedes* that
+        // access with no intervening release).
+        let events = trace(
+            "class C { field f; }
+             class L { }
+             main {
+                 c = new C; l = new L;
+                 acq(l);
+                 x = c.f;
+                 rel(l);
+                 y = c.f;
+                 check(r: c.f);
+                 acq(l);
+                 z = c.f;
+                 rel(l);
+             }",
+        );
+        verify_precise_checks(&events).unwrap();
+    }
+
+    #[test]
+    fn figure4b_check_after_release_is_illegitimate() {
+        // Fig. 4(b): a check outside the critical section would produce a
+        // check race with no corresponding data race.
+        let events = trace(
+            "class C { field f; }
+             class L { }
+             main {
+                 c = new C; l = new L;
+                 acq(l);
+                 c.f = 1;
+                 check(w: c.f);
+                 rel(l);
+                 check(w: c.f);
+             }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        assert!(matches!(err, PrecisionError::IllegitimateCheck { .. }));
+    }
+
+    #[test]
+    fn deferred_array_check_covers_loop_accesses() {
+        let events = trace(
+            "main {
+                 a = new_array(10);
+                 for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+                 check(w: a[0..10]);
+             }",
+        );
+        verify_precise_checks(&events).unwrap();
+    }
+
+    #[test]
+    fn partial_range_check_leaves_rest_uncovered() {
+        let events = trace(
+            "main {
+                 a = new_array(10);
+                 for (i = 0; i < 10; i = i + 1) { a[i] = i; }
+                 check(w: a[0..5]);
+             }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        match err {
+            PrecisionError::UncoveredAccess { loc, .. } => {
+                assert_eq!(format!("{loc}"), "a0[5]");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn check_with_no_matching_access_is_illegitimate() {
+        let events = trace(
+            "class C { field f; field g; }
+             main { c = new C; c.f = 1; check(w: c.f, w: c.g); }",
+        );
+        let err = verify_precise_checks(&events).unwrap_err();
+        assert!(matches!(err, PrecisionError::IllegitimateCheck { .. }));
+    }
+
+    #[test]
+    fn empty_range_checks_are_vacuous() {
+        let events = trace(
+            "main {
+                 a = new_array(10);
+                 check(r: a[5..5]);
+             }",
+        );
+        verify_precise_checks(&events).unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-run statistics and race reports.
+//!
+//! These counters drive the paper's quantitative results: the check ratio
+//! (Fig. 8) is `checks / accesses`, the operation-count cost model behind
+//! Table 1 combines `shadow_ops`, `footprint_ops`, and `sync_ops`, and
+//! `shadow_space` backs Table 2.
+
+use bigfoot_bfj::{ArrId, ConcreteRange, ObjId};
+use bigfoot_vc::RaceInfo;
+use std::collections::HashSet;
+
+/// The memory a detected race fell on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceTarget {
+    /// A field group of an object (field index for uncompressed shadow,
+    /// group index under proxy compression).
+    Field(ObjId, u32),
+    /// A range of array elements (a single element in fine-grained mode,
+    /// a wider extent under compression).
+    Elems(ArrId, ConcreteRange),
+}
+
+impl RaceTarget {
+    /// The containing object/array, for cross-detector comparisons.
+    pub fn coarse(&self) -> CoarseTarget {
+        match self {
+            RaceTarget::Field(o, _) => CoarseTarget::Obj(*o),
+            RaceTarget::Elems(a, _) => CoarseTarget::Arr(*a),
+        }
+    }
+}
+
+impl std::fmt::Display for RaceTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceTarget::Field(o, g) => write!(f, "{o}.group{g}"),
+            RaceTarget::Elems(a, r) => write!(f, "{a}[{r}]"),
+        }
+    }
+}
+
+/// Object/array-granularity race location (used to compare detectors,
+/// since compressed detectors report ranges rather than single elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CoarseTarget {
+    /// An object.
+    Obj(ObjId),
+    /// An array.
+    Arr(ArrId),
+}
+
+/// One detected race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Where.
+    pub target: RaceTarget,
+    /// Who and how.
+    pub info: RaceInfo,
+}
+
+/// Counters accumulated over one monitored run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Heap read accesses observed.
+    pub reads: u64,
+    /// Heap write accesses observed.
+    pub writes: u64,
+    /// Check operations processed. A coalesced path (multi-field group or
+    /// array range) counts once — this is the numerator of the paper's
+    /// check ratio.
+    pub checks: u64,
+    /// Checks whose target was an array path.
+    pub array_checks: u64,
+    /// Checks whose target was a field path.
+    pub field_checks: u64,
+    /// Shadow-location check-and-update operations.
+    pub shadow_ops: u64,
+    /// Footprint insertions (deferred-check bookkeeping).
+    pub footprint_ops: u64,
+    /// Synchronization operations processed.
+    pub sync_ops: u64,
+    /// Deduplicated races.
+    pub races: Vec<Race>,
+    /// Peak shadow space observed, in clock-entry units.
+    pub shadow_space_peak: u64,
+    /// Shadow space at end of run, in clock-entry units.
+    pub shadow_space_end: u64,
+    /// Coarse race locations already reported (for deduplication).
+    seen_races: HashSet<(CoarseTarget, u32)>,
+}
+
+impl Stats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// The paper's check ratio: checks per access (1.0 for FastTrack).
+    pub fn check_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.checks as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Records a race, deduplicating per (coarse location, group/element
+    /// bucket) as FastTrack reports at most one race per location.
+    pub fn report_race(&mut self, race: Race) {
+        let key = match &race.target {
+            RaceTarget::Field(o, g) => (CoarseTarget::Obj(*o), *g),
+            // Bucket array races by their starting element.
+            RaceTarget::Elems(a, r) => (CoarseTarget::Arr(*a), r.lo.rem_euclid(i64::MAX) as u32),
+        };
+        if self.seen_races.insert(key) {
+            self.races.push(race);
+        }
+    }
+
+    /// The set of racy objects/arrays (for cross-detector comparison).
+    pub fn racy_locations(&self) -> std::collections::BTreeSet<CoarseTarget> {
+        self.races.iter().map(|r| r.target.coarse()).collect()
+    }
+
+    /// True if any race was reported.
+    pub fn has_races(&self) -> bool {
+        !self.races.is_empty()
+    }
+
+    /// Updates the space peak with a new observation.
+    pub fn observe_space(&mut self, units: u64) {
+        self.shadow_space_end = units;
+        if units > self.shadow_space_peak {
+            self.shadow_space_peak = units;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_vc::{AccessKind, Tid};
+
+    fn race_on(t: RaceTarget) -> Race {
+        Race {
+            target: t,
+            info: RaceInfo {
+                prior: AccessKind::Write,
+                prior_tid: Tid(0),
+                current: AccessKind::Write,
+                current_tid: Tid(1),
+            },
+        }
+    }
+
+    #[test]
+    fn races_deduplicate_per_location() {
+        let mut s = Stats::default();
+        s.report_race(race_on(RaceTarget::Field(ObjId(1), 0)));
+        s.report_race(race_on(RaceTarget::Field(ObjId(1), 0)));
+        s.report_race(race_on(RaceTarget::Field(ObjId(1), 1)));
+        s.report_race(race_on(RaceTarget::Field(ObjId(2), 0)));
+        assert_eq!(s.races.len(), 3);
+        assert_eq!(s.racy_locations().len(), 2);
+    }
+
+    #[test]
+    fn check_ratio_computation() {
+        let mut s = Stats::default();
+        s.reads = 75;
+        s.writes = 25;
+        s.checks = 43;
+        assert!((s.check_ratio() - 0.43).abs() < 1e-9);
+    }
+
+    #[test]
+    fn space_peak_tracks_maximum() {
+        let mut s = Stats::default();
+        s.observe_space(10);
+        s.observe_space(100);
+        s.observe_space(50);
+        assert_eq!(s.shadow_space_peak, 100);
+        assert_eq!(s.shadow_space_end, 50);
+    }
+}

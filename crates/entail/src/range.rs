@@ -1,0 +1,558 @@
+//! Symbolic strided-range reasoning: subsumption, union coverage, and the
+//! §4 coalescing step.
+//!
+//! Exactness matters in two different ways here:
+//!
+//! * [`covered_by_union`] may *under*-approximate (answering "not covered"
+//!   merely places an extra check), and
+//! * [`coalesce`] must be *exact* — the coalesced range replaces the
+//!   original paths in an emitted `check(C)`, so an over-approximation
+//!   would check unaccessed locations and could raise false alarms, while
+//!   an under-approximation could miss races. Every merge rule below
+//!   preserves the exact index set, mirroring the paper's combinatorial
+//!   search over bounds and strides.
+
+use crate::kb::Kb;
+use crate::lin::Lin;
+use bigfoot_bfj::{ConcreteRange, Range};
+
+/// A strided range with symbolic (linear) bounds and a constant stride.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymRange {
+    /// Inclusive lower bound.
+    pub lo: Lin,
+    /// Exclusive upper bound.
+    pub hi: Lin,
+    /// Positive stride.
+    pub step: i64,
+}
+
+impl SymRange {
+    /// The singleton range `{idx}`.
+    pub fn singleton(idx: Lin) -> SymRange {
+        let hi = idx.offset(1);
+        SymRange {
+            lo: idx,
+            hi,
+            step: 1,
+        }
+    }
+
+    /// Builds from a syntactic [`Range`], normalizing the bounds.
+    pub fn from_ast(r: &Range) -> Option<SymRange> {
+        Some(SymRange {
+            lo: crate::lin::linearize(&r.lo)?,
+            hi: crate::lin::linearize(&r.hi)?,
+            step: r.step.max(1),
+        })
+    }
+
+    /// Converts back to a syntactic [`Range`].
+    pub fn to_ast(&self) -> Range {
+        Range {
+            lo: self.lo.to_expr(),
+            hi: self.hi.to_expr(),
+            step: self.step,
+        }
+    }
+
+    /// Evaluates against constant bounds, if both are constants.
+    pub fn as_concrete(&self) -> Option<ConcreteRange> {
+        Some(ConcreteRange {
+            lo: self.lo.as_const()?,
+            hi: self.hi.as_const()?,
+            step: self.step,
+        })
+    }
+
+    /// True if `self` denotes exactly one statically-known singleton form
+    /// `x..x+1:1`.
+    pub fn is_singleton_shape(&self) -> bool {
+        self.step == 1 && self.hi.sub(&self.lo).as_const() == Some(1)
+    }
+
+    /// True if the range is provably empty under `kb`.
+    pub fn provably_empty(&self, kb: &mut Kb) -> bool {
+        kb.proves_le(&self.hi, &self.lo)
+    }
+
+    /// Applies a substitution to both bounds (used by history renaming).
+    pub fn map_bounds(&self, f: impl Fn(&Lin) -> Lin) -> SymRange {
+        SymRange {
+            lo: f(&self.lo),
+            hi: f(&self.hi),
+            step: self.step,
+        }
+    }
+}
+
+impl std::fmt::Display for SymRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_singleton_shape() {
+            write!(f, "{}", self.lo)
+        } else if self.step == 1 {
+            write!(f, "{}..{}", self.lo, self.hi)
+        } else {
+            write!(f, "{}..{}:{}", self.lo, self.hi, self.step)
+        }
+    }
+}
+
+/// True if every index of `small` is provably an index of `big`.
+pub fn subsumes(kb: &mut Kb, big: &SymRange, small: &SymRange) -> bool {
+    if small.provably_empty(kb) {
+        return true;
+    }
+    let bounds_ok =
+        kb.proves_le(&big.lo, &small.lo) && kb.proves_le(&small.hi, &big.hi);
+    if !bounds_ok {
+        return false;
+    }
+    if big.step == 1 {
+        return true;
+    }
+    // A singleton only needs its one index on big's grid.
+    if small.is_singleton_shape() {
+        return kb.proves_cong(&small.lo.sub(&big.lo), big.step);
+    }
+    // Grid compatibility: small's stride must be a multiple of big's, and
+    // the offsets must be congruent.
+    small.step % big.step == 0 && kb.proves_cong(&small.lo.sub(&big.lo), big.step)
+}
+
+/// True if every index of `query` is provably covered by the union of
+/// `facts`.
+///
+/// Uses single-range subsumption first, then a greedy symbolic chain that
+/// walks a "covered up to" frontier across the facts. Sound but
+/// incomplete: a `false` answer merely forces an extra check.
+pub fn covered_by_union(kb: &mut Kb, query: &SymRange, facts: &[SymRange]) -> bool {
+    if query.provably_empty(kb) {
+        return true;
+    }
+    // Cheap pass first: a single fact may already subsume the query.
+    for f in facts {
+        if subsumes(kb, f, query) {
+            return true;
+        }
+    }
+    // Exact pairwise merging: a block plus its adjacent singleton fuse
+    // into one range, which keeps the greedy frontier below from
+    // committing to a poor witness.
+    let facts = merge_all(kb, facts);
+    let facts = &facts[..];
+    for f in facts {
+        if subsumes(kb, f, query) {
+            return true;
+        }
+    }
+    // Greedy frontier chain.
+    let mut pos = query.lo.clone();
+    let mut used = vec![false; facts.len()];
+    for _round in 0..facts.len() {
+        if kb.proves_le(&query.hi, &pos) {
+            return true;
+        }
+        let mut advanced = false;
+        for (i, f) in facts.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            // Candidate 1: f is a contiguous or stride-compatible block
+            // starting at or before the frontier.
+            let grid_ok = match f.step {
+                1 => query.step == 1,
+                k => {
+                    query.step == k
+                        && kb.proves_cong(&pos.sub(&f.lo), k)
+                        && kb.proves_cong(&f.lo.sub(&query.lo), k)
+                }
+            };
+            if grid_ok && kb.proves_le(&f.lo, &pos) && kb.proves_le(&pos, &f.hi) {
+                // Frontier advances (possibly weakly — a fact whose range
+                // may be empty still moves the proof along, e.g. a[0..i')
+                // with i' possibly 0). For strided facts whose last grid
+                // point is provably hi-1, the next *uncovered* grid point
+                // is hi-1+k, not hi.
+                pos = if f.step > 1
+                    && kb.proves_cong(&f.hi.offset(-1).sub(&f.lo), f.step)
+                {
+                    f.hi.offset(f.step - 1)
+                } else {
+                    f.hi.clone()
+                };
+                used[i] = true;
+                advanced = true;
+                break;
+            }
+            // Candidate 2: f is a singleton exactly at the frontier, on the
+            // query grid.
+            if f.is_singleton_shape()
+                && kb.proves_eq(&f.lo, &pos)
+                && kb.proves_cong(&pos.sub(&query.lo), query.step)
+            {
+                pos = pos.offset(query.step);
+                used[i] = true;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    kb.proves_le(&query.hi, &pos)
+}
+
+/// Merges ranges pairwise (exactly) until no further merge applies.
+fn merge_all(kb: &mut Kb, facts: &[SymRange]) -> Vec<SymRange> {
+    let mut work: Vec<SymRange> = facts.to_vec();
+    loop {
+        let mut merged = None;
+        'outer: for i in 0..work.len() {
+            for j in (i + 1)..work.len() {
+                if let Some(m) = merge_pair(kb, &work[i], &work[j]) {
+                    merged = Some((i, j, m));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, m)) => {
+                work.remove(j);
+                work.remove(i);
+                work.push(m);
+            }
+            None => return work,
+        }
+    }
+}
+
+/// Attempts to merge two ranges into one covering *exactly* their union.
+fn merge_pair(kb: &mut Kb, a: &SymRange, b: &SymRange) -> Option<SymRange> {
+    // Drop provably-empty sides.
+    if a.provably_empty(kb) {
+        return Some(b.clone());
+    }
+    if b.provably_empty(kb) {
+        return Some(a.clone());
+    }
+    // Subsumption (exact: union = bigger range).
+    if subsumes(kb, a, b) {
+        return Some(a.clone());
+    }
+    if subsumes(kb, b, a) {
+        return Some(b.clone());
+    }
+    // Order: try both directions for asymmetric rules.
+    merge_directed(kb, a, b).or_else(|| merge_directed(kb, b, a))
+}
+
+/// Merge rules assuming `a` comes "first".
+fn merge_directed(kb: &mut Kb, a: &SymRange, b: &SymRange) -> Option<SymRange> {
+    // Contiguous adjacency / overlap: [lo1,hi1) ∪ [lo2,hi2) with
+    // lo1 <= lo2 <= hi1 <= hi2 is exactly [lo1,hi2).
+    if a.step == 1 && b.step == 1 {
+        if kb.proves_le(&a.lo, &b.lo)
+            && kb.proves_le(&b.lo, &a.hi)
+            && kb.proves_le(&a.hi, &b.hi)
+        {
+            return Some(SymRange {
+                lo: a.lo.clone(),
+                hi: b.hi.clone(),
+                step: 1,
+            });
+        }
+        return None;
+    }
+    // Strided extension by a singleton at the exact next grid point:
+    // [lo..hi:k] with hi ≡ lo (mod k)? The next grid point after the last
+    // covered index is `hi` itself only when hi is on the grid; we require
+    // b = {x} with x == a.hi and x ≡ a.lo (mod k). Then the union is
+    // exactly [lo .. x+1 : k] — its indices are a's plus x.
+    if a.step > 1 && b.is_singleton_shape() {
+        let k = a.step;
+        if kb.proves_eq(&b.lo, &a.hi)
+            && kb.proves_cong(&b.lo.sub(&a.lo), k)
+            && kb.proves_le(&a.lo, &b.lo)
+        {
+            return Some(SymRange {
+                lo: a.lo.clone(),
+                hi: b.lo.offset(1),
+                step: k,
+            });
+        }
+    }
+    // Same-stride adjacency on a shared grid: [lo1..m:k] ∪ [m..hi2:k] with
+    // m ≡ lo1 (mod k) is exactly [lo1..hi2:k].
+    if a.step == b.step && a.step > 1 {
+        let k = a.step;
+        if kb.proves_eq(&a.hi, &b.lo)
+            && kb.proves_cong(&b.lo.sub(&a.lo), k)
+            && kb.proves_le(&a.lo, &b.lo)
+            && kb.proves_le(&b.lo, &b.hi)
+        {
+            return Some(SymRange {
+                lo: a.lo.clone(),
+                hi: b.hi.clone(),
+                step: k,
+            });
+        }
+    }
+    None
+}
+
+/// Coalesces a set of ranges into a single range covering *exactly* their
+/// union, per the paper's §4 post-analysis coalescing. Returns `None` when
+/// no exact single-range form is found (the caller then keeps the original
+/// paths).
+pub fn coalesce(kb: &mut Kb, ranges: &[SymRange]) -> Option<SymRange> {
+    match ranges.len() {
+        0 => return None,
+        1 => return Some(ranges[0].clone()),
+        _ => {}
+    }
+    // Residue-class fusion: exactly k ranges of stride k whose lower bounds
+    // are lo, lo+1, …, lo+k-1 and whose upper bounds coincide fuse into the
+    // contiguous range [lo, hi).
+    if let Some(fused) = fuse_residues(kb, ranges) {
+        return Some(fused);
+    }
+    // Pairwise merging to a fixed point.
+    let mut work: Vec<SymRange> = ranges.to_vec();
+    while work.len() > 1 {
+        let mut merged = None;
+        'outer: for i in 0..work.len() {
+            for j in (i + 1)..work.len() {
+                if let Some(m) = merge_pair(kb, &work[i], &work[j]) {
+                    merged = Some((i, j, m));
+                    break 'outer;
+                }
+            }
+        }
+        let (i, j, m) = merged?;
+        work.remove(j);
+        work.remove(i);
+        work.push(m);
+    }
+    work.pop()
+}
+
+fn fuse_residues(kb: &mut Kb, ranges: &[SymRange]) -> Option<SymRange> {
+    let k = ranges.first()?.step;
+    if k <= 1 || ranges.len() != k as usize {
+        return None;
+    }
+    if !ranges.iter().all(|r| r.step == k) {
+        return None;
+    }
+    // Find the base range (smallest lo): one whose lo all others offset.
+    for base in ranges {
+        let mut offsets_seen = vec![false; k as usize];
+        let mut ok = true;
+        for r in ranges {
+            let d = r.lo.sub(&base.lo).as_const();
+            match d {
+                Some(d) if d >= 0 && d < k => {
+                    if offsets_seen[d as usize] {
+                        ok = false;
+                        break;
+                    }
+                    offsets_seen[d as usize] = true;
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || !offsets_seen.iter().all(|&b| b) {
+            continue;
+        }
+        // All upper bounds must provably coincide for exactness: the union
+        // of [lo+d .. hi : k] over d in 0..k is [lo .. hi) exactly when
+        // each class is cut at the same hi.
+        let hi = &base.hi;
+        let his_equal = {
+            let mut all = true;
+            for r in ranges {
+                let rhi = r.hi.clone();
+                if !kb.proves_eq(&rhi, hi) {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        };
+        if his_equal {
+            return Some(SymRange {
+                lo: base.lo.clone(),
+                hi: base.hi.clone(),
+                step: 1,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lin::linearize;
+    use bigfoot_bfj::{Expr, StmtKind};
+
+    fn e(src: &str) -> Expr {
+        let p = bigfoot_bfj::parse_program(&format!("main {{ r$r = {src}; }}")).unwrap();
+        match &p.main.stmts[0].kind {
+            StmtKind::Assign { e, .. } => e.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    fn lin(src: &str) -> Lin {
+        linearize(&e(src)).unwrap()
+    }
+
+    fn rng(lo: &str, hi: &str, step: i64) -> SymRange {
+        SymRange {
+            lo: lin(lo),
+            hi: lin(hi),
+            step,
+        }
+    }
+
+    fn kb_with(facts: &[&str]) -> Kb {
+        let mut kb = Kb::new();
+        for f in facts {
+            kb.assume(&e(f));
+        }
+        kb
+    }
+
+    #[test]
+    fn contiguous_subsumption() {
+        let mut kb = kb_with(&["lo >= 0", "hi <= n"]);
+        assert!(subsumes(&mut kb, &rng("0", "n", 1), &rng("lo", "hi", 1)));
+        assert!(!subsumes(&mut kb, &rng("lo", "hi", 1), &rng("0", "n", 1)));
+    }
+
+    #[test]
+    fn strided_subsumption_needs_alignment() {
+        let mut kb = Kb::new();
+        // evens within evens: ok
+        assert!(subsumes(&mut kb, &rng("0", "100", 2), &rng("2", "50", 2)));
+        // odds within evens: no
+        assert!(!subsumes(&mut kb, &rng("0", "100", 2), &rng("1", "50", 2)));
+        // stride 4 within stride 2, aligned: ok
+        assert!(subsumes(&mut kb, &rng("0", "100", 2), &rng("4", "60", 4)));
+        // stride 3 within stride 2: no
+        assert!(!subsumes(&mut kb, &rng("0", "100", 2), &rng("0", "60", 3)));
+    }
+
+    #[test]
+    fn empty_ranges_are_subsumed() {
+        let mut kb = kb_with(&["x >= y"]);
+        assert!(subsumes(&mut kb, &rng("0", "1", 1), &rng("x", "y", 1)));
+    }
+
+    #[test]
+    fn loop_invariant_union_coverage() {
+        // Fig. 6(b): history {a[0..i']∪{i'}} covers the rewritten invariant
+        // a[0..i] given i = i' + 1.
+        let mut kb = kb_with(&["i == ip + 1", "ip >= 0"]);
+        let query = rng("0", "i", 1);
+        let facts = [rng("0", "ip", 1), SymRange::singleton(lin("ip"))];
+        assert!(covered_by_union(&mut kb, &query, &facts));
+    }
+
+    #[test]
+    fn strided_loop_union_coverage() {
+        // stride-2 loop: {a[0..ip:2]} ∪ {ip} covers a[0..i:2] when
+        // i = ip + 2 and ip ≡ 0 (mod 2).
+        let mut kb = kb_with(&["i == ip + 2", "ip % 2 == 0", "ip >= 0"]);
+        let query = rng("0", "i", 2);
+        let facts = [rng("0", "ip", 2), SymRange::singleton(lin("ip"))];
+        assert!(covered_by_union(&mut kb, &query, &facts));
+    }
+
+    #[test]
+    fn misaligned_singleton_does_not_cover() {
+        let mut kb = kb_with(&["i == ip + 2", "ip % 2 == 1"]);
+        let query = rng("0", "i", 2);
+        let facts = [rng("0", "ip", 2), SymRange::singleton(lin("ip"))];
+        assert!(!covered_by_union(&mut kb, &query, &facts));
+    }
+
+    #[test]
+    fn coalesce_adjacent_contiguous() {
+        let mut kb = kb_with(&["m >= 0", "m <= n"]);
+        let merged = coalesce(&mut kb, &[rng("0", "m", 1), rng("m", "n", 1)]).unwrap();
+        assert_eq!(merged, rng("0", "n", 1));
+    }
+
+    #[test]
+    fn coalesce_range_plus_singleton() {
+        // a[0..i'] ∪ {i'} → a[0..i'+1] — the Fig. 6(b) check.
+        let mut kb = kb_with(&["ip >= 0"]);
+        let merged =
+            coalesce(&mut kb, &[rng("0", "ip", 1), SymRange::singleton(lin("ip"))]).unwrap();
+        assert_eq!(merged, rng("0", "ip + 1", 1));
+    }
+
+    #[test]
+    fn coalesce_residue_classes() {
+        // a[0..n:2] ∪ a[1..n:2] → a[0..n].
+        let mut kb = Kb::new();
+        let merged = coalesce(&mut kb, &[rng("0", "n", 2), rng("1", "n", 2)]).unwrap();
+        assert_eq!(merged, rng("0", "n", 1));
+    }
+
+    #[test]
+    fn coalesce_three_residues() {
+        let mut kb = Kb::new();
+        let merged = coalesce(
+            &mut kb,
+            &[rng("0", "n", 3), rng("2", "n", 3), rng("1", "n", 3)],
+        )
+        .unwrap();
+        assert_eq!(merged, rng("0", "n", 1));
+    }
+
+    #[test]
+    fn coalesce_fails_on_gap() {
+        let mut kb = Kb::new();
+        assert!(coalesce(&mut kb, &[rng("0", "5", 1), rng("7", "9", 1)]).is_none());
+    }
+
+    #[test]
+    fn coalesce_strided_extension() {
+        // a[0..i:2] ∪ {i} with i even and nonnegative → a[0..i+1:2].
+        let mut kb = kb_with(&["i % 2 == 0", "i >= 0"]);
+        let merged =
+            coalesce(&mut kb, &[rng("0", "i", 2), SymRange::singleton(lin("i"))]).unwrap();
+        assert_eq!(merged, rng("0", "i + 1", 2));
+    }
+
+    #[test]
+    fn coalesce_subsumed_pairs() {
+        let mut kb = Kb::new();
+        let merged = coalesce(&mut kb, &[rng("0", "10", 1), rng("2", "5", 1)]).unwrap();
+        assert_eq!(merged, rng("0", "10", 1));
+    }
+
+    #[test]
+    fn singleton_chain() {
+        // {i} ∪ {i+1} ∪ {i+2} → [i..i+3).
+        let mut kb = Kb::new();
+        let merged = coalesce(
+            &mut kb,
+            &[
+                SymRange::singleton(lin("i")),
+                SymRange::singleton(lin("i + 1")),
+                SymRange::singleton(lin("i + 2")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged, rng("i", "i + 3", 1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the entailment engine: every symbolic answer
+//! is validated against brute-force evaluation on concrete assignments.
+
+use bigfoot_bfj::{parse_expr, Expr};
+use bigfoot_entail::{coalesce, covered_by_union, linearize, subsumes, Kb, Lin, SymRange};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A concrete strided range over small integers.
+#[derive(Debug, Clone, Copy)]
+struct CRange {
+    lo: i64,
+    hi: i64,
+    step: i64,
+}
+
+impl CRange {
+    fn indices(&self) -> BTreeSet<i64> {
+        let mut s = BTreeSet::new();
+        let mut i = self.lo;
+        while i < self.hi {
+            s.insert(i);
+            i += self.step;
+        }
+        s
+    }
+
+    fn sym(&self) -> SymRange {
+        SymRange {
+            lo: Lin::constant(self.lo),
+            hi: Lin::constant(self.hi),
+            step: self.step,
+        }
+    }
+}
+
+fn crange() -> impl Strategy<Value = CRange> {
+    (-8i64..24, -8i64..24, 1i64..5).prop_map(|(lo, hi, step)| CRange { lo, hi, step })
+}
+
+proptest! {
+    /// `subsumes` never claims containment that concrete enumeration
+    /// refutes.
+    #[test]
+    fn subsumes_is_sound(a in crange(), b in crange()) {
+        let mut kb = Kb::new();
+        if subsumes(&mut kb, &a.sym(), &b.sym()) {
+            prop_assert!(b.indices().is_subset(&a.indices()),
+                "claimed {:?} ⊇ {:?}", a, b);
+        }
+    }
+
+    /// `covered_by_union` never claims coverage that enumeration refutes.
+    #[test]
+    fn union_coverage_is_sound(q in crange(), facts in prop::collection::vec(crange(), 0..4)) {
+        let mut kb = Kb::new();
+        let syms: Vec<SymRange> = facts.iter().map(CRange::sym).collect();
+        if covered_by_union(&mut kb, &q.sym(), &syms) {
+            let mut union = BTreeSet::new();
+            for f in &facts {
+                union.extend(f.indices());
+            }
+            prop_assert!(q.indices().is_subset(&union),
+                "claimed {:?} ⊆ ∪{:?}", q, facts);
+        }
+    }
+
+    /// `coalesce` produces a range denoting *exactly* the union (both
+    /// inclusions — this is the address-precision-critical property).
+    #[test]
+    fn coalesce_is_exact(facts in prop::collection::vec(crange(), 1..4)) {
+        let mut kb = Kb::new();
+        let syms: Vec<SymRange> = facts.iter().map(CRange::sym).collect();
+        if let Some(merged) = coalesce(&mut kb, &syms) {
+            let got = CRange {
+                lo: merged.lo.as_const().expect("const"),
+                hi: merged.hi.as_const().expect("const"),
+                step: merged.step,
+            }
+            .indices();
+            let mut want = BTreeSet::new();
+            for f in &facts {
+                want.extend(f.indices());
+            }
+            prop_assert_eq!(got, want, "coalesce of {:?}", facts);
+        }
+    }
+
+    /// Kb entailment of comparisons is sound w.r.t. concrete valuations:
+    /// if facts hold under an assignment, an entailed query holds too.
+    #[test]
+    fn entailment_is_sound(
+        xv in -20i64..20,
+        yv in -20i64..20,
+        zv in -20i64..20,
+        fact_pick in prop::collection::vec(0usize..6, 0..4),
+        query_pick in 0usize..6,
+    ) {
+        let pool = [
+            "x <= y", "y <= z", "x == y + 1", "z >= 0", "x < z", "y != z",
+        ];
+        let eval = |src: &str| -> bool {
+            let e = parse_expr(src).unwrap();
+            eval_bool(&e, xv, yv, zv)
+        };
+        let facts: Vec<&str> = fact_pick.iter().map(|i| pool[*i]).collect();
+        // Only consider assignments under which every fact is true.
+        prop_assume!(facts.iter().all(|f| eval(f)));
+        let mut kb = Kb::new();
+        for f in &facts {
+            kb.assume(&parse_expr(f).unwrap());
+        }
+        let q = pool[query_pick];
+        if kb.entails(&parse_expr(q).unwrap()) {
+            prop_assert!(eval(q), "facts {:?} entailed {:?} but it is false at x={xv},y={yv},z={zv}", facts, q);
+        }
+    }
+
+    /// Linearization agrees with direct evaluation.
+    #[test]
+    fn linearize_preserves_value(a in -10i64..10, b in -10i64..10, c in 1i64..5) {
+        let src = format!("{a} * x + {b} - x * {c}");
+        let e = parse_expr(&src).unwrap();
+        let l = linearize(&e).expect("linear");
+        for xv in -5..5 {
+            let direct = a * xv + b - xv * c;
+            let via_lin = eval_int(&l.to_expr(), xv);
+            prop_assert_eq!(direct, via_lin);
+        }
+    }
+}
+
+fn eval_int(e: &Expr, xv: i64) -> i64 {
+    use bigfoot_bfj::{Binop, Unop};
+    match e {
+        Expr::Int(n) => *n,
+        Expr::Var(v) if v.as_str() == "x" => xv,
+        Expr::Unop(Unop::Neg, a) => -eval_int(a, xv),
+        Expr::Binop(op, a, b) => {
+            let (a, b) = (eval_int(a, xv), eval_int(b, xv));
+            match op {
+                Binop::Add => a + b,
+                Binop::Sub => a - b,
+                Binop::Mul => a * b,
+                _ => panic!("unexpected op"),
+            }
+        }
+        other => panic!("unexpected expr {other:?}"),
+    }
+}
+
+fn eval_bool(e: &Expr, xv: i64, yv: i64, zv: i64) -> bool {
+    use bigfoot_bfj::Binop;
+    let val = |v: &Expr| -> i64 {
+        match v {
+            Expr::Int(n) => *n,
+            Expr::Var(s) => match s.as_str() {
+                "x" => xv,
+                "y" => yv,
+                "z" => zv,
+                other => panic!("unexpected var {other}"),
+            },
+            Expr::Binop(Binop::Add, a, b) => {
+                let (a, b) = (val_helper(a, xv, yv, zv), val_helper(b, xv, yv, zv));
+                a + b
+            }
+            other => panic!("unexpected term {other:?}"),
+        }
+    };
+    match e {
+        Expr::Binop(op, a, b) => {
+            let (a, b) = (val(a), val(b));
+            match op {
+                Binop::Le => a <= b,
+                Binop::Lt => a < b,
+                Binop::Ge => a >= b,
+                Binop::Gt => a > b,
+                Binop::Eq => a == b,
+                Binop::Ne => a != b,
+                other => panic!("unexpected cmp {other:?}"),
+            }
+        }
+        other => panic!("unexpected bool {other:?}"),
+    }
+}
+
+fn val_helper(e: &Expr, xv: i64, yv: i64, zv: i64) -> i64 {
+    match e {
+        Expr::Int(n) => *n,
+        Expr::Var(s) => match s.as_str() {
+            "x" => xv,
+            "y" => yv,
+            "z" => zv,
+            other => panic!("unexpected var {other}"),
+        },
+        other => panic!("unexpected term {other:?}"),
+    }
+}

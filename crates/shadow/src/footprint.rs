@@ -1,0 +1,275 @@
+//! Per-thread array footprints: the set of indices with *pending* (deferred)
+//! checks, maintained between synchronization operations (§4 "Dynamic Array
+//! Compression", after S LIM S TATE).
+//!
+//! A thread's footprint for an array accumulates strided ranges from either
+//! individual accesses (SlimState mode) or statically-coalesced checks
+//! (BigFoot mode). At the thread's next synchronization point the footprint
+//! is *committed*: each accumulated range is applied to the array's shadow
+//! state.
+
+use bigfoot_bfj::ConcreteRange;
+use bigfoot_vc::AccessKind;
+
+/// A set of concrete strided ranges with merge-on-insert.
+///
+/// Insertion greedily merges adjacent/overlapping contiguous ranges and
+/// detects constant strides from consecutive singleton inserts, so a loop
+/// touching `a[0], a[2], a[4], …` accumulates the single range `0..n:2`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    ranges: Vec<ConcreteRange>,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> RangeSet {
+        RangeSet::default()
+    }
+
+    /// True if no index is pending.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The accumulated ranges.
+    pub fn ranges(&self) -> &[ConcreteRange] {
+        &self.ranges
+    }
+
+    /// Number of stored ranges (footprint size, for stats).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Inserts a single index.
+    pub fn push_index(&mut self, i: i64) {
+        self.push_range(ConcreteRange::singleton(i));
+    }
+
+    /// Inserts a strided range, merging with the most recent entries where
+    /// possible.
+    pub fn push_range(&mut self, r: ConcreteRange) {
+        if r.is_empty() {
+            return;
+        }
+        if let Some(last) = self.ranges.last_mut() {
+            if let Some(merged) = merge(*last, r) {
+                *last = merged;
+                return;
+            }
+            // Stride detection: two singletons at distance k become a
+            // strided range.
+            if last.len() == 1 && r.len() == 1 {
+                let k = r.lo - last.lo;
+                if k > 1 {
+                    *last = ConcreteRange {
+                        lo: last.lo,
+                        hi: r.lo + 1,
+                        step: k,
+                    };
+                    return;
+                }
+            }
+        }
+        self.ranges.push(r);
+    }
+
+    /// True if index `i` is covered by some stored range.
+    pub fn contains(&self, i: i64) -> bool {
+        self.ranges.iter().any(|r| r.contains(i))
+    }
+
+    /// Drains the stored ranges for a commit.
+    pub fn take(&mut self) -> Vec<ConcreteRange> {
+        std::mem::take(&mut self.ranges)
+    }
+}
+
+/// Exact union of two concrete ranges, if expressible as one range.
+fn merge(a: ConcreteRange, b: ConcreteRange) -> Option<ConcreteRange> {
+    if a.is_empty() {
+        return Some(b);
+    }
+    if b.is_empty() {
+        return Some(a);
+    }
+    // Same stride, aligned, overlapping-or-adjacent grids.
+    if a.step == b.step {
+        let k = a.step;
+        if (b.lo - a.lo) % k == 0 {
+            let a_end = a.last_plus_one();
+            let b_end = b.last_plus_one();
+            // b starts within or exactly after a's grid.
+            if b.lo >= a.lo && b.lo <= a_end - 1 + k {
+                return Some(ConcreteRange {
+                    lo: a.lo,
+                    hi: a_end.max(b_end),
+                    step: k,
+                });
+            }
+            if a.lo >= b.lo && a.lo <= b_end - 1 + k {
+                return Some(ConcreteRange {
+                    lo: b.lo,
+                    hi: a_end.max(b_end),
+                    step: k,
+                });
+            }
+        }
+        return None;
+    }
+    // A singleton extends a strided range at its next grid point (either
+    // order).
+    let (range, single) = if b.len() == 1 {
+        (a, b)
+    } else if a.len() == 1 {
+        (b, a)
+    } else {
+        return None;
+    };
+    let k = range.step;
+    if (single.lo - range.lo) % k == 0 && single.lo == range.last_plus_one() - 1 + k {
+        return Some(ConcreteRange {
+            lo: range.lo,
+            hi: single.lo + 1,
+            step: k,
+        });
+    }
+    if single.lo + k == range.lo {
+        return Some(ConcreteRange {
+            lo: single.lo,
+            hi: range.hi,
+            step: k,
+        });
+    }
+    None
+}
+
+/// A thread's pending checks for one array: separate read and write range
+/// sets (a write check subsumes a read check on the same index, so writes
+/// are also consulted when deduplicating reads).
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Pending read-check ranges.
+    pub reads: RangeSet,
+    /// Pending write-check ranges.
+    pub writes: RangeSet,
+}
+
+impl Footprint {
+    /// An empty footprint.
+    pub fn new() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Adds a pending check.
+    pub fn add(&mut self, kind: AccessKind, r: ConcreteRange) {
+        match kind {
+            AccessKind::Read => self.reads.push_range(r),
+            AccessKind::Write => self.writes.push_range(r),
+        }
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Approximate retained size, in range units (space accounting).
+    pub fn space_units(&self) -> usize {
+        3 * (self.reads.len() + self.writes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_indices_merge() {
+        let mut s = RangeSet::new();
+        for i in 0..100 {
+            s.push_index(i);
+        }
+        assert_eq!(s.ranges(), &[ConcreteRange::contiguous(0, 100)]);
+    }
+
+    #[test]
+    fn strided_indices_merge() {
+        let mut s = RangeSet::new();
+        for i in (0..100).step_by(2) {
+            s.push_index(i);
+        }
+        assert_eq!(s.len(), 1);
+        let r = s.ranges()[0];
+        assert_eq!(r.step, 2);
+        assert!(r.contains(98));
+        assert!(!r.contains(97));
+    }
+
+    #[test]
+    fn coalesced_ranges_merge_with_ranges() {
+        let mut s = RangeSet::new();
+        s.push_range(ConcreteRange::contiguous(0, 50));
+        s.push_range(ConcreteRange::contiguous(50, 100));
+        assert_eq!(s.ranges(), &[ConcreteRange::contiguous(0, 100)]);
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let mut s = RangeSet::new();
+        s.push_range(ConcreteRange::contiguous(0, 60));
+        s.push_range(ConcreteRange::contiguous(40, 100));
+        assert_eq!(s.ranges(), &[ConcreteRange::contiguous(0, 100)]);
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_separate() {
+        let mut s = RangeSet::new();
+        s.push_range(ConcreteRange::contiguous(0, 10));
+        s.push_range(ConcreteRange::contiguous(20, 30));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5));
+        assert!(!s.contains(15));
+        assert!(s.contains(25));
+    }
+
+    #[test]
+    fn reverse_iteration_merges() {
+        let mut s = RangeSet::new();
+        s.push_range(ConcreteRange::contiguous(50, 100));
+        s.push_range(ConcreteRange::contiguous(0, 50));
+        assert_eq!(s.ranges(), &[ConcreteRange::contiguous(0, 100)]);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut s = RangeSet::new();
+        s.push_index(3);
+        let drained = s.take();
+        assert_eq!(drained.len(), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn footprint_separates_kinds() {
+        let mut f = Footprint::new();
+        f.add(AccessKind::Read, ConcreteRange::contiguous(0, 10));
+        f.add(AccessKind::Write, ConcreteRange::contiguous(0, 5));
+        assert_eq!(f.reads.len(), 1);
+        assert_eq!(f.writes.len(), 1);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn singleton_then_stride_then_more() {
+        // 0, 3, 6, 9 → one range with stride 3.
+        let mut s = RangeSet::new();
+        for i in [0, 3, 6, 9] {
+            s.push_index(i);
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ranges()[0].step, 3);
+        assert_eq!(s.ranges()[0].indices().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+    }
+}

@@ -1,0 +1,24 @@
+//! Shadow-memory substrate for the BigFoot reproduction.
+//!
+//! Precise dynamic race detectors keep, for each target memory location, a
+//! *shadow location* recording its access history. This crate provides the
+//! three shadow structures the paper's detectors share:
+//!
+//! * [`ArrayShadow`] — the adaptive, lossless array compression scheme of
+//!   S LIM S TATE, reused by BigFoot (coarse → blocks/strided → fine);
+//! * [`Footprint`]/[`RangeSet`] — per-thread pending-check footprints that
+//!   defer array checks to the next synchronization operation;
+//! * [`ObjectShadow`]/[`FieldGrouping`] — per-object shadow state with
+//!   static field-proxy compression.
+//!
+//! Space accounting (`space_units`) underlies the Table 2 memory-overhead
+//! experiment; operation counting (`ApplyOutcome::shadow_ops`) underlies
+//! the Table 1 / Figure 8 cost model.
+
+mod array;
+mod footprint;
+mod object;
+
+pub use array::{ApplyOutcome, ArrayShadow, ReprKind};
+pub use footprint::{Footprint, RangeSet};
+pub use object::{FieldGrouping, ObjectShadow};

@@ -1,0 +1,139 @@
+//! Object shadow state with optional static field-proxy compression (§4
+//! "Static Field Compression").
+//!
+//! Without compression, an object holds one [`VarState`] per field. With a
+//! proxy grouping (computed by the static analysis), fields sharing a proxy
+//! share a single shadow location, and a coalesced check `p.x/y/z` whose
+//! fields fall into one group performs a single check-and-update.
+
+use bigfoot_vc::{AccessKind, RaceInfo, Tid, VarState, VectorClock};
+
+/// A per-class mapping from field index to shadow-group index.
+///
+/// The identity grouping (no compression) maps field `i` to group `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldGrouping {
+    /// `group_of[f]` is the shadow group of field `f`.
+    pub group_of: Vec<u32>,
+    /// Total number of groups.
+    pub groups: u32,
+}
+
+impl FieldGrouping {
+    /// The identity grouping for `nfields` fields.
+    pub fn identity(nfields: usize) -> FieldGrouping {
+        FieldGrouping {
+            group_of: (0..nfields as u32).collect(),
+            groups: nfields as u32,
+        }
+    }
+
+    /// Builds a grouping from an explicit assignment. Group indices must be
+    /// dense in `0..groups`.
+    pub fn from_assignment(group_of: Vec<u32>) -> FieldGrouping {
+        let groups = group_of.iter().copied().max().map_or(0, |m| m + 1);
+        FieldGrouping { group_of, groups }
+    }
+
+    /// The shadow group of field `f`.
+    #[inline]
+    pub fn group(&self, f: u32) -> u32 {
+        self.group_of.get(f as usize).copied().unwrap_or(f)
+    }
+
+    /// True if this grouping actually compresses anything.
+    pub fn compresses(&self) -> bool {
+        (self.groups as usize) < self.group_of.len()
+    }
+}
+
+/// Shadow state for one object: one [`VarState`] per field group.
+#[derive(Debug, Clone)]
+pub struct ObjectShadow {
+    states: Vec<VarState>,
+}
+
+impl ObjectShadow {
+    /// Creates shadow state with `groups` shadow locations.
+    pub fn new(groups: u32) -> ObjectShadow {
+        ObjectShadow {
+            states: vec![VarState::new(); groups.max(1) as usize],
+        }
+    }
+
+    /// Applies a check to the given group.
+    ///
+    /// # Errors
+    ///
+    /// Returns the detected race, if any.
+    pub fn apply(
+        &mut self,
+        group: u32,
+        kind: AccessKind,
+        t: Tid,
+        clock: &VectorClock,
+    ) -> Result<(), RaceInfo> {
+        let idx = (group as usize).min(self.states.len() - 1);
+        self.states[idx].apply(kind, t, clock)
+    }
+
+    /// Number of shadow locations.
+    pub fn locations(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Space in clock-entry units (Table 2 accounting).
+    pub fn space_units(&self) -> usize {
+        self.states.iter().map(VarState::space_units).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(t: Tid, v: u32) -> VectorClock {
+        let mut c = VectorClock::new();
+        c.set(t, v);
+        c
+    }
+
+    #[test]
+    fn identity_grouping() {
+        let g = FieldGrouping::identity(3);
+        assert_eq!(g.groups, 3);
+        assert_eq!(g.group(2), 2);
+        assert!(!g.compresses());
+    }
+
+    #[test]
+    fn compressed_grouping() {
+        // x, y, z all share group 0 (the Point example).
+        let g = FieldGrouping::from_assignment(vec![0, 0, 0]);
+        assert_eq!(g.groups, 1);
+        assert!(g.compresses());
+        assert_eq!(g.group(2), 0);
+    }
+
+    #[test]
+    fn object_shadow_detects_races_per_group() {
+        let mut sh = ObjectShadow::new(2);
+        sh.apply(0, AccessKind::Write, Tid(0), &clock(Tid(0), 1))
+            .unwrap();
+        // Disjoint group: no race.
+        sh.apply(1, AccessKind::Write, Tid(1), &clock(Tid(1), 1))
+            .unwrap();
+        // Same group, unordered: race.
+        let err = sh
+            .apply(0, AccessKind::Write, Tid(1), &clock(Tid(1), 1))
+            .unwrap_err();
+        assert_eq!(err.prior_tid, Tid(0));
+    }
+
+    #[test]
+    fn space_shrinks_with_grouping() {
+        let fine = ObjectShadow::new(8);
+        let compressed = ObjectShadow::new(1);
+        assert!(compressed.space_units() < fine.space_units());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the shadow substrate.
+//!
+//! The central claim (§4 / SlimState): the adaptive compressed array
+//! shadow is *lossless* — it reports a race exactly when a fully
+//! fine-grained detector does, for any sequence of committed ranges.
+
+use bigfoot_bfj::ConcreteRange;
+use bigfoot_shadow::{ArrayShadow, Footprint, RangeSet};
+use bigfoot_vc::{AccessKind, Tid, VarState, VectorClock};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One committed operation in a synthetic schedule.
+#[derive(Debug, Clone)]
+struct Op {
+    tid: u32,
+    kind: AccessKind,
+    lo: i64,
+    len: i64,
+    step: i64,
+    /// Synchronize (join clocks through a lock) before this op?
+    sync_before: bool,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (
+        0u32..3,
+        prop::bool::ANY,
+        0i64..32,
+        1i64..16,
+        1i64..4,
+        prop::bool::ANY,
+    )
+        .prop_map(|(tid, w, lo, len, step, sync_before)| Op {
+            tid,
+            kind: if w { AccessKind::Write } else { AccessKind::Read },
+            lo,
+            len,
+            step,
+            sync_before,
+        })
+}
+
+/// A tiny lock-based happens-before world for the test: a single global
+/// lock; `sync_before` means acquire-release around the op.
+struct World {
+    clocks: Vec<VectorClock>,
+    lock: VectorClock,
+}
+
+impl World {
+    fn new(n: usize) -> World {
+        let mut clocks = Vec::new();
+        for t in 0..n {
+            let mut c = VectorClock::new();
+            c.set(Tid(t as u32), 1);
+            clocks.push(c);
+        }
+        World {
+            clocks,
+            lock: VectorClock::new(),
+        }
+    }
+
+    fn sync(&mut self, t: usize) {
+        // acquire; release (both edges) — orders this op with every prior
+        // synced op.
+        let c = &mut self.clocks[t];
+        c.join(&self.lock);
+        self.lock = c.clone();
+        let v = c.get(Tid(t as u32)) + 1;
+        c.set(Tid(t as u32), v);
+    }
+}
+
+const N: usize = 32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Compressed and fine-grained detectors agree on *whether* each
+    /// committed range races.
+    #[test]
+    fn adaptive_shadow_is_lossless(ops in prop::collection::vec(op(), 1..24)) {
+        let mut world = World::new(3);
+        let mut compressed = ArrayShadow::new(N);
+        let mut fine: Vec<VarState> = vec![VarState::new(); N];
+        for o in &ops {
+            let t = Tid(o.tid);
+            if o.sync_before {
+                world.sync(o.tid as usize);
+            }
+            let range = ConcreteRange { lo: o.lo, hi: (o.lo + o.len).min(N as i64), step: o.step };
+            let clock = world.clocks[o.tid as usize].clone();
+            let out = compressed.apply(range, o.kind, t, &clock);
+            // Reference: per-element fine-grained.
+            let mut fine_raced = BTreeSet::new();
+            for i in range.indices() {
+                if i < 0 || i >= N as i64 { continue; }
+                if fine[i as usize].apply(o.kind, t, &clock).is_err() {
+                    fine_raced.insert(i);
+                }
+            }
+            let compressed_raced: BTreeSet<i64> = out
+                .races
+                .iter()
+                .flat_map(|(extent, _)| extent.indices().filter(|i| range.contains(*i)))
+                .collect();
+            // Verdict equivalence per commit: the compressed detector
+            // reports a race iff some element-level race exists, and the
+            // compressed extent covers every racy element.
+            prop_assert_eq!(
+                fine_raced.is_empty(),
+                compressed_raced.is_empty(),
+                "fine {:?} vs compressed {:?} on {:?}",
+                fine_raced, compressed_raced, o
+            );
+            prop_assert!(
+                fine_raced.iter().all(|i| out
+                    .races
+                    .iter()
+                    .any(|(extent, _)| extent.contains(*i))),
+                "compressed extents {:?} miss fine racy elements {:?}",
+                out.races, fine_raced
+            );
+        }
+    }
+
+    /// RangeSet::push_* accumulates exactly the inserted index set.
+    #[test]
+    fn rangeset_matches_reference(ranges in prop::collection::vec((0i64..64, 1i64..16, 1i64..4), 1..16)) {
+        let mut rs = RangeSet::new();
+        let mut reference = BTreeSet::new();
+        for (lo, len, step) in ranges {
+            let r = ConcreteRange { lo, hi: lo + len, step };
+            rs.push_range(r);
+            reference.extend(r.indices());
+        }
+        let got: BTreeSet<i64> = rs.ranges().iter().flat_map(|r| r.indices()).collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Per-index pushes (the SlimState per-access mode) also match, and
+    /// sequential patterns collapse to few ranges.
+    #[test]
+    fn rangeset_index_pushes(indices in prop::collection::vec(0i64..64, 1..64)) {
+        let mut rs = RangeSet::new();
+        let mut reference = BTreeSet::new();
+        for i in &indices {
+            rs.push_index(*i);
+            reference.insert(*i);
+        }
+        let got: BTreeSet<i64> = rs.ranges().iter().flat_map(|r| r.indices()).collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Footprints never confuse read and write kinds.
+    #[test]
+    fn footprint_kind_separation(items in prop::collection::vec((prop::bool::ANY, 0i64..32), 1..20)) {
+        let mut fp = Footprint::new();
+        let mut reads = BTreeSet::new();
+        let mut writes = BTreeSet::new();
+        for (w, i) in items {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            fp.add(kind, ConcreteRange::singleton(i));
+            if w { writes.insert(i); } else { reads.insert(i); }
+        }
+        let got_reads: BTreeSet<i64> = fp.reads.ranges().iter().flat_map(|r| r.indices()).collect();
+        let got_writes: BTreeSet<i64> = fp.writes.ranges().iter().flat_map(|r| r.indices()).collect();
+        prop_assert_eq!(got_reads, reads);
+        prop_assert_eq!(got_writes, writes);
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{Epoch, Tid};
+
+/// A vector clock: one logical clock entry per thread.
+///
+/// Entries missing from the underlying vector are implicitly zero, so clocks
+/// stay short in programs where only a few threads interact.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_vc::{Tid, VectorClock};
+///
+/// let mut a = VectorClock::new();
+/// a.tick(Tid(0));
+/// let mut b = VectorClock::new();
+/// b.tick(Tid(1));
+/// b.join(&a);
+/// assert!(a.leq(&b));
+/// assert!(!b.leq(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// Creates the zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock value for thread `t` (zero if never recorded).
+    #[inline]
+    pub fn get(&self, t: Tid) -> u32 {
+        self.entries.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets thread `t`'s entry to `value`.
+    pub fn set(&mut self, t: Tid, value: u32) {
+        if self.entries.len() <= t.index() {
+            self.entries.resize(t.index() + 1, 0);
+        }
+        self.entries[t.index()] = value;
+    }
+
+    /// Increments thread `t`'s entry by one and returns the new value.
+    pub fn tick(&mut self, t: Tid) -> u32 {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+        v
+    }
+
+    /// Pointwise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Pointwise comparison: true iff `self[t] <= other[t]` for all `t`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.entries.get(i).copied().unwrap_or(0))
+    }
+
+    /// The epoch `t@self[t]` for thread `t`.
+    #[inline]
+    pub fn epoch(&self, t: Tid) -> Epoch {
+        Epoch::new(t, self.get(t))
+    }
+
+    /// Number of explicit (possibly zero) entries stored.
+    ///
+    /// This is the space-accounting size used by the shadow-memory
+    /// benchmarks; an epoch counts as 1 and a clock as `len().max(1)`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entry has ever been set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(Tid, clock)` pairs with nonzero clocks.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (Tid(i as u32), v))
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_leq_everything() {
+        let z = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(Tid(3));
+        assert!(z.leq(&c));
+        assert!(z.leq(&z));
+        assert!(!c.leq(&z));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(Tid(0), 5);
+        a.set(Tid(1), 1);
+        let mut b = VectorClock::new();
+        b.set(Tid(1), 7);
+        a.join(&b);
+        assert_eq!(a.get(Tid(0)), 5);
+        assert_eq!(a.get(Tid(1)), 7);
+    }
+
+    #[test]
+    fn tick_returns_new_value() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.tick(Tid(2)), 1);
+        assert_eq!(a.tick(Tid(2)), 2);
+        assert_eq!(a.get(Tid(2)), 2);
+        assert_eq!(a.get(Tid(0)), 0);
+    }
+
+    #[test]
+    fn epoch_extraction() {
+        let mut a = VectorClock::new();
+        a.set(Tid(1), 9);
+        let e = a.epoch(Tid(1));
+        assert_eq!(e.tid(), Tid(1));
+        assert_eq!(e.clock(), 9);
+    }
+
+    #[test]
+    fn leq_with_different_lengths() {
+        let mut a = VectorClock::new();
+        a.set(Tid(5), 1);
+        let b = VectorClock::new();
+        assert!(!a.leq(&b));
+        assert!(b.leq(&a));
+    }
+}

@@ -1,0 +1,102 @@
+use crate::{Tid, VectorClock};
+
+/// A FastTrack epoch `t@c`: one thread id and one clock value packed into a
+/// single word.
+///
+/// Epochs record "the last access was by thread `t` at time `c`" and replace
+/// a full vector clock in the overwhelmingly common case where a location is
+/// not read-shared.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_vc::{Epoch, Tid, VectorClock};
+///
+/// let mut c = VectorClock::new();
+/// c.set(Tid(2), 4);
+/// let e = Epoch::new(Tid(2), 3);
+/// assert!(e.leq(&c)); // 3 <= c[2]
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The bottom epoch `0@0`, used for never-accessed locations.
+    pub const NONE: Epoch = Epoch(0);
+
+    /// Creates the epoch `t@clock`.
+    #[inline]
+    pub fn new(t: Tid, clock: u32) -> Self {
+        Epoch(((t.0 as u64) << 32) | clock as u64)
+    }
+
+    /// The thread component.
+    #[inline]
+    pub fn tid(self) -> Tid {
+        Tid((self.0 >> 32) as u32)
+    }
+
+    /// The clock component.
+    #[inline]
+    pub fn clock(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// True if this is the bottom epoch (no recorded access).
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Epoch-vs-clock happens-before test: `t@c ⊑ V` iff `c <= V[t]`.
+    ///
+    /// The bottom epoch is below every clock.
+    #[inline]
+    pub fn leq(self, clock: &VectorClock) -> bool {
+        self.clock() <= clock.get(self.tid())
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::NONE
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "⊥e")
+        } else {
+            write!(f, "{}@{}", self.clock(), self.tid())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let e = Epoch::new(Tid(7), 123456);
+        assert_eq!(e.tid(), Tid(7));
+        assert_eq!(e.clock(), 123456);
+    }
+
+    #[test]
+    fn none_is_bottom() {
+        let c = VectorClock::new();
+        assert!(Epoch::NONE.leq(&c));
+        assert!(Epoch::NONE.is_none());
+    }
+
+    #[test]
+    fn leq_against_clock() {
+        let mut c = VectorClock::new();
+        c.set(Tid(1), 5);
+        assert!(Epoch::new(Tid(1), 5).leq(&c));
+        assert!(!Epoch::new(Tid(1), 6).leq(&c));
+        assert!(!Epoch::new(Tid(0), 1).leq(&c));
+    }
+}

@@ -1,0 +1,58 @@
+//! Vector clocks and epochs for precise dynamic race detection.
+//!
+//! This crate provides the happens-before machinery shared by every detector
+//! in the BigFoot reproduction: plain [`VectorClock`]s (as in DJIT+),
+//! lightweight [`Epoch`]s, and the FastTrack adaptive
+//! [`VarState`] that stores a full read vector clock only when a location is
+//! actually read-shared.
+//!
+//! The representation follows Flanagan & Freund, *FastTrack: Efficient and
+//! Precise Dynamic Race Detection* (PLDI 2009), which the BigFoot paper uses
+//! for all shadow locations.
+//!
+//! # Examples
+//!
+//! ```
+//! use bigfoot_vc::{Tid, VectorClock, VarState};
+//!
+//! let t0 = Tid(0);
+//! let t1 = Tid(1);
+//! let mut c0 = VectorClock::new();
+//! c0.tick(t0);
+//! let mut c1 = VectorClock::new();
+//! c1.tick(t1);
+//!
+//! let mut x = VarState::new();
+//! assert!(x.write(t0, &c0).is_ok());
+//! // t1 has not synchronized with t0, so this read races with the write.
+//! assert!(x.read(t1, &c1).is_err());
+//! ```
+
+mod clock;
+mod epoch;
+mod state;
+
+pub use clock::VectorClock;
+pub use epoch::Epoch;
+pub use state::{AccessKind, RaceInfo, VarState};
+
+/// A thread identifier.
+///
+/// Thread ids are small dense integers assigned by the interpreter in spawn
+/// order; they index directly into [`VectorClock`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The index of this thread in a vector clock.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}

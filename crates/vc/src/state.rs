@@ -1,0 +1,364 @@
+use crate::{Epoch, Tid, VectorClock};
+
+/// Whether a memory operation (or race check) is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// A read access / read check.
+    Read,
+    /// A write access / write check. Writes conflict with everything.
+    Write,
+}
+
+impl AccessKind {
+    /// True if a check of kind `self` can *cover* an access of kind `other`
+    /// (BigFoot §5: write checks cover reads and writes; read checks cover
+    /// only reads).
+    #[inline]
+    pub fn covers(self, other: AccessKind) -> bool {
+        match self {
+            AccessKind::Write => true,
+            AccessKind::Read => other == AccessKind::Read,
+        }
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Description of a detected race on one shadow location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceInfo {
+    /// Kind of the earlier (recorded) operation.
+    pub prior: AccessKind,
+    /// Thread that performed the earlier operation.
+    pub prior_tid: Tid,
+    /// Kind of the current operation.
+    pub current: AccessKind,
+    /// Thread performing the current operation.
+    pub current_tid: Tid,
+}
+
+impl std::fmt::Display for RaceInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} by {} races with {} by {}",
+            self.prior, self.prior_tid, self.current, self.current_tid
+        )
+    }
+}
+
+/// Last-read information: a single epoch in the common case, promoted to a
+/// full vector clock when the location becomes read-shared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ReadState {
+    Epoch(Epoch),
+    Shared(VectorClock),
+}
+
+/// The FastTrack adaptive shadow state for one (possibly compressed) memory
+/// location.
+///
+/// A `VarState` records the epoch of the last write and either the epoch of
+/// the last read or, when read-shared, a read vector clock. Both BigFoot and
+/// every baseline detector in this reproduction store one `VarState` per
+/// shadow location; the detectors differ only in how many shadow locations
+/// they keep and how often they touch them.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_vc::{Tid, VectorClock, VarState};
+///
+/// let mut clock = VectorClock::new();
+/// clock.tick(Tid(0));
+/// let mut v = VarState::new();
+/// v.read(Tid(0), &clock)?;
+/// v.write(Tid(0), &clock)?;
+/// # Ok::<(), bigfoot_vc::RaceInfo>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarState {
+    write: Epoch,
+    read: ReadState,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VarState {
+    /// A fresh, never-accessed shadow location.
+    pub fn new() -> Self {
+        VarState {
+            write: Epoch::NONE,
+            read: ReadState::Epoch(Epoch::NONE),
+        }
+    }
+
+    /// Applies an operation of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first race found, as [`RaceInfo`].
+    #[inline]
+    pub fn apply(&mut self, kind: AccessKind, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
+        match kind {
+            AccessKind::Read => self.read(t, clock),
+            AccessKind::Write => self.write(t, clock),
+        }
+    }
+
+    /// Processes a read by thread `t` whose current clock is `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a write-read race if the last write is not ordered before this
+    /// read.
+    pub fn read(&mut self, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
+        let here = clock.epoch(t);
+        // Same-epoch fast path.
+        if let ReadState::Epoch(e) = &self.read {
+            if *e == here {
+                return Ok(());
+            }
+        }
+        if !self.write.leq(clock) {
+            return Err(RaceInfo {
+                prior: AccessKind::Write,
+                prior_tid: self.write.tid(),
+                current: AccessKind::Read,
+                current_tid: t,
+            });
+        }
+        match &mut self.read {
+            ReadState::Epoch(e) => {
+                if e.leq(clock) {
+                    // Exclusive read: replace the epoch.
+                    *e = here;
+                } else {
+                    // Read-shared: inflate to a vector clock.
+                    let mut vc = VectorClock::new();
+                    vc.set(e.tid(), e.clock());
+                    vc.set(t, here.clock());
+                    self.read = ReadState::Shared(vc);
+                }
+            }
+            ReadState::Shared(vc) => {
+                vc.set(t, here.clock());
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes a write by thread `t` whose current clock is `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a write-write or read-write race if a prior access is not
+    /// ordered before this write.
+    pub fn write(&mut self, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
+        let here = clock.epoch(t);
+        if self.write == here {
+            return Ok(());
+        }
+        if !self.write.leq(clock) {
+            return Err(RaceInfo {
+                prior: AccessKind::Write,
+                prior_tid: self.write.tid(),
+                current: AccessKind::Write,
+                current_tid: t,
+            });
+        }
+        match &self.read {
+            ReadState::Epoch(e) => {
+                if !e.leq(clock) {
+                    return Err(RaceInfo {
+                        prior: AccessKind::Read,
+                        prior_tid: e.tid(),
+                        current: AccessKind::Write,
+                        current_tid: t,
+                    });
+                }
+            }
+            ReadState::Shared(vc) => {
+                if !vc.leq(clock) {
+                    let racer = vc
+                        .iter()
+                        .find(|(rt, c)| *c > clock.get(*rt))
+                        .map(|(rt, _)| rt)
+                        .unwrap_or(t);
+                    return Err(RaceInfo {
+                        prior: AccessKind::Read,
+                        prior_tid: racer,
+                        current: AccessKind::Write,
+                        current_tid: t,
+                    });
+                }
+            }
+        }
+        self.write = here;
+        // Prior reads are dominated by this write; discard them.
+        self.read = ReadState::Epoch(Epoch::NONE);
+        Ok(())
+    }
+
+    /// Joins another shadow state into this one, conservatively keeping the
+    /// access history of both.
+    ///
+    /// Used when an adaptive array representation *coarsens* or when a
+    /// refined segment inherits the state of its parent. Joining never loses
+    /// a potential race: a later access races with the join iff it races
+    /// with at least one component, except that distinct-thread writes are
+    /// approximated by inflating reads (the refinement direction used by the
+    /// adaptive representation copies states instead, which is exact).
+    pub fn join(&mut self, other: &VarState) {
+        // Keep the write that is "most recent" in the sense of being maximal
+        // per thread; with two incomparable writes a race already occurred
+        // and was reported when the second write was applied.
+        if self.write.is_none()
+            || (!other.write.is_none() && other.write.clock() > self.write.clock())
+        {
+            self.write = other.write;
+        }
+        let mut vc = match std::mem::replace(&mut self.read, ReadState::Epoch(Epoch::NONE)) {
+            ReadState::Epoch(e) => {
+                let mut vc = VectorClock::new();
+                if !e.is_none() {
+                    vc.set(e.tid(), e.clock());
+                }
+                vc
+            }
+            ReadState::Shared(vc) => vc,
+        };
+        match &other.read {
+            ReadState::Epoch(e) => {
+                if !e.is_none() {
+                    vc.set(e.tid(), vc.get(e.tid()).max(e.clock()));
+                }
+            }
+            ReadState::Shared(o) => vc.join(o),
+        }
+        self.read = if vc.is_empty() {
+            ReadState::Epoch(Epoch::NONE)
+        } else {
+            ReadState::Shared(vc)
+        };
+    }
+
+    /// The space this shadow state occupies, in clock-entry units.
+    ///
+    /// An epoch counts as one unit; a read vector clock counts as its length.
+    /// Used for Table 2's space-overhead accounting.
+    pub fn space_units(&self) -> usize {
+        1 + match &self.read {
+            ReadState::Epoch(_) => 1,
+            ReadState::Shared(vc) => vc.len().max(1),
+        }
+    }
+
+    /// The epoch of the last write (bottom if never written).
+    pub fn last_write(&self) -> Epoch {
+        self.write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock_for(t: Tid, v: u32) -> VectorClock {
+        let mut c = VectorClock::new();
+        c.set(t, v);
+        c
+    }
+
+    #[test]
+    fn unordered_writes_race() {
+        let mut v = VarState::new();
+        v.write(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        let err = v.write(Tid(1), &clock_for(Tid(1), 1)).unwrap_err();
+        assert_eq!(err.prior, AccessKind::Write);
+        assert_eq!(err.prior_tid, Tid(0));
+        assert_eq!(err.current_tid, Tid(1));
+    }
+
+    #[test]
+    fn ordered_write_then_read_ok() {
+        let mut v = VarState::new();
+        v.write(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        // Thread 1 synchronized with thread 0 (its clock includes 0@1).
+        let mut c1 = clock_for(Tid(1), 1);
+        c1.set(Tid(0), 1);
+        assert!(v.read(Tid(1), &c1).is_ok());
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race_but_later_write_does() {
+        let mut v = VarState::new();
+        v.read(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        v.read(Tid(1), &clock_for(Tid(1), 1)).unwrap();
+        // A write by thread 2 unordered with both reads races.
+        let err = v.write(Tid(2), &clock_for(Tid(2), 1)).unwrap_err();
+        assert_eq!(err.prior, AccessKind::Read);
+        assert_eq!(err.current, AccessKind::Write);
+    }
+
+    #[test]
+    fn same_epoch_read_is_noop() {
+        let mut v = VarState::new();
+        let c = clock_for(Tid(0), 3);
+        v.read(Tid(0), &c).unwrap();
+        let before = v.clone();
+        v.read(Tid(0), &c).unwrap();
+        assert_eq!(v, before);
+    }
+
+    #[test]
+    fn write_resets_read_state() {
+        let mut v = VarState::new();
+        v.read(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        let mut c = clock_for(Tid(0), 2);
+        c.set(Tid(0), 2);
+        v.write(Tid(0), &c).unwrap();
+        assert_eq!(v.space_units(), 2); // write epoch + bottom read epoch
+    }
+
+    #[test]
+    fn shared_read_promotes_to_clock() {
+        let mut v = VarState::new();
+        v.read(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        v.read(Tid(1), &clock_for(Tid(1), 1)).unwrap();
+        assert!(v.space_units() > 2);
+    }
+
+    #[test]
+    fn join_preserves_race_with_either_component() {
+        let mut a = VarState::new();
+        a.read(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        let mut b = VarState::new();
+        b.read(Tid(1), &clock_for(Tid(1), 1)).unwrap();
+        a.join(&b);
+        // A write unordered with the Tid(1) read must still race.
+        let mut c = clock_for(Tid(0), 2);
+        c.set(Tid(0), 2);
+        assert!(a.write(Tid(0), &c).is_err());
+    }
+
+    #[test]
+    fn write_read_race_detected() {
+        let mut v = VarState::new();
+        v.write(Tid(0), &clock_for(Tid(0), 1)).unwrap();
+        let err = v.read(Tid(1), &clock_for(Tid(1), 1)).unwrap_err();
+        assert_eq!(err.prior, AccessKind::Write);
+        assert_eq!(err.current, AccessKind::Read);
+    }
+}

@@ -1,0 +1,9 @@
+//! Workload programs for the BigFoot evaluation: the 19 JavaGrande/DaCapo
+//! stand-ins of Table 1 and a seeded random-program generator for property
+//! tests.
+
+pub mod random;
+pub mod suite;
+
+pub use random::{random_program, RandomConfig};
+pub use suite::{benchmark, benchmarks, source, Benchmark, Scale, NAMES};

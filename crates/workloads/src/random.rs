@@ -1,0 +1,237 @@
+//! Seeded random BFJ program generation, for property-based testing of the
+//! analysis and detectors.
+//!
+//! Generated programs always parse, terminate, stay in array bounds, and
+//! use a single properly-nested lock (no deadlocks). The `racy` knob
+//! decides whether shared accesses may happen outside the lock.
+
+use std::fmt::Write;
+
+/// Configuration for the generator.
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// RNG seed (same seed, same program).
+    pub seed: u64,
+    /// Rough number of statements per worker method.
+    pub size: usize,
+    /// Number of worker threads forked from main.
+    pub threads: usize,
+    /// Shared array length.
+    pub array_len: usize,
+    /// If false, every shared access is lock-protected or on a
+    /// thread-private partition (the program is race-free by
+    /// construction). If true, some accesses go unprotected.
+    pub racy: bool,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            seed: 1,
+            size: 12,
+            threads: 2,
+            array_len: 24,
+            racy: false,
+        }
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, pct: u32) -> bool {
+        self.next() % 100 < pct as u64
+    }
+}
+
+/// Generates the source text of a random BFJ program.
+pub fn random_program(cfg: &RandomConfig) -> String {
+    let mut rng = Rng(cfg.seed | 1);
+    let mut src = String::new();
+    let n = cfg.array_len;
+    src.push_str(
+        "class Shared { field f0; field f1; field f2; }\nclass Lk { }\nclass Worker {\n",
+    );
+    for w in 0..cfg.threads {
+        let _ = writeln!(src, "    meth work{w}(s, a, l, me) {{");
+        let mut tmp = 0usize;
+        for _ in 0..cfg.size {
+            gen_stmt(&mut rng, cfg, &mut src, &mut tmp, w, n);
+        }
+        src.push_str("        return 0;\n    }\n");
+    }
+    src.push_str("}\nmain {\n    s = new Shared;\n    l = new Lk;\n");
+    let _ = writeln!(src, "    a = new_array({n});");
+    let _ = writeln!(src, "    for (i = 0; i < {n}; i = i + 1) {{ a[i] = 0; }}");
+    src.push_str("    w = new Worker;\n");
+    for t in 0..cfg.threads {
+        let _ = writeln!(src, "    fork t{t} = w.work{t}(s, a, l, {t});");
+    }
+    for t in 0..cfg.threads {
+        let _ = writeln!(src, "    join(t{t});");
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn gen_stmt(
+    rng: &mut Rng,
+    cfg: &RandomConfig,
+    src: &mut String,
+    tmp: &mut usize,
+    worker: usize,
+    n: usize,
+) {
+    let indent = "        ";
+    let protected = !cfg.racy || rng.chance(60);
+    let field = rng.below(3);
+    match rng.below(6) {
+        // Lock-protected field read-modify-write.
+        0 => {
+            if protected {
+                let _ = writeln!(src, "{indent}acq(l);");
+            }
+            let _ = writeln!(src, "{indent}s.f{field} = s.f{field} + 1;");
+            if protected {
+                let _ = writeln!(src, "{indent}rel(l);");
+            }
+        }
+        // Field read into a local.
+        1 => {
+            if protected {
+                let _ = writeln!(src, "{indent}acq(l);");
+            }
+            let v = *tmp;
+            *tmp += 1;
+            let _ = writeln!(src, "{indent}v{worker}x{v} = s.f{field};");
+            if protected {
+                let _ = writeln!(src, "{indent}rel(l);");
+            }
+        }
+        // Loop over a contiguous partition of the array. In race-free
+        // mode this must hold the lock: other statements (the whole-array
+        // scan) touch every index.
+        2 | 3 => {
+            let t = cfg.threads.max(1);
+            let chunk = n / t;
+            let lo = worker * chunk;
+            let hi = lo + chunk;
+            let v = *tmp;
+            *tmp += 1;
+            if protected {
+                let _ = writeln!(src, "{indent}acq(l);");
+            }
+            let _ = writeln!(
+                src,
+                "{indent}for (i{v} = {lo}; i{v} < {hi}; i{v} = i{v} + 1) {{ a[i{v}] = a[i{v}] + 1; }}"
+            );
+            if protected {
+                let _ = writeln!(src, "{indent}rel(l);");
+            }
+        }
+        // Whole-array read under the lock (or unprotected when racy).
+        4 => {
+            if protected {
+                let _ = writeln!(src, "{indent}acq(l);");
+            }
+            let v = *tmp;
+            *tmp += 1;
+            let _ = writeln!(
+                src,
+                "{indent}acc{worker}x{v} = 0;\n{indent}for (j{v} = 0; j{v} < {n}; j{v} = j{v} + 1) {{ acc{worker}x{v} = acc{worker}x{v} + a[j{v}]; }}"
+            );
+            if protected {
+                let _ = writeln!(src, "{indent}rel(l);");
+            }
+        }
+        // Conditional access.
+        _ => {
+            if protected {
+                let _ = writeln!(src, "{indent}acq(l);");
+            }
+            let v = *tmp;
+            *tmp += 1;
+            let _ = writeln!(
+                src,
+                "{indent}c{worker}x{v} = s.f{field};\n{indent}if (c{worker}x{v} > 2) {{ s.f{field} = c{worker}x{v} - 1; }} else {{ s.f{field} = c{worker}x{v} + 1; }}"
+            );
+            if protected {
+                let _ = writeln!(src, "{indent}rel(l);");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{parse_program, Interp, NullSink, SchedPolicy};
+
+    #[test]
+    fn random_programs_parse_and_run() {
+        for seed in 1..20 {
+            for racy in [false, true] {
+                let cfg = RandomConfig {
+                    seed,
+                    racy,
+                    ..RandomConfig::default()
+                };
+                let src = random_program(&cfg);
+                let p = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+                Interp::new(&p, SchedPolicy::default())
+                    .with_max_steps(2_000_000)
+                    .run(&mut NullSink)
+                    .unwrap_or_else(|e| panic!("{e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_program() {
+        let cfg = RandomConfig::default();
+        assert_eq!(random_program(&cfg), random_program(&cfg));
+    }
+
+    #[test]
+    fn race_free_programs_have_no_races() {
+        use bigfoot_detectors::Detector;
+        for seed in 1..10 {
+            let cfg = RandomConfig {
+                seed,
+                racy: false,
+                ..RandomConfig::default()
+            };
+            let src = random_program(&cfg);
+            let p = parse_program(&src).unwrap();
+            let mut ft = Detector::fasttrack();
+            Interp::new(
+                &p,
+                SchedPolicy::Random {
+                    seed: seed * 7 + 1,
+                    switch_inv: 4,
+                },
+            )
+            .run(&mut ft)
+            .unwrap();
+            let stats = ft.finish();
+            assert!(
+                !stats.has_races(),
+                "seed {seed} raced: {:?}\n{src}",
+                stats.races
+            );
+        }
+    }
+}

@@ -1,0 +1,1053 @@
+//! The 19 evaluation programs of Table 1, reconstructed in BFJ.
+//!
+//! The original JavaGrande and DaCapo benchmarks cannot run on the BFJ
+//! interpreter, so each program here reproduces its namesake's
+//! *access-pattern signature* — the property that determines its row in
+//! the paper's results:
+//!
+//! * block array traversals (`crypt`, `montecarlo`, `lusearch`) reward
+//!   check coalescing and coarse array shadows;
+//! * compute-dominated code (`series`) gives every detector little to do;
+//! * triangular traversals (`lufact`) coalesce statically but defeat the
+//!   dynamic array compression;
+//! * field-vector code (`raytracer`, `sunflow`, `moldyn`) rewards field
+//!   proxies;
+//! * data-dependent indices (`sparse`, `luindex`, `jython`) defeat static
+//!   coalescing;
+//! * synchronization-dominated code (`tomcat`, `avrora`, `h2`, `xalan`)
+//!   caps every detector's possible improvement;
+//! * pointer-chasing object code (`pmd`, `fop`, `batik`) sits in between.
+//!
+//! All programs are race-free (the paper fixed the racy JavaGrande
+//! barriers), fork workers from `main`, and join before exit.
+
+use bigfoot_bfj::{parse_program, Program};
+
+/// A named benchmark program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (matches Table 1).
+    pub name: &'static str,
+    /// The parsed program.
+    pub program: Program,
+}
+
+/// Problem-size selector: `Small` for tests, `Full` for the benchmark
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for the test suite.
+    Small,
+    /// Evaluation sizes for the `repro` harness and criterion benches.
+    Full,
+}
+
+impl Scale {
+    fn pick(self, small: usize, full: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The names of all 19 benchmarks, in the paper's order.
+pub const NAMES: [&str; 19] = [
+    "crypt",
+    "series",
+    "lufact",
+    "moldyn",
+    "montecarlo",
+    "sparse",
+    "sor",
+    "batik",
+    "raytracer",
+    "tomcat",
+    "sunflow",
+    "luindex",
+    "pmd",
+    "fop",
+    "lusearch",
+    "avrora",
+    "jython",
+    "xalan",
+    "h2",
+];
+
+/// Builds every benchmark at the given scale.
+pub fn benchmarks(scale: Scale) -> Vec<Benchmark> {
+    NAMES
+        .iter()
+        .map(|n| benchmark(n, scale).expect("known benchmark"))
+        .collect()
+}
+
+/// Builds one benchmark by name.
+pub fn benchmark(name: &str, scale: Scale) -> Option<Benchmark> {
+    let src = source(name, scale)?;
+    let program = parse_program(&src)
+        .unwrap_or_else(|e| panic!("benchmark {name} does not parse: {e}\n{src}"));
+    Some(Benchmark {
+        name: NAMES.iter().find(|n| **n == name)?,
+        program,
+    })
+}
+
+/// The BFJ source of one benchmark.
+pub fn source(name: &str, scale: Scale) -> Option<String> {
+    Some(match name {
+        "crypt" => crypt(scale),
+        "series" => series(scale),
+        "lufact" => lufact(scale),
+        "moldyn" => moldyn(scale),
+        "montecarlo" => montecarlo(scale),
+        "sparse" => sparse(scale),
+        "sor" => sor(scale),
+        "batik" => batik(scale),
+        "raytracer" => raytracer(scale),
+        "tomcat" => tomcat(scale),
+        "sunflow" => sunflow(scale),
+        "luindex" => luindex(scale),
+        "pmd" => pmd(scale),
+        "fop" => fop(scale),
+        "lusearch" => lusearch(scale),
+        "avrora" => avrora(scale),
+        "jython" => jython(scale),
+        "xalan" => xalan(scale),
+        "h2" => h2(scale),
+        _ => return None,
+    })
+}
+
+/// Emits `fork`/`join` scaffolding for `threads` workers calling `meth`
+/// with the given argument template (`{w}` is replaced by the worker id).
+fn fork_join(threads: usize, recv: &str, meth: &str, args: &str) -> String {
+    let mut s = String::new();
+    for w in 0..threads {
+        let a = args.replace("{w}", &w.to_string());
+        s.push_str(&format!("    fork t{w} = {recv}.{meth}({a});\n"));
+    }
+    for w in 0..threads {
+        s.push_str(&format!("    join(t{w});\n"));
+    }
+    s
+}
+
+/// IDEA-style encryption: three sequential whole-block passes over large
+/// arrays, workers on disjoint contiguous blocks. The signature rewarding
+/// BigFoot most: enormous access counts, perfectly coalescible.
+fn crypt(scale: Scale) -> String {
+    let n = scale.pick(256, 16384);
+    let threads = 4;
+    let chunk = n / threads;
+    format!(
+        "class Crypt {{
+             meth encrypt(text, crypt, lo, hi, key) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     crypt[i] = (text[i] * key + text[i] % 7 + 17) % 256;
+                 }}
+                 for (i = lo; i < hi; i = i + 1) {{
+                     crypt[i] = (crypt[i] * 3 + crypt[i] % 5 + key) % 256;
+                 }}
+                 return 0;
+             }}
+             meth decrypt(crypt, plain, lo, hi, key) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     plain[i] = (crypt[i] + 256 - key) % 256;
+                 }}
+                 return 0;
+             }}
+             meth run(text, crypt, plain, lo, hi, key) {{
+                 r = this.encrypt(text, crypt, lo, hi, key);
+                 r = this.decrypt(crypt, plain, lo, hi, key);
+                 return 0;
+             }}
+         }}
+         main {{
+             text = new_array({n});
+             crypt = new_array({n});
+             plain = new_array({n});
+             for (i = 0; i < {n}; i = i + 1) {{ text[i] = i % 251; }}
+             c = new Crypt;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "c",
+            "run",
+            &format!("text, crypt, plain, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}, 7")
+        ),
+    )
+}
+
+/// Fourier-series coefficients: almost all work is local arithmetic; one
+/// result write per coefficient. Negligible overhead for every detector.
+fn series(scale: Scale) -> String {
+    let n = scale.pick(16, 256);
+    let inner = scale.pick(40, 400);
+    let threads = 4;
+    let chunk = n / threads;
+    format!(
+        "class Series {{
+             meth coeff(res, lo, hi) {{
+                 for (k = lo; k < hi; k = k + 1) {{
+                     acc = 0;
+                     x = k + 1;
+                     for (j = 0; j < {inner}; j = j + 1) {{
+                         term = (x * j) % 97;
+                         sq = term * term;
+                         acc = acc + sq % 31;
+                         x = (x * 13 + 7) % 101;
+                     }}
+                     res[k] = acc;
+                 }}
+                 return 0;
+             }}
+         }}
+         main {{
+             res = new_array({n});
+             s = new Series;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "s",
+            "coeff",
+            &format!("res, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// LU factorization: a triangular sweep over a flattened matrix. Rows
+/// coalesce statically (low check ratio) but each commit starts at a
+/// different column, so the dynamic array representation degrades to
+/// fine-grained — BigFoot's worst case (§6.2).
+fn lufact(scale: Scale) -> String {
+    let n = scale.pick(12, 64);
+    format!(
+        "class Lu {{
+             meth factor(m, n, lock) {{
+                 for (k = 0; k < n - 1; k = k + 1) {{
+                     acq(lock);
+                     pivot = m[k * n + k];
+                     if (pivot == 0) {{ m[k * n + k] = 1; pivot = 1; }}
+                     for (i = k + 1; i < n; i = i + 1) {{
+                         scalef = m[i * n + k] / pivot;
+                         for (j = k; j < n; j = j + 1) {{
+                             m[i * n + j] = m[i * n + j] - scalef * m[k * n + j];
+                         }}
+                     }}
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             n = {n};
+             m = new_array({nn});
+             for (i = 0; i < {nn}; i = i + 1) {{ m[i] = (i * 7 + 3) % 19 + 1; }}
+             lock = new Lk;
+             lu = new Lu;
+             fork t0 = lu.factor(m, n, lock);
+             join(t0);
+         }}",
+        nn = n * n,
+    )
+}
+
+/// Molecular dynamics: particles as objects whose coordinate fields are
+/// always updated together — the field-proxy showcase — plus O(N²)
+/// pairwise force reads. Phases are serialized by a global lock (the
+/// paper's fixed barriers).
+fn moldyn(scale: Scale) -> String {
+    let n = scale.pick(24, 128);
+    let steps = scale.pick(2, 8);
+    let threads = 4;
+    let chunk = n / threads;
+    format!(
+        "class Particle {{
+             field x; field y; field z;
+             field fx; field fy; field fz;
+         }}
+         class Sim {{
+             meth force(ps, lo, hi, n) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     p = ps[i];
+                     ax = 0; ay = 0; az = 0;
+                     for (j = 0; j < n; j = j + 1) {{
+                         q = ps[j];
+                         dx = p.x - q.x;
+                         dy = p.y - q.y;
+                         dz = p.z - q.z;
+                         d2 = dx * dx + dy * dy + dz * dz + 1;
+                         ax = ax + dx / d2;
+                         ay = ay + dy / d2;
+                         az = az + dz / d2;
+                     }}
+                     p.fx = ax;
+                     p.fy = ay;
+                     p.fz = az;
+                 }}
+                 return 0;
+             }}
+             meth advance(ps, lo, hi) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     p = ps[i];
+                     p.x = p.x + p.fx / 16;
+                     p.y = p.y + p.fy / 16;
+                     p.z = p.z + p.fz / 16;
+                 }}
+                 return 0;
+             }}
+             meth run(ps, lo, hi, n, steps, barrier) {{
+                 for (s = 0; s < steps; s = s + 1) {{
+                     acq(barrier);
+                     r = this.force(ps, lo, hi, n);
+                     rel(barrier);
+                     acq(barrier);
+                     r = this.advance(ps, lo, hi);
+                     rel(barrier);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             n = {n};
+             ps = new_array(n);
+             for (i = 0; i < n; i = i + 1) {{
+                 p = new Particle;
+                 p.x = i; p.y = i * 2; p.z = i * 3;
+                 ps[i] = p;
+             }}
+             barrier = new Lk;
+             sim = new Sim;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "sim",
+            "run",
+            &format!("ps, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}, {n}, {steps}, barrier")
+        ),
+    )
+}
+
+/// Monte Carlo pricing: every task fills a *private* path array and
+/// reduces it; only the final result lands in a disjoint shared slot. The
+/// private arrays stay coarse — BigFoot's second-best case.
+fn montecarlo(scale: Scale) -> String {
+    let tasks = scale.pick(8, 64);
+    let path = scale.pick(64, 512);
+    let threads = 4;
+    let chunk = tasks / threads;
+    format!(
+        "class Mc {{
+             meth sample(results, lo, hi) {{
+                 for (t = lo; t < hi; t = t + 1) {{
+                     walk = new_array({path});
+                     v = t * 31 + 7;
+                     for (i = 0; i < {path}; i = i + 1) {{
+                         v = (v * 137 + 11) % 10007;
+                         walk[i] = v % 200 - 100;
+                     }}
+                     sum = 0;
+                     for (i = 0; i < {path}; i = i + 1) {{
+                         sum = sum + walk[i];
+                     }}
+                     results[t] = sum / {path};
+                 }}
+                 return 0;
+             }}
+         }}
+         main {{
+             results = new_array({tasks});
+             mc = new Mc;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "mc",
+            "sample",
+            &format!("results, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Sparse matrix-vector multiply: indirect indices (`y[row[k]]`) defeat
+/// static coalescing, but the direct streams over `row`/`col`/`val`
+/// coalesce, and repeated outer iterations make many checks redundant.
+fn sparse(scale: Scale) -> String {
+    let nz = scale.pick(64, 2048);
+    let n = scale.pick(16, 256);
+    let iters = scale.pick(3, 10);
+    let threads = 4;
+    let chunk = nz / threads;
+    format!(
+        "class Spmv {{
+             meth mult(row, col, val, x, y, lo, hi, iters, lock) {{
+                 for (it = 0; it < iters; it = it + 1) {{
+                     acq(lock);
+                     for (k = lo; k < hi; k = k + 1) {{
+                         r = row[k];
+                         c = col[k];
+                         y[r] = y[r] + val[k] * x[c] + val[k] % 3;
+                     }}
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             row = new_array({nz});
+             col = new_array({nz});
+             val = new_array({nz});
+             x = new_array({n});
+             y = new_array({n});
+             for (k = 0; k < {nz}; k = k + 1) {{
+                 row[k] = (k * 17 + 3) % {n};
+                 col[k] = (k * 29 + 5) % {n};
+                 val[k] = k % 9 + 1;
+             }}
+             for (i = 0; i < {n}; i = i + 1) {{ x[i] = i % 13; }}
+             lock = new Lk;
+             sp = new Spmv;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "sp",
+            "mult",
+            &format!("row, col, val, x, y, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}, {iters}, lock")
+        ),
+    )
+}
+
+/// Red-black SOR: stencil sweeps over a flattened grid with neighbor
+/// reads; rows coalesce into overlapping ranges. Sweeps serialize on the
+/// barrier lock.
+fn sor(scale: Scale) -> String {
+    let n = scale.pick(12, 64);
+    let iters = scale.pick(2, 8);
+    let threads = 2;
+    let rows = n - 2;
+    let chunk = rows / threads;
+    format!(
+        "class Sor {{
+             meth sweep(g, n, rlo, rhi, iters, barrier) {{
+                 for (it = 0; it < iters; it = it + 1) {{
+                     acq(barrier);
+                     for (i = rlo; i < rhi; i = i + 1) {{
+                         for (j = 1; j < n - 1; j = j + 1) {{
+                             up = g[(i - 1) * n + j];
+                             down = g[(i + 1) * n + j];
+                             left = g[i * n + j - 1];
+                             right = g[i * n + j + 1];
+                             g[i * n + j] = (up + down + left + right) / 4;
+                         }}
+                     }}
+                     rel(barrier);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             n = {n};
+             g = new_array({nn});
+             for (i = 0; i < {nn}; i = i + 1) {{ g[i] = i % 100; }}
+             barrier = new Lk;
+             s = new Sor;
+         {forks}
+         }}",
+        nn = n * n,
+        forks = fork_join(
+            threads,
+            "s",
+            "sweep",
+            &format!("g, {n}, 1 + {{w}} * {chunk}, 1 + {{w}} * {chunk} + {chunk}, {iters}, barrier")
+        ),
+    )
+}
+
+/// SVG-rendering stand-in: builds many small shape objects and walks them
+/// a few times; moderate coalescing on fields, small arrays.
+fn batik(scale: Scale) -> String {
+    let shapes = scale.pick(32, 4096);
+    let threads = 2;
+    let chunk = shapes / threads;
+    format!(
+        "class Shape {{
+             field x0; field y0; field x1; field y1;
+         }}
+         class Render {{
+             meth build(shapes, lo, hi) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     s = new Shape;
+                     s.x0 = i; s.y0 = i * 2;
+                     s.x1 = i + 10; s.y1 = i * 2 + 10;
+                     shapes[i] = s;
+                 }}
+                 return 0;
+             }}
+             meth area(shapes, lo, hi, out) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     s = shapes[i];
+                     w = s.x1 - s.x0;
+                     h = s.y1 - s.y0;
+                     out[i] = w * h;
+                 }}
+                 return 0;
+             }}
+             meth run(shapes, out, lo, hi) {{
+                 r = this.build(shapes, lo, hi);
+                 r = this.area(shapes, lo, hi, out);
+                 r = this.area(shapes, lo, hi, out);
+                 return 0;
+             }}
+         }}
+         main {{
+             shapes = new_array({shapes});
+             out = new_array({shapes});
+             r = new Render;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "r",
+            "run",
+            &format!("shapes, out, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Ray tracer: vector objects whose x/y/z are always touched together —
+/// over half the win comes from field compression (§6.2).
+fn raytracer(scale: Scale) -> String {
+    let pixels = scale.pick(32, 2048);
+    let depth = scale.pick(4, 16);
+    let threads = 4;
+    let chunk = pixels / threads;
+    format!(
+        "class Vec {{
+             field x; field y; field z;
+         }}
+         class Tracer {{
+             meth shade(img, lo, hi) {{
+                 for (p = lo; p < hi; p = p + 1) {{
+                     dir = new Vec;
+                     dir.x = p % 17; dir.y = p % 23; dir.z = 1;
+                     hit = new Vec;
+                     hit.x = 0; hit.y = 0; hit.z = 0;
+                     for (d = 0; d < {depth}; d = d + 1) {{
+                         dot = dir.x * hit.x + dir.y * hit.y + dir.z * hit.z;
+                         hit.x = hit.x + dir.x + dot % 5;
+                         hit.y = hit.y + dir.y + dot % 7;
+                         hit.z = hit.z + dir.z + dot % 3;
+                     }}
+                     img[p] = hit.x + hit.y + hit.z;
+                 }}
+                 return 0;
+             }}
+         }}
+         main {{
+             img = new_array({pixels});
+             t = new Tracer;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "t",
+            "shade",
+            &format!("img, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Servlet-container stand-in: tiny critical sections dominate; the
+/// footprint bookkeeping at each sync point can even cost BigFoot a
+/// little (the paper reports 1.19x of FastTrack's overhead here).
+fn tomcat(scale: Scale) -> String {
+    let requests = scale.pick(32, 16384);
+    let threads = 4;
+    let chunk = requests / threads;
+    format!(
+        "class Session {{
+             field hits; field last; field state;
+             volatile shuttingDown;
+         }}
+         class Server {{
+             meth handle(session, queue, lock, lo, hi) {{
+                 for (r = lo; r < hi; r = r + 1) {{
+                     down = session.shuttingDown;
+                     if (down == 0) {{
+                         acq(lock);
+                         session.hits = session.hits + 1;
+                         if (session.hits % 64 == 0) {{ session.state = session.hits / 64; }}
+                         session.last = r;
+                         queue[r % queue.length] = r;
+                         rel(lock);
+                     }}
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             session = new Session;
+             queue = new_array(16);
+             lock = new Lk;
+             srv = new Server;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "srv",
+            "handle",
+            &format!("session, queue, lock, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Sunflow-style renderer: raytracer vectors plus per-worker sample
+/// buffers (private arrays, whole-buffer passes).
+fn sunflow(scale: Scale) -> String {
+    let pixels = scale.pick(32, 384);
+    let samples = scale.pick(16, 64);
+    let threads = 4;
+    let chunk = pixels / threads;
+    format!(
+        "class Vec {{
+             field x; field y; field z;
+         }}
+         class Render {{
+             meth trace(img, lo, hi) {{
+                 buf = new_array({samples});
+                 for (p = lo; p < hi; p = p + 1) {{
+                     v = new Vec;
+                     v.x = p; v.y = p * 3 % 11; v.z = p % 7;
+                     for (s = 0; s < {samples}; s = s + 1) {{
+                         buf[s] = v.x * s + v.y + v.z;
+                     }}
+                     acc = 0;
+                     for (s = 0; s < {samples}; s = s + 1) {{
+                         acc = acc + buf[s];
+                     }}
+                     img[p] = acc / {samples};
+                 }}
+                 return 0;
+             }}
+         }}
+         main {{
+             img = new_array({pixels});
+             r = new Render;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "r",
+            "trace",
+            &format!("img, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Text indexing: hash-scattered writes into a shared table (locked) plus
+/// sequential document buffers.
+fn luindex(scale: Scale) -> String {
+    let docs = scale.pick(8, 128);
+    let words = scale.pick(24, 128);
+    let tsize = 64;
+    let threads = 2;
+    let chunk = docs / threads;
+    format!(
+        "class Index {{
+             meth add(tab, lock, lo, hi) {{
+                 for (d = lo; d < hi; d = d + 1) {{
+                     doc = new_array({words});
+                     for (w = 0; w < {words}; w = w + 1) {{
+                         doc[w] = (d * 131 + w * 31) % 9973;
+                     }}
+                     acq(lock);
+                     for (w = 0; w < {words}; w = w + 1) {{
+                         h = doc[w] % {tsize};
+                         tab[h] = tab[h] + 1;
+                     }}
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             tab = new_array({tsize});
+             lock = new Lk;
+             idx = new Index;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "idx",
+            "add",
+            &format!("tab, lock, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Source-analysis stand-in: pointer chasing over a linked AST with
+/// conditional field accesses; little for coalescing to do.
+fn pmd(scale: Scale) -> String {
+    let nodes = scale.pick(32, 1024);
+    let passes = scale.pick(2, 16);
+    let threads = 2;
+    format!(
+        "class Node {{
+             field kind; field weight; field next;
+         }}
+         class Analyzer {{
+             meth scan(head, passes, lock, acc) {{
+                 for (p = 0; p < passes; p = p + 1) {{
+                     acq(lock);
+                     cur = head;
+                     steps = 0;
+                     while (steps < {nodes}) {{
+                         k = cur.kind;
+                         if (k % 3 == 0) {{
+                             cur.weight = cur.weight + 1;
+                         }} else {{
+                             w = cur.weight;
+                             acc.total = acc.total + w;
+                         }}
+                         cur = cur.next;
+                         steps = steps + 1;
+                     }}
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Acc {{ field total; }}
+         class Lk {{ }}
+         main {{
+             head = new Node;
+             head.kind = 0;
+             cur = head;
+             for (i = 1; i < {nodes}; i = i + 1) {{
+                 nx = new Node;
+                 nx.kind = i;
+                 nx.weight = i % 5;
+                 cur.next = nx;
+                 cur = nx;
+             }}
+             cur.next = head;
+             acc = new Acc;
+             lock = new Lk;
+             an = new Analyzer;
+         {forks}
+         }}",
+        forks = fork_join(threads, "an", "scan", &format!("head, {passes}, lock, acc")),
+    )
+}
+
+/// Formatter stand-in: builds a tree of block objects and lays them out;
+/// object-heavy with small helper methods.
+fn fop(scale: Scale) -> String {
+    let blocks = scale.pick(48, 8192);
+    let threads = 2;
+    let chunk = blocks / threads;
+    format!(
+        "class Blockk {{
+             field width; field height; field offset;
+         }}
+         class Layout {{
+             meth measure(b, i) {{
+                 b.width = i % 40 + 10;
+                 b.height = i % 12 + 2;
+                 return b.width;
+             }}
+             meth place(bs, lo, hi) {{
+                 off = 0;
+                 for (i = lo; i < hi; i = i + 1) {{
+                     b = new Blockk;
+                     w = this.measure(b, i);
+                     b.offset = off;
+                     off = off + w;
+                     bs[i] = b;
+                 }}
+                 total = 0;
+                 for (i = lo; i < hi; i = i + 1) {{
+                     b = bs[i];
+                     total = total + b.offset + b.height;
+                 }}
+                 return total;
+             }}
+         }}
+         main {{
+             bs = new_array({blocks});
+             l = new Layout;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "l",
+            "place",
+            &format!("bs, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Search stand-in: shared read-only index scanned per query plus private
+/// score buffers.
+fn lusearch(scale: Scale) -> String {
+    let index = scale.pick(64, 1024);
+    let queries = scale.pick(8, 48);
+    let threads = 4;
+    let chunk = queries / threads;
+    format!(
+        "class Search {{
+             meth query(index, lo, hi) {{
+                 for (q = lo; q < hi; q = q + 1) {{
+                     scores = new_array(16);
+                     for (i = 0; i < index.length; i = i + 1) {{
+                         term = index[i];
+                         if (term % 16 == q % 16) {{
+                             scores[q % 16] = scores[q % 16] + term;
+                         }}
+                     }}
+                     best = 0;
+                     for (s = 0; s < 16; s = s + 1) {{
+                         if (scores[s] > best) {{ best = scores[s]; }}
+                     }}
+                 }}
+                 return 0;
+             }}
+         }}
+         main {{
+             index = new_array({index});
+             for (i = 0; i < {index}; i = i + 1) {{ index[i] = (i * 37 + 11) % 211; }}
+             s = new Search;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "s",
+            "query",
+            &format!("index, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// AVR simulator stand-in: an event loop with fine-grained locking around
+/// a tiny device state — sync bookkeeping dominates.
+fn avrora(scale: Scale) -> String {
+    let events = scale.pick(64, 32768);
+    let threads = 4;
+    let chunk = events / threads;
+    format!(
+        "class Device {{
+             field reg0; field reg1; field clock;
+         }}
+         class SimCore {{
+             meth step(dev, lock, lo, hi) {{
+                 for (e = lo; e < hi; e = e + 1) {{
+                     acq(lock);
+                     dev.clock = dev.clock + 1;
+                     if (e % 2 == 0) {{
+                         dev.reg0 = dev.reg0 + e % 7;
+                     }} else {{
+                         dev.reg1 = dev.reg1 + e % 5;
+                     }}
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             dev = new Device;
+             lock = new Lk;
+             core = new SimCore;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "core",
+            "step",
+            &format!("dev, lock, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Interpreter stand-in: dispatch over a bytecode array with a computed
+/// (data-dependent) operand stack index — hostile to static reasoning.
+fn jython(scale: Scale) -> String {
+    let code = scale.pick(64, 8192);
+    let threads = 2;
+    format!(
+        "class Frame {{
+             field sp; field acc;
+         }}
+         class Vm {{
+             meth exec(code, stack, lock) {{
+                 f = new Frame;
+                 f.sp = 0;
+                 acq(lock);
+                 for (pc = 0; pc < code.length; pc = pc + 1) {{
+                     op = code[pc];
+                     sp = f.sp;
+                     if (op % 4 == 0) {{
+                         stack[sp % stack.length] = op;
+                         f.sp = sp + 1;
+                     }} else {{
+                         if (op % 4 == 1) {{
+                             if (sp > 0) {{ f.sp = sp - 1; }}
+                             v = stack[f.sp % stack.length];
+                             f.acc = f.acc + v;
+                         }} else {{
+                             f.acc = f.acc + op % 3;
+                         }}
+                     }}
+                 }}
+                 rel(lock);
+                 return f.acc;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             code = new_array({code});
+             for (i = 0; i < {code}; i = i + 1) {{ code[i] = (i * 41 + 13) % 17; }}
+             stack = new_array(32);
+             lock = new Lk;
+             vm = new Vm;
+         {forks}
+         }}",
+        forks = fork_join(threads, "vm", "exec", "code, stack, lock"),
+    )
+}
+
+/// XSLT stand-in: tree transformation writing an output buffer, with
+/// per-item synchronization on a shared output cursor.
+fn xalan(scale: Scale) -> String {
+    let items = scale.pick(48, 8192);
+    let threads = 4;
+    let chunk = items / threads;
+    format!(
+        "class Cursor {{ field pos; }}
+         class Transform {{
+             meth apply(input, output, cur, lock, lo, hi) {{
+                 for (i = lo; i < hi; i = i + 1) {{
+                     v = input[i];
+                     t = v * 3 % 97 + v % 5;
+                     acq(lock);
+                     p = cur.pos;
+                     output[p % output.length] = t;
+                     cur.pos = p + 1;
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Lk {{ }}
+         main {{
+             input = new_array({items});
+             for (i = 0; i < {items}; i = i + 1) {{ input[i] = i * 19 % 83; }}
+             output = new_array({items});
+             cur = new Cursor;
+             lock = new Lk;
+             tr = new Transform;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "tr",
+            "apply",
+            &format!("input, output, cur, lock, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+/// Database stand-in: transactions under a table lock touching a few rows
+/// each — the most synchronization-bound program in the suite.
+fn h2(scale: Scale) -> String {
+    let txns = scale.pick(48, 16384);
+    let rows = 64;
+    let threads = 4;
+    let chunk = txns / threads;
+    format!(
+        "class Db {{
+             meth txn(rows, meta, lock, lo, hi) {{
+                 for (t = lo; t < hi; t = t + 1) {{
+                     acq(lock);
+                     r1 = (t * 7) % {rows};
+                     r2 = (t * 13 + 5) % {rows};
+                     v = rows[r1];
+                     rows[r2] = v + 1;
+                     meta.commits = meta.commits + 1;
+                     rel(lock);
+                 }}
+                 return 0;
+             }}
+         }}
+         class Meta {{ field commits; }}
+         class Lk {{ }}
+         main {{
+             rows = new_array({rows});
+             meta = new Meta;
+             lock = new Lk;
+             db = new Db;
+         {forks}
+         }}",
+        forks = fork_join(
+            threads,
+            "db",
+            "txn",
+            &format!("rows, meta, lock, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}")
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::{Interp, NullSink, SchedPolicy};
+    use bigfoot_detectors::Detector;
+
+    #[test]
+    fn all_benchmarks_parse_and_run_small() {
+        for b in benchmarks(Scale::Small) {
+            Interp::new(&b.program, SchedPolicy::default())
+                .with_max_steps(20_000_000)
+                .run(&mut NullSink)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_are_race_free() {
+        for b in benchmarks(Scale::Small) {
+            let mut ft = Detector::fasttrack();
+            Interp::new(
+                &b.program,
+                SchedPolicy::Random {
+                    seed: 11,
+                    switch_inv: 8,
+                },
+            )
+            .with_max_steps(20_000_000)
+            .run(&mut ft)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let stats = ft.finish();
+            assert!(!stats.has_races(), "{} races: {:?}", b.name, stats.races);
+        }
+    }
+
+    #[test]
+    fn names_cover_all_builders() {
+        for n in NAMES {
+            assert!(benchmark(n, Scale::Small).is_some(), "{n}");
+        }
+        assert!(benchmark("nosuch", Scale::Small).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Mini-benchmark: run one Table 1 workload under all five detector
+//! configurations and print the per-detector work — a single-benchmark
+//! slice of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --example benchmark_tour [crypt|moldyn|h2|...]
+//! ```
+
+use bigfoot_bench::measure;
+use bigfoot_workloads::{benchmark, Scale, NAMES};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crypt".to_owned());
+    let Some(b) = benchmark(&name, Scale::Full) else {
+        eprintln!("unknown benchmark `{name}`; choose one of: {NAMES:?}");
+        std::process::exit(1);
+    };
+    println!("benchmark: {}\n", b.name);
+    let r = measure(b.name, &b.program, 3);
+    println!(
+        "static analysis: {} methods, {:.3} ms/method, {} checks inserted",
+        r.static_stats.methods,
+        r.static_stats.time_per_method().as_secs_f64() * 1e3,
+        r.static_stats.checks_inserted,
+    );
+    println!("base run: {:.2} ms, {} heap cells\n", r.base_time.as_secs_f64() * 1e3, r.heap_cells);
+    println!(
+        "{:<10} {:>9} {:>9} {:>11} {:>11} {:>10} {:>10}",
+        "detector", "time(ms)", "overhead", "checks", "shadow ops", "footprint", "space"
+    );
+    for run in &r.runs {
+        println!(
+            "{:<10} {:>9.2} {:>8.2}x {:>11} {:>11} {:>10} {:>10}",
+            run.name,
+            run.time.as_secs_f64() * 1e3,
+            run.overhead(r.base_time),
+            run.stats.checks,
+            run.stats.shadow_ops,
+            run.stats.footprint_ops,
+            run.stats.shadow_space_peak,
+        );
+    }
+    let ft = r.run("FT");
+    let bf = r.run("BF");
+    println!(
+        "\nBigFoot check ratio {:.3} (FastTrack 1.0); {:.0}x fewer shadow ops.",
+        bf.stats.check_ratio(),
+        ft.stats.shadow_ops as f64 / bf.stats.shadow_ops.max(1) as f64,
+    );
+}
