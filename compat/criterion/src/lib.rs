@@ -1,0 +1,346 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the real criterion
+//! cannot be vendored. This crate reimplements the API surface the
+//! workspace's benches use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a simple wall-clock
+//! runner: each benchmark warms up, then collects `sample_size` samples
+//! within the measurement budget and reports the median, mean, and
+//! fastest per-iteration time.
+//!
+//! Passing `--bench` (as `cargo bench` does) runs everything; a single
+//! positional argument filters benchmarks by substring, as with real
+//! criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's collected measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Per-sample mean iteration times, in nanoseconds.
+    pub ns_per_iter: Vec<f64>,
+}
+
+impl Sample {
+    /// Median nanoseconds per iteration across samples.
+    pub fn median_ns(&self) -> f64 {
+        let mut v = self.ns_per_iter.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[v.len() / 2]
+    }
+
+    /// Mean nanoseconds per iteration across samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.ns_per_iter.is_empty() {
+            return 0.0;
+        }
+        self.ns_per_iter.iter().sum::<f64>() / self.ns_per_iter.len() as f64
+    }
+}
+
+/// Runs timed iterations for one benchmark.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    out: &'a mut Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration nanoseconds into the
+    /// enclosing benchmark's sample set.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost so each sample
+        // can batch enough iterations to be measurable.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters_done as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.samples.max(1) as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)).ceil() as u64).clamp(1, 1_000_000);
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.out.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// The benchmark runner and configuration builder.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    filter: Option<String>,
+    /// Results of every benchmark run so far, in execution order.
+    pub samples: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks; the `--bench`
+        // flag cargo itself appends is ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+            filter,
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_owned(), |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            parent: self,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut ns = Vec::with_capacity(self.sample_size);
+        {
+            let mut b = Bencher {
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+                samples: self.sample_size,
+                out: &mut ns,
+            };
+            f(&mut b);
+        }
+        let sample = Sample {
+            id,
+            ns_per_iter: ns,
+        };
+        println!(
+            "{:<44} time: [median {:>12} mean {:>12}] ({} samples)",
+            sample.id,
+            fmt_ns(sample.median_ns()),
+            fmt_ns(sample.mean_ns()),
+            sample.ns_per_iter.len()
+        );
+        self.samples.push(sample);
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of benchmarks sharing configuration, named like
+/// `group/function/parameter`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let (sample_size, measurement, warm_up) =
+            (self.sample_size, self.measurement, self.warm_up);
+        let saved = (
+            self.parent.sample_size,
+            self.parent.measurement,
+            self.parent.warm_up,
+        );
+        self.parent.sample_size = sample_size;
+        self.parent.measurement = measurement;
+        self.parent.warm_up = warm_up;
+        self.parent.run_one(full, |b| f(b, input));
+        (
+            self.parent.sample_size,
+            self.parent.measurement,
+            self.parent.warm_up,
+        ) = saved;
+        self
+    }
+
+    /// Runs one benchmark function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.bench_with_input(id, &(), |b, _| f(b))
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display form.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.filter = None;
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.samples.len(), 1);
+        assert_eq!(c.samples[0].ns_per_iter.len(), 4);
+        assert!(c.samples[0].median_ns() > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.filter = None;
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", "p"), &3u64, |b, n| b.iter(|| n * 2));
+        g.finish();
+        assert_eq!(c.samples[0].id, "g/f/p");
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! real proptest cannot be vendored. This crate reimplements the small API
+//! surface the workspace's property tests use — strategies built from
+//! ranges, tuples, `Just`, `prop_oneof!`, `prop_map`, `prop_recursive`,
+//! `prop::collection::vec`, `prop::bool::ANY`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros — as a deterministic seeded
+//! random-input test runner.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via
+//!   each test's own assertion message, but is not minimized;
+//! * **deterministic seeding** — every run generates the same cases, so
+//!   test outcomes are stable across machines and invocations;
+//! * the default case count is 64 (raise with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`).
+
+/// The deterministic RNG driving every strategy (xorshift64*).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with an explicit non-zero seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, n)` (n must be positive).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
+pub mod strategy {
+    //! The strategy trait and combinators.
+
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a deterministic function of the test RNG.
+    pub trait Strategy: 'static {
+        /// The type of generated values.
+        type Value: 'static;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| s.gen_value(rng)))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng| f(s.gen_value(rng))))
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf, and `f` maps a
+        /// strategy for depth-`d` values to one for depth-`d+1` values.
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone,
+            R: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let mut cur = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let rec = f(cur).boxed();
+                cur = BoxedStrategy(Rc::new(move |rng| {
+                    // Bias toward leaves so expression sizes stay bounded.
+                    if rng.below(3) == 0 {
+                        rec.gen_value(rng)
+                    } else {
+                        leaf.gen_value(rng)
+                    }
+                }));
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among equally weighted strategies (the engine behind
+    /// `prop_oneof!`).
+    pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].gen_value(rng)
+        }))
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as i64, self.end as i64) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn gen_value(&self, rng: &mut TestRng) -> u64 {
+            if self.end <= self.start {
+                return self.start;
+            }
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+);)*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// The strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A strategy for `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy(Rc::new(move |rng| {
+            let lo = size.start as i64;
+            let hi = (size.end as i64).max(lo + 1);
+            let n = rng.in_range(lo, hi) as usize;
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        }))
+    }
+}
+
+pub mod test_runner {
+    //! The case runner used by the `proptest!` macro expansion.
+
+    use super::TestRng;
+
+    /// Why a generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    /// Result type every `proptest!` body is wrapped into.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // fast while still exploring a useful input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives one property: generates inputs until `config.cases` accepted
+    /// cases ran (or the rejection budget is exhausted) and panics on the
+    /// first failing case.
+    pub fn run_cases<F: FnMut(&mut TestRng) -> TestCaseResult>(
+        test_name: &str,
+        config: &ProptestConfig,
+        mut case: F,
+    ) {
+        // Stable per-test seed: same inputs on every run.
+        let mut seed = 0xB16_F007u64 ^ 0x9E37_79B9_7F4A_7C15;
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+        }
+        let mut rng = TestRng::new(seed);
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = config.cases as u64 * 64;
+        while accepted < config.cases && attempts < max_attempts {
+            attempts += 1;
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {} of `{test_name}` failed: {msg}",
+                        accepted + 1
+                    )
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface (`use proptest::prelude::*`).
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of real proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                a,
+                b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Defines property tests over strategy-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (@run $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(stringify!($name), &config, |rng| {
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), rng);)+
+                    // `mut` is needed when `$body` mutates its captures;
+                    // some expansions don't, so silence unused_mut there.
+                    #[allow(unused_mut)]
+                    let mut body = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    body()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn tree() -> impl Strategy<Value = Tree> {
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5i64..7, y in 0usize..3) {
+            prop_assert!((-5..7).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0i32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_recursion_generate(t in tree(), b in prop::bool::ANY) {
+            let _ = b;
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+                }
+            }
+            prop_assert!(depth(&t) <= 4);
+        }
+
+        #[test]
+        fn assume_filters(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run_cases("determinism", &ProptestConfig::with_cases(10), |rng| {
+                out.push(rng.next_u64());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,11 +1,11 @@
 //! Criterion benches: end-to-end detector throughput on representative
 //! Table 1 workloads (small scale — the full sweep lives in `repro`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
 use bigfoot_bfj::{Interp, NullSink, SchedPolicy};
 use bigfoot_detectors::{ArrayEngine, CheckSource, Detector, ProxyTable};
 use bigfoot_workloads::{benchmark, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detectors");
@@ -33,14 +33,18 @@ fn bench_detectors(c: &mut Criterion) {
                     ArrayEngine::Fine,
                     ProxyTable::identity(),
                 );
-                Interp::new(p, SchedPolicy::default()).run(&mut det).unwrap();
+                Interp::new(p, SchedPolicy::default())
+                    .run(&mut det)
+                    .unwrap();
                 det.finish().shadow_ops
             })
         });
         group.bench_with_input(BenchmarkId::new("RC", name), &rc_prog, |bench, p| {
             bench.iter(|| {
                 let mut det = Detector::redcard(rc_proxies.clone());
-                Interp::new(p, SchedPolicy::default()).run(&mut det).unwrap();
+                Interp::new(p, SchedPolicy::default())
+                    .run(&mut det)
+                    .unwrap();
                 det.finish().shadow_ops
             })
         });
@@ -52,21 +56,21 @@ fn bench_detectors(c: &mut Criterion) {
                     ArrayEngine::Footprint,
                     ProxyTable::identity(),
                 );
-                Interp::new(p, SchedPolicy::default()).run(&mut det).unwrap();
+                Interp::new(p, SchedPolicy::default())
+                    .run(&mut det)
+                    .unwrap();
                 det.finish().shadow_ops
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("BF", name),
-            &inst.program,
-            |bench, p| {
-                bench.iter(|| {
-                    let mut det = Detector::bigfoot(inst.proxies.clone());
-                    Interp::new(p, SchedPolicy::default()).run(&mut det).unwrap();
-                    det.finish().shadow_ops
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("BF", name), &inst.program, |bench, p| {
+            bench.iter(|| {
+                let mut det = Detector::bigfoot(inst.proxies.clone());
+                Interp::new(p, SchedPolicy::default())
+                    .run(&mut det)
+                    .unwrap();
+                det.finish().shadow_ops
+            })
+        });
     }
     group.finish();
 }

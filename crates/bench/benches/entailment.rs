@@ -1,9 +1,9 @@
 //! Criterion micro-benches for the entailment engine (the Z3 stand-in):
 //! Fourier–Motzkin queries, range subsumption, and the §4 coalescer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bigfoot_bfj::parse_expr;
 use bigfoot_entail::{coalesce, covered_by_union, linearize, Kb, SymRange};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn kb_with(facts: &[&str]) -> Kb {
     let mut kb = Kb::new();
@@ -42,7 +42,10 @@ fn bench_entailment(c: &mut Criterion) {
         b.iter(|| {
             let mut kb = kb_with(&["i == ip + 1", "ip >= 0"]);
             let query = rng("0", "i", 1);
-            let facts = [rng("0", "ip", 1), SymRange::singleton(linearize(&parse_expr("ip").unwrap()).unwrap())];
+            let facts = [
+                rng("0", "ip", 1),
+                SymRange::singleton(linearize(&parse_expr("ip").unwrap()).unwrap()),
+            ];
             covered_by_union(&mut kb, &query, &facts)
         })
     });
@@ -54,7 +57,7 @@ fn bench_entailment(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_entailment

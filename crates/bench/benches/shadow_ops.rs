@@ -1,11 +1,11 @@
 //! Criterion micro-benches for the shadow-memory substrate: adaptive array
 //! commits, footprint construction, and raw FastTrack state transitions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bigfoot_bfj::ConcreteRange;
 use bigfoot_detectors::SyncClocks;
 use bigfoot_shadow::{ArrayShadow, RangeSet};
 use bigfoot_vc::{AccessKind, Tid, VarState, VectorClock};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_shadow(c: &mut Criterion) {
     let mut clock = VectorClock::new();
@@ -28,7 +28,11 @@ fn bench_shadow(c: &mut Criterion) {
             let mut sh = ArrayShadow::new(256);
             // Misaligned strided commit forces fine-grained.
             sh.apply(
-                ConcreteRange { lo: 3, hi: 11, step: 2 },
+                ConcreteRange {
+                    lo: 3,
+                    hi: 11,
+                    step: 2,
+                },
                 AccessKind::Write,
                 Tid(0),
                 &clock,
@@ -36,7 +40,12 @@ fn bench_shadow(c: &mut Criterion) {
             let mut ops = 0;
             for i in 0..256 {
                 ops += sh
-                    .apply(ConcreteRange::singleton(i), AccessKind::Write, Tid(0), &clock)
+                    .apply(
+                        ConcreteRange::singleton(i),
+                        AccessKind::Write,
+                        Tid(0),
+                        &clock,
+                    )
                     .shadow_ops;
             }
             ops
@@ -70,7 +79,7 @@ fn bench_shadow(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_shadow

@@ -1,9 +1,9 @@
 //! Criterion benches for S TATIC BF itself (the §6.1 scaling claim): full
 //! pipeline per benchmark program, plus the RedCard baseline instrumenter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bigfoot::{instrument, redcard_instrument};
 use bigfoot_workloads::{benchmarks, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_static(c: &mut Criterion) {
     let programs = benchmarks(Scale::Small);

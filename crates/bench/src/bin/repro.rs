@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|table2|fig2|fig8|static|all] [--scale small|full] [--reps N]
+//! repro [table1|table2|fig2|fig8|static|ablation|all]
+//!       [--scale small|full] [--reps N] [--bench NAME] [--json] [--out FILE]
 //! ```
 //!
 //! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
@@ -13,54 +14,103 @@
 //! * `fig2`   — the headline mean-overhead comparison row.
 //! * `fig8`   — per-benchmark check ratios (arrays vs fields) and the
 //!   BF/FT overhead ratio.
-//! * `static` — the §6.1 static-analysis scaling claim.
+//! * `static` — the §6.1 static-analysis scaling claim, including the
+//!   entailment engine's measured share of analysis time.
+//! * `--json` — emit the machine-readable report (schema in
+//!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
+//!   `--out FILE` writes it to a file as well.
 
+use bigfoot_bench::report;
 use bigfoot_bench::{geomean, mean, measure, measure_ablation, BenchResult, ABLATIONS, DETECTORS};
+use bigfoot_obs::cli::CliArgs;
+use bigfoot_obs::json::Json;
 use bigfoot_workloads::{benchmark, benchmarks, Scale};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
-    let scale = if args.iter().any(|a| a == "--scale")
-        && args.iter().any(|a| a == "small")
-        || args.windows(2).any(|w| w[0] == "--scale" && w[1] == "small")
-    {
-        Scale::Small
-    } else {
-        Scale::Full
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!();
+            eprintln!(
+                "usage: repro [table1|table2|fig2|fig8|static|ablation|all] \
+                 [--scale small|full] [--reps N] [--bench NAME] [--json] [--out FILE]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let args = CliArgs::parse(
+        args,
+        &["--scale", "--reps", "--bench", "--out"],
+        &["--json"],
+    )?;
+    let what = args.positional(0).unwrap_or("all").to_owned();
+    let scale_name = args.one_of("--scale", &["full", "small"])?;
+    let scale = match scale_name {
+        "small" => Scale::Small,
+        _ => Scale::Full,
     };
-    let reps = args
-        .windows(2)
-        .find(|w| w[0] == "--reps")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(3);
+    let reps: usize = args.parsed("--reps")?.unwrap_or(3);
+    let json = args.has("--json");
+
+    // Collection feeds both the JSON reports (entailment share, §6.1) and
+    // the human `static` table, so it is always on in this binary.
+    bigfoot_obs::set_enabled(true);
 
     if what == "ablation" {
-        ablation(scale, reps);
-        return;
+        let out = ablation(scale, reps, json);
+        return emit(out, &args, json);
     }
 
+    let selected: Vec<_> = match args.value("--bench") {
+        None => benchmarks(scale),
+        Some(name) => {
+            vec![benchmark(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
+        }
+    };
     eprintln!(
-        "measuring 19 benchmarks at {scale:?} scale, {reps} reps per detector …"
+        "measuring {} benchmark(s) at {scale:?} scale, {reps} reps per detector …",
+        selected.len()
     );
-    let results: Vec<BenchResult> = benchmarks(scale)
+    let results: Vec<BenchResult> = selected
         .iter()
         .map(|b| {
             eprintln!("  {}", b.name);
             measure(b.name, &b.program, reps)
         })
         .collect();
+    if json {
+        let report = match what.as_str() {
+            "table1" => report::table1_json(&results, scale_name, reps),
+            "table2" => report::table2_json(&results, scale_name, reps),
+            "fig2" => report::fig2_json(&results, scale_name, reps),
+            "fig8" => report::fig8_json(&results, scale_name, reps),
+            "static" => report::static_json(&results, scale_name, reps),
+            "all" => {
+                let mut all = report::envelope("all", scale_name, reps);
+                all.set("table1", report::table1_json(&results, scale_name, reps));
+                all.set("table2", report::table2_json(&results, scale_name, reps));
+                all.set("fig2", report::fig2_json(&results, scale_name, reps));
+                all.set("fig8", report::fig8_json(&results, scale_name, reps));
+                all.set("static", report::static_json(&results, scale_name, reps));
+                all
+            }
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        return emit(Some(report), &args, true);
+    }
     match what.as_str() {
         "table1" => table1(&results),
         "table2" => table2(&results),
         "fig2" => fig2(&results),
         "fig8" => fig8(&results),
         "static" => static_stats(&results),
-        _ => {
+        "all" => {
             table1(&results);
             println!();
             table2(&results);
@@ -71,7 +121,24 @@ fn main() {
             println!();
             static_stats(&results);
         }
+        other => return Err(format!("unknown command `{other}`")),
     }
+    Ok(())
+}
+
+/// Prints the JSON report to stdout and, with `--out FILE`, writes it to
+/// the file too.
+fn emit(report: Option<Json>, args: &CliArgs, json: bool) -> Result<(), String> {
+    let Some(report) = report else { return Ok(()) };
+    if !json {
+        return Ok(());
+    }
+    let text = report.to_string_pretty();
+    println!("{text}");
+    if let Some(path) = args.value("--out") {
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn table1(results: &[BenchResult]) {
@@ -120,27 +187,42 @@ fn table1(results: &[BenchResult]) {
         );
     }
     let mean_cr = mean(results.iter().map(|r| r.run("BF").stats.check_ratio()));
-    print!("{:<11} {:>7} {:>9.4} {:>6.2} {:>9} |", "Mean",
-        results.iter().map(|r| r.static_stats.methods).sum::<usize>(),
-        mean(results.iter().map(|r| r.static_stats.time_per_method().as_secs_f64())),
-        mean_cr, "");
+    print!(
+        "{:<11} {:>7} {:>9.4} {:>6.2} {:>9} |",
+        "Mean",
+        results
+            .iter()
+            .map(|r| r.static_stats.methods)
+            .sum::<usize>(),
+        mean(
+            results
+                .iter()
+                .map(|r| r.static_stats.time_per_method().as_secs_f64())
+        ),
+        mean_cr,
+        ""
+    );
     for d in ["FT", "RC", "SS", "SC", "BF"] {
-        print!(" {:>7.2}", geomean(results.iter().map(|r| r.run(d).overhead(r.base_time))));
+        print!(
+            " {:>7.2}",
+            geomean(results.iter().map(|r| r.run(d).overhead(r.base_time)))
+        );
     }
     print!(" |");
     for d in ["RC", "SS", "SC", "BF"] {
         print!(
             " {:>6.2}",
-            geomean(
-                results
-                    .iter()
-                    .map(|r| ratio(r.run(d).overhead(r.base_time), r.run("FT").overhead(r.base_time)))
-            )
+            geomean(results.iter().map(|r| ratio(
+                r.run(d).overhead(r.base_time),
+                r.run("FT").overhead(r.base_time)
+            )))
         );
     }
     println!();
     println!();
-    println!("-- operation-count cost model (shadow+footprint+check+sync units, relative to FT) --");
+    println!(
+        "-- operation-count cost model (shadow+footprint+check+sync units, relative to FT) --"
+    );
     println!(
         "{:<11} {:>10} | {:>6} {:>6} {:>6} {:>6}",
         "program", "FT units", "RC", "SS", "SC", "BF"
@@ -161,7 +243,11 @@ fn table1(results: &[BenchResult]) {
     for d in ["RC", "SS", "SC", "BF"] {
         print!(
             " {:>6.2}",
-            geomean(results.iter().map(|r| r.run(d).model_cost() / r.run("FT").model_cost()))
+            geomean(
+                results
+                    .iter()
+                    .map(|r| r.run(d).model_cost() / r.run("FT").model_cost())
+            )
         );
     }
     println!();
@@ -194,10 +280,14 @@ fn table2(results: &[BenchResult]) {
             r.run("BF").stats.shadow_space_peak as f64 / ft,
         );
     }
-    print!("{:<11} {:>10} {:>8.2} |", "GeoMean", "",
+    print!(
+        "{:<11} {:>10} {:>8.2} |",
+        "GeoMean",
+        "",
         geomean(results.iter().map(|r| {
             r.run("FT").stats.shadow_space_peak.max(1) as f64 / r.heap_cells.max(1) as f64
-        })));
+        }))
+    );
     for d in ["RC", "SS", "SC", "BF"] {
         print!(
             " {:>6.2}",
@@ -212,7 +302,10 @@ fn table2(results: &[BenchResult]) {
 
 fn fig2(results: &[BenchResult]) {
     println!("== Figure 2: detector comparison (geomean run-time overhead) ==");
-    println!("{:<10} {:>28} {:>12}", "detector", "check motion/compression", "overhead");
+    println!(
+        "{:<10} {:>28} {:>12}",
+        "detector", "check motion/compression", "overhead"
+    );
     let descr = [
         ("FT", "none"),
         ("RC", "static redundancy elim."),
@@ -277,37 +370,65 @@ fn fig8(results: &[BenchResult]) {
 }
 
 /// Ablation study: each row disables one ingredient of the analysis on a
-/// representative benchmark subset.
-fn ablation(scale: Scale, reps: usize) {
-    println!("== Ablation: BigFoot minus one ingredient (op-model cost and check ratio) ==");
+/// representative benchmark subset. Returns the JSON report when `json`.
+fn ablation(scale: Scale, reps: usize, json: bool) -> Option<Json> {
     let names = ["crypt", "moldyn", "raytracer", "lufact", "sparse", "h2"];
-    println!("{:<14} {:>12} {:>8} {:>12} {:>10}", "config", "benchmark", "CR", "model cost", "checks");
+    let mut rows = Vec::new();
+    if !json {
+        println!("== Ablation: BigFoot minus one ingredient (op-model cost and check ratio) ==");
+        println!(
+            "{:<14} {:>12} {:>8} {:>12} {:>10}",
+            "config", "benchmark", "CR", "model cost", "checks"
+        );
+    }
     for name in names {
         let b = benchmark(name, scale).expect("benchmark");
         for (label, opts) in ABLATIONS {
             let run = measure_ablation(&b.program, opts, reps);
-            println!(
-                "{:<14} {:>12} {:>8.3} {:>12.0} {:>10}",
-                label,
-                name,
-                run.stats.check_ratio(),
-                run.model_cost(),
-                run.stats.checks,
-            );
+            if json {
+                rows.push(report::ablation_row_json(label, name, &run));
+            } else {
+                println!(
+                    "{:<14} {:>12} {:>8.3} {:>12.0} {:>10}",
+                    label,
+                    name,
+                    run.stats.check_ratio(),
+                    run.model_cost(),
+                    run.stats.checks,
+                );
+            }
         }
-        println!();
+        if !json {
+            println!();
+        }
     }
+    json.then(|| {
+        report::ablation_json(
+            rows,
+            if scale == Scale::Small {
+                "small"
+            } else {
+                "full"
+            },
+            reps,
+        )
+    })
 }
 
 fn static_stats(results: &[BenchResult]) {
     println!("== §6.1: StaticBF scaling ==");
-    println!("{:<11} {:>8} {:>12}", "program", "methods", "sec/method");
+    println!(
+        "{:<11} {:>8} {:>12} {:>12} {:>9}",
+        "program", "methods", "sec/method", "entail(ms)", "share"
+    );
     for r in results {
         println!(
-            "{:<11} {:>8} {:>12.5}",
+            "{:<11} {:>8} {:>12.5} {:>12.3} {:>8.1}%",
             r.name,
             r.static_stats.methods,
-            r.static_stats.time_per_method().as_secs_f64()
+            r.static_stats.time_per_method().as_secs_f64(),
+            r.static_obs.entail_ns as f64 / 1e6,
+            r.static_obs.entail_share() * 100.0,
         );
     }
     let avg = mean(
@@ -315,8 +436,18 @@ fn static_stats(results: &[BenchResult]) {
             .iter()
             .map(|r| r.static_stats.time_per_method().as_secs_f64()),
     );
-    println!(
-        "mean: {avg:.5} s/method (paper: 0.16 s/method on much larger Java methods)"
-    );
+    let analysis_ns: u64 = results.iter().map(|r| r.static_obs.analysis_ns).sum();
+    let entail_ns: u64 = results.iter().map(|r| r.static_obs.entail_ns).sum();
+    println!("mean: {avg:.5} s/method (paper: 0.16 s/method on much larger Java methods)");
+    if analysis_ns > 0 {
+        println!(
+            "entailment engine: {:.1}% of analysis wall time ({} queries)",
+            entail_ns as f64 / analysis_ns as f64 * 100.0,
+            results
+                .iter()
+                .map(|r| r.static_obs.entail_queries)
+                .sum::<u64>(),
+        );
+    }
     let _ = DETECTORS;
 }

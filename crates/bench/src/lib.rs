@@ -2,11 +2,15 @@
 //! benches: runs every detector configuration of the paper over a
 //! benchmark program and collects timing, operation counts, and space.
 
-use bigfoot::{instrument, instrument_with, naive_instrument, redcard_instrument, Instrumented,
-    InstrumentOptions};
+use bigfoot::{
+    instrument, instrument_with, naive_instrument, redcard_instrument, InstrumentOptions,
+    Instrumented,
+};
 use bigfoot_bfj::{Interp, NullSink, Program, SchedPolicy};
 use bigfoot_detectors::{ArrayEngine, CheckSource, Detector, ProxyTable, Stats};
 use std::time::{Duration, Instant};
+
+pub mod report;
 
 /// The detector configurations of Fig. 2, in presentation order.
 pub const DETECTORS: [&str; 5] = ["FT", "RC", "SS", "SC", "BF"];
@@ -41,6 +45,31 @@ impl DetectorRun {
     }
 }
 
+/// Observability-derived static-analysis measurements: how much of the
+/// StaticBF wall time went to the entailment engine (§6.1). Captured as a
+/// snapshot delta around the `instrument` call in [`measure`]; all zero
+/// when `bigfoot-obs` collection is disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticObsStats {
+    /// Total `static.instrument` span time, ns.
+    pub analysis_ns: u64,
+    /// Total outermost `entail.query` time, ns.
+    pub entail_ns: u64,
+    /// Entailment queries issued (all `entail.query.*` counters).
+    pub entail_queries: u64,
+}
+
+impl StaticObsStats {
+    /// Fraction of analysis wall time spent in the entailment engine.
+    pub fn entail_share(&self) -> f64 {
+        if self.analysis_ns == 0 {
+            0.0
+        } else {
+            self.entail_ns as f64 / self.analysis_ns as f64
+        }
+    }
+}
+
 /// All measurements for one benchmark.
 #[derive(Debug)]
 pub struct BenchResult {
@@ -52,6 +81,8 @@ pub struct BenchResult {
     pub heap_cells: u64,
     /// Static-analysis statistics for the BigFoot instrumentation.
     pub static_stats: bigfoot::AnalysisStats,
+    /// Entailment-engine share of the analysis, from `bigfoot-obs` spans.
+    pub static_obs: StaticObsStats,
     /// Per-detector runs, in [`DETECTORS`] order.
     pub runs: Vec<DetectorRun>,
 }
@@ -103,7 +134,15 @@ fn timed<F: FnMut() -> Option<Detector>>(
 /// RedCard-instrumented program, and BigFoot runs the BigFoot-instrumented
 /// program. Overheads are all relative to the uninstrumented base run.
 pub fn measure(name: &'static str, program: &Program, reps: usize) -> BenchResult {
+    let snap0 = bigfoot_obs::snapshot();
     let inst: Instrumented = instrument(program);
+    let snap1 = bigfoot_obs::snapshot();
+    let static_obs = StaticObsStats {
+        analysis_ns: snap1.timer_total("static.instrument")
+            - snap0.timer_total("static.instrument"),
+        entail_ns: snap1.timer_total("entail.query") - snap0.timer_total("entail.query"),
+        entail_queries: snap1.counter_total("entail.query.") - snap0.counter_total("entail.query."),
+    };
     let (rc_prog, rc_proxies) = redcard_instrument(program);
     let naive = naive_instrument(program);
 
@@ -123,9 +162,19 @@ pub fn measure(name: &'static str, program: &Program, reps: usize) -> BenchResul
             ProxyTable::identity(),
         ))
     });
-    runs.push(DetectorRun { name: "FT", time: t, stats: s.unwrap() });
-    let (t, s) = timed(&rc_prog, reps, || Some(Detector::redcard(rc_proxies.clone())));
-    runs.push(DetectorRun { name: "RC", time: t, stats: s.unwrap() });
+    runs.push(DetectorRun {
+        name: "FT",
+        time: t,
+        stats: s.unwrap(),
+    });
+    let (t, s) = timed(&rc_prog, reps, || {
+        Some(Detector::redcard(rc_proxies.clone()))
+    });
+    runs.push(DetectorRun {
+        name: "RC",
+        time: t,
+        stats: s.unwrap(),
+    });
     let (t, s) = timed(&naive, reps, || {
         Some(Detector::new(
             "SlimState",
@@ -134,19 +183,34 @@ pub fn measure(name: &'static str, program: &Program, reps: usize) -> BenchResul
             ProxyTable::identity(),
         ))
     });
-    runs.push(DetectorRun { name: "SS", time: t, stats: s.unwrap() });
-    let (t, s) = timed(&rc_prog, reps, || Some(Detector::slimcard(rc_proxies.clone())));
-    runs.push(DetectorRun { name: "SC", time: t, stats: s.unwrap() });
+    runs.push(DetectorRun {
+        name: "SS",
+        time: t,
+        stats: s.unwrap(),
+    });
+    let (t, s) = timed(&rc_prog, reps, || {
+        Some(Detector::slimcard(rc_proxies.clone()))
+    });
+    runs.push(DetectorRun {
+        name: "SC",
+        time: t,
+        stats: s.unwrap(),
+    });
     let (t, s) = timed(&inst.program, reps, || {
         Some(Detector::bigfoot(inst.proxies.clone()))
     });
-    runs.push(DetectorRun { name: "BF", time: t, stats: s.unwrap() });
+    runs.push(DetectorRun {
+        name: "BF",
+        time: t,
+        stats: s.unwrap(),
+    });
 
     BenchResult {
         name,
         base_time,
         heap_cells,
         static_stats: inst.stats,
+        static_obs,
         runs,
     }
 }
@@ -202,11 +266,7 @@ pub const ABLATIONS: [(&str, InstrumentOptions); 5] = [
 
 /// Runs the BigFoot detector under one ablation configuration and returns
 /// (wall time, stats).
-pub fn measure_ablation(
-    program: &Program,
-    options: InstrumentOptions,
-    reps: usize,
-) -> DetectorRun {
+pub fn measure_ablation(program: &Program, options: InstrumentOptions, reps: usize) -> DetectorRun {
     let inst = instrument_with(program, options);
     let (t, s) = timed(&inst.program, reps, || {
         Some(Detector::bigfoot(inst.proxies.clone()))

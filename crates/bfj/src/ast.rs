@@ -367,9 +367,11 @@ impl Expr {
                 }
             }
             Expr::Unop(op, e) => Expr::Unop(*op, Box::new(e.subst(from, to))),
-            Expr::Binop(op, a, b) => {
-                Expr::Binop(*op, Box::new(a.subst(from, to)), Box::new(b.subst(from, to)))
-            }
+            Expr::Binop(op, a, b) => Expr::Binop(
+                *op,
+                Box::new(a.subst(from, to)),
+                Box::new(b.subst(from, to)),
+            ),
         }
     }
 }

@@ -93,7 +93,9 @@ impl ConcreteRange {
     /// Iterates over covered indices in increasing order.
     pub fn indices(&self) -> impl Iterator<Item = i64> + '_ {
         let (lo, hi, step) = (self.lo, self.hi, self.step);
-        (lo..hi).step_by(step.max(1) as usize).filter(move |_| step > 0)
+        (lo..hi)
+            .step_by(step.max(1) as usize)
+            .filter(move |_| step > 0)
     }
 
     /// The largest covered index plus one, or `lo` when empty.
@@ -140,11 +142,7 @@ pub enum Event {
     /// An array allocation.
     AllocArr { t: Tid, arr: ArrId, len: u64 },
     /// A heap access (always emitted, whether or not instrumented).
-    Access {
-        t: Tid,
-        kind: AccessKind,
-        loc: Loc,
-    },
+    Access { t: Tid, kind: AccessKind, loc: Loc },
     /// An explicit race check from instrumentation. One event per executed
     /// `check(C)` statement; `paths` holds each coalesced path.
     Check {

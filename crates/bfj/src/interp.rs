@@ -244,7 +244,10 @@ enum Work<'p> {
     LoopJunction(&'p Stmt),
     /// Re-acquire `lock` with the saved reentrancy `count` after a
     /// `wait` was notified.
-    Reacquire { lock: ObjId, count: u32 },
+    Reacquire {
+        lock: ObjId,
+        count: u32,
+    },
 }
 
 struct Frame<'p> {
@@ -440,20 +443,32 @@ impl<'p> Interp<'p> {
     pub fn run<S: EventSink>(&mut self, sink: &mut S) -> Result<RunOutcome, RuntimeError> {
         let mut current = 0usize;
         let mut quantum_left = self.quantum();
-        loop {
+        // Scheduling counters stay plain locals on the hot loop and are
+        // published to the obs registry once, after the run.
+        let mut context_switches = 0u64;
+        let run_result = loop {
             // Refresh blocked threads whose conditions now hold.
             self.wake_blocked();
             if self.threads.iter().all(|t| t.status == Status::Done) {
-                break;
+                break Ok(());
             }
             if self.threads[current].status != Status::Runnable || quantum_left == 0 {
-                current = self.pick_next(current)?;
+                let next = match self.pick_next(current) {
+                    Ok(n) => n,
+                    Err(e) => break Err(e),
+                };
+                if next != current {
+                    context_switches += 1;
+                }
+                current = next;
                 quantum_left = self.quantum();
             }
-            self.step(Tid(current as u32), sink)?;
+            if let Err(e) = self.step(Tid(current as u32), sink) {
+                break Err(e);
+            }
             self.steps += 1;
             if self.steps > self.max_steps {
-                return Err(RuntimeError::StepLimitExceeded(self.max_steps));
+                break Err(RuntimeError::StepLimitExceeded(self.max_steps));
             }
             quantum_left -= 1;
             if let SchedPolicy::Random { switch_inv, .. } = self.policy {
@@ -461,7 +476,12 @@ impl<'p> Interp<'p> {
                     quantum_left = 0;
                 }
             }
-        }
+        };
+        bigfoot_obs::count!("interp.runs");
+        bigfoot_obs::count!("interp.steps", self.steps);
+        bigfoot_obs::count!("interp.context_switches", context_switches);
+        bigfoot_obs::count!("interp.threads", self.threads.len());
+        run_result?;
         Ok(RunOutcome {
             steps: self.steps,
             threads: self.threads.len(),
@@ -488,10 +508,9 @@ impl<'p> Interp<'p> {
                         self.threads[i].status = Status::Runnable;
                     }
                 }
-                Status::BlockedJoin(t)
-                    if self.threads[t.index()].status == Status::Done => {
-                        self.threads[i].status = Status::Runnable;
-                    }
+                Status::BlockedJoin(t) if self.threads[t.index()].status == Status::Done => {
+                    self.threads[i].status = Status::Runnable;
+                }
                 // WaitingNotify is only released by an explicit notify.
                 _ => {}
             }
@@ -589,7 +608,11 @@ impl<'p> Interp<'p> {
     }
 
     fn env(&mut self, t: Tid) -> &mut Env {
-        &mut self.threads[t.index()].frames.last_mut().expect("frame").env
+        &mut self.threads[t.index()]
+            .frames
+            .last_mut()
+            .expect("frame")
+            .env
     }
 
     fn lookup(&self, t: Tid, x: Sym) -> Result<Value, RuntimeError> {
@@ -651,9 +674,7 @@ impl<'p> Interp<'p> {
                 // first assignment (e.g. a loop-local temporary on the
                 // first iteration); the copy is only consulted when prior
                 // history facts about `old` exist, so default to 0.
-                let v = self
-                    .lookup(t, *old)
-                    .unwrap_or(Value::Int(0));
+                let v = self.lookup(t, *old).unwrap_or(Value::Int(0));
                 self.env(t).insert(*fresh, v);
                 Ok(())
             }
@@ -753,7 +774,11 @@ impl<'p> Interp<'p> {
                 let v = self.heap.object(o).fields[fi as usize];
                 self.env(t).insert(*x, v);
                 if self.index.is_volatile(self.heap.object(o).class, fi) {
-                    sink.event(&Event::VolatileRead { t, obj: o, field: fi });
+                    sink.event(&Event::VolatileRead {
+                        t,
+                        obj: o,
+                        field: fi,
+                    });
                 } else {
                     sink.event(&Event::Access {
                         t,
@@ -769,7 +794,11 @@ impl<'p> Interp<'p> {
                 let v = self.lookup(t, *src)?;
                 self.heap.objects[o.0 as usize].fields[fi as usize] = v;
                 if self.index.is_volatile(self.heap.object(o).class, fi) {
-                    sink.event(&Event::VolatileWrite { t, obj: o, field: fi });
+                    sink.event(&Event::VolatileWrite {
+                        t,
+                        obj: o,
+                        field: fi,
+                    });
                 } else {
                     sink.event(&Event::Access {
                         t,

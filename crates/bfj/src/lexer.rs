@@ -145,7 +145,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character `{}` on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -318,7 +322,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -369,7 +377,10 @@ mod tests {
     fn lex_comments_and_lines() {
         let t = tokenize("x = 1; // set x\ny = 2;").unwrap();
         assert_eq!(t[0].line, 1);
-        let y = t.iter().find(|s| s.token == Token::Ident("y".into())).unwrap();
+        let y = t
+            .iter()
+            .find(|s| s.token == Token::Ident("y".into()))
+            .unwrap();
         assert_eq!(y.line, 2);
     }
 

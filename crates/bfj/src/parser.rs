@@ -206,9 +206,7 @@ impl Parser {
                     }
                 }
                 Token::Eof => break,
-                other => {
-                    return Err(self.err(format!("expected `class` or `main`, found {other}")))
-                }
+                other => return Err(self.err(format!("expected `class` or `main`, found {other}"))),
             }
         }
         let main = main.ok_or_else(|| self.err("program has no `main` block"))?;
@@ -496,7 +494,11 @@ impl Parser {
         let kind = match kind_sym.as_str() {
             "r" => AccessKind::Read,
             "w" => AccessKind::Write,
-            other => return Err(self.err(format!("expected `r` or `w` in check path, found `{other}`"))),
+            other => {
+                return Err(self.err(format!(
+                    "expected `r` or `w` in check path, found `{other}`"
+                )))
+            }
         };
         self.eat(&Token::Colon)?;
         let base = self.ident()?;
@@ -915,9 +917,7 @@ mod tests {
 
     #[test]
     fn rmw_lowering_produces_read_then_write() {
-        let p = parse(
-            "class C { field f; } main { c = new C; c.f = c.f + 1; }",
-        );
+        let p = parse("class C { field f; } main { c = new C; c.f = c.f + 1; }");
         let kinds: Vec<_> = p.main.stmts.iter().map(|s| &s.kind).collect();
         assert!(matches!(kinds[0], StmtKind::New { .. }));
         assert!(matches!(kinds[1], StmtKind::ReadField { .. }));
@@ -954,9 +954,7 @@ mod tests {
 
     #[test]
     fn while_with_heap_condition_reads_twice() {
-        let p = parse(
-            "class C { field f; } main { c = new C; while (c.f > 0) { c.f = 0; } }",
-        );
+        let p = parse("class C { field f; } main { c = new C; while (c.f > 0) { c.f = 0; } }");
         // The guard read happens before the if; the loop re-reads at the
         // end of its head.
         assert!(matches!(p.main.stmts[1].kind, StmtKind::ReadField { .. }));
@@ -979,7 +977,10 @@ mod tests {
             StmtKind::Loop { head, tail, .. } => {
                 // body write + increment, all in the rotated head
                 assert!(matches!(head.stmts[0].kind, StmtKind::WriteArr { .. }));
-                assert!(matches!(head.stmts.last().unwrap().kind, StmtKind::Assign { .. }));
+                assert!(matches!(
+                    head.stmts.last().unwrap().kind,
+                    StmtKind::Assign { .. }
+                ));
                 assert!(tail.stmts.is_empty());
             }
             other => panic!("expected loop, got {other:?}"),
@@ -1035,9 +1036,7 @@ mod tests {
 
     #[test]
     fn array_of_objects_chain() {
-        let p = parse(
-            "class P { field x; } main { a = new_array(3); v = a[0].x; }",
-        );
+        let p = parse("class P { field x; } main { a = new_array(3); v = a[0].x; }");
         let kinds: Vec<_> = p.main.stmts.iter().map(|s| &s.kind).collect();
         assert!(matches!(kinds[1], StmtKind::ReadArr { .. }));
         assert!(matches!(kinds[2], StmtKind::ReadField { .. }));

@@ -359,7 +359,11 @@ mod tests {
         );
         assert_eq!(pretty_expr(&e), "(a + b) * c");
         let e2 = Expr::add(
-            Expr::Binop(Binop::Mul, Box::new(Expr::var("a")), Box::new(Expr::var("b"))),
+            Expr::Binop(
+                Binop::Mul,
+                Box::new(Expr::var("a")),
+                Box::new(Expr::var("b")),
+            ),
             Expr::var("c"),
         );
         assert_eq!(pretty_expr(&e2), "a * b + c");

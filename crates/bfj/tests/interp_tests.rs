@@ -26,7 +26,10 @@ fn final_int(src: &str, var: &str) -> i64 {
 fn arithmetic_and_control_flow() {
     assert_eq!(final_int("main { x = 2 * 3 + 4 % 3; }", "x"), 7);
     assert_eq!(
-        final_int("main { x = 0; if (1 < 2) { x = 10; } else { x = 20; } }", "x"),
+        final_int(
+            "main { x = 0; if (1 < 2) { x = 10; } else { x = 20; } }",
+            "x"
+        ),
         10
     );
     assert_eq!(
@@ -240,7 +243,10 @@ fn out_of_bounds_is_an_error() {
     let err = Interp::new(&p, SchedPolicy::default())
         .run(&mut NullSink)
         .unwrap_err();
-    assert!(matches!(err, RuntimeError::IndexOutOfBounds { index: 5, .. }));
+    assert!(matches!(
+        err,
+        RuntimeError::IndexOutOfBounds { index: 5, .. }
+    ));
 }
 
 #[test]

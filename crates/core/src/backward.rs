@@ -197,11 +197,8 @@ impl BackwardPass<'_> {
                 for _ in 0..MAX_LOOP_ITERS {
                     let a_tail_pre = self.block_quiet(tail, a_head.clone());
                     let a_junction = meet(&a, &h_ctx, &a_tail_pre, &h_ctx);
-                    let next = intersect_entailed(
-                        &self.block_quiet(head, a_junction),
-                        &a_head,
-                        &h_ctx,
-                    );
+                    let next =
+                        intersect_entailed(&self.block_quiet(head, a_junction), &a_head, &h_ctx);
                     if next == a_head {
                         break;
                     }
@@ -359,10 +356,8 @@ mod tests {
 
     #[test]
     fn straightline_anticipation_flows_backward() {
-        let (body, t) = run(
-            "class C { field f; }
-             main { c = new C; x = c.f; y = c.f; }",
-        );
+        let (body, t) = run("class C { field f; }
+             main { c = new C; x = c.f; y = c.f; }");
         // Before the first read, c.f(r) is anticipated (from both reads).
         let first_read = &body.stmts[1];
         let pre = &t.pre[&first_read.id];
@@ -371,11 +366,9 @@ mod tests {
 
     #[test]
     fn acquire_kills_anticipation() {
-        let (body, t) = run(
-            "class C { field f; }
+        let (body, t) = run("class C { field f; }
              class L { }
-             main { c = new C; l = new L; acq(l); x = c.f; rel(l); }",
-        );
+             main { c = new C; l = new L; acq(l); x = c.f; rel(l); }");
         // Before the acquire nothing is anticipated.
         let acq = &body.stmts[2];
         assert!(matches!(acq.kind, StmtKind::Acquire { .. }));
@@ -386,11 +379,9 @@ mod tests {
 
     #[test]
     fn release_preserves_anticipation() {
-        let (body, t) = run(
-            "class C { field f; }
+        let (body, t) = run("class C { field f; }
              class L { }
-             main { c = new C; l = new L; acq(l); rel(l); x = c.f; }",
-        );
+             main { c = new C; l = new L; acq(l); rel(l); x = c.f; }");
         // The read of c.f after the release is still anticipated before
         // the release (releases are not anticipation boundaries)...
         let rel = body
@@ -411,8 +402,7 @@ mod tests {
     #[test]
     fn loop_head_anticipates_body_accesses() {
         // Fig. 6(b): at the loop head both b.f and a[i] are anticipated.
-        let (body, t) = run(
-            "class B { field f; }
+        let (body, t) = run("class B { field f; }
              main {
                  b = new B;
                  a = new_array(10);
@@ -422,8 +412,7 @@ mod tests {
                      a[i] = tv;
                      i = i + 1;
                  }
-             }",
-        );
+             }");
         fn find_loop(b: &Block) -> Option<&Stmt> {
             for s in &b.stmts {
                 match &s.kind {
@@ -447,14 +436,12 @@ mod tests {
 
     #[test]
     fn conditional_meet_keeps_common_accesses() {
-        let (body, t) = run(
-            "class C { field f; field g; }
+        let (body, t) = run("class C { field f; field g; }
              main {
                  c = new C;
                  p = 1;
                  if (p > 0) { x = c.f; y = c.g; } else { z = c.f; }
-             }",
-        );
+             }");
         let if_stmt = body
             .stmts
             .iter()
@@ -469,15 +456,13 @@ mod tests {
     fn write_anticipation_covers_reads_at_meet() {
         // One branch writes c.f, the other reads it: the write covers the
         // read, so c.f(r) survives the meet.
-        let (body, t) = run(
-            "class C { field f; }
+        let (body, t) = run("class C { field f; }
              main {
                  c = new C;
                  p = 1;
                  v = 5;
                  if (p > 0) { c.f = v; } else { z = c.f; }
-             }",
-        );
+             }");
         let if_stmt = body
             .stmts
             .iter()
@@ -490,14 +475,12 @@ mod tests {
 
     #[test]
     fn assignment_substitutes_into_ranges() {
-        let (body, t) = run(
-            "main {
+        let (body, t) = run("main {
                  a = new_array(10);
                  j = 3;
                  i = j + 1;
                  x = a[i];
-             }",
-        );
+             }");
         // Before `i = j + 1`, the anticipated access is a[j + 1].
         let assign = body
             .stmts

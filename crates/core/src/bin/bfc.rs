@@ -3,10 +3,11 @@
 //! ```text
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
-//!                      [--seed N] [--schedules N]
+//!                      [--seed N] [--schedules N] [--json]
 //! bfc run <file.bfj>
-//! bfc stats <file.bfj>
+//! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
+//! bfc profile <file.bfj> [--detector NAME] [--json]
 //! ```
 //!
 //! * `instrument` prints the instrumented program.
@@ -16,12 +17,17 @@
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
 //!   one run.
+//! * `profile` runs the full pipeline with `bigfoot-obs` collection on
+//!   and prints the per-phase time/count breakdown (static-analysis
+//!   spans, entailment share, shadow transitions, detector counters).
+//! * `--json` on `check`, `stats`, and `profile` emits a machine-readable
+//!   report with a stable schema (see `docs/OBSERVABILITY.md`).
 
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
-use bigfoot_bfj::{
-    parse_program, pretty, Interp, NullSink, Program, SchedPolicy, Tid, Value,
-};
+use bigfoot_bfj::{parse_program, pretty, Interp, NullSink, Program, SchedPolicy, Tid, Value};
 use bigfoot_detectors::{Detector, DjitDetector, Stats};
+use bigfoot_obs::cli::CliArgs;
+use bigfoot_obs::json::Json;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -46,28 +52,28 @@ macro_rules! outp {
     }};
 }
 
+/// Schema version stamped into every `bfc --json` report.
+const SCHEMA_VERSION: u64 = 1;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    match run(args) {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("bfc: {msg}");
             eprintln!();
             eprintln!("usage:");
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
-            eprintln!("  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N]");
+            eprintln!(
+                "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] [--json]"
+            );
             eprintln!("  bfc run <file.bfj>");
-            eprintln!("  bfc stats <file.bfj>");
+            eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
+            eprintln!("  bfc profile <file.bfj> [--detector NAME] [--json]");
             ExitCode::from(2)
         }
     }
-}
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].clone())
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -75,22 +81,44 @@ fn load(path: &str) -> Result<Program, String> {
     parse_program(&src).map_err(|e| format!("{path}: {e}"))
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
-    let cmd = args.first().ok_or("missing command")?;
-    let file = args
-        .iter()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .ok_or("missing input file")?;
-    let program = load(file)?;
+/// The common envelope of every `bfc --json` report.
+fn envelope(command: &str, file: &str) -> Json {
+    let mut out = Json::object();
+    out.set("schema_version", SCHEMA_VERSION);
+    out.set("tool", "bfc");
+    out.set("command", command);
+    out.set("file", file);
+    out
+}
+
+fn races_json(stats: &Stats) -> Json {
+    let mut races = Json::array();
+    for race in &stats.races {
+        let mut r = Json::object();
+        r.set("target", race.target.to_string());
+        r.set("info", race.info.to_string());
+        races.push(r);
+    }
+    races
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let args = CliArgs::parse(
+        args,
+        &["--mode", "--detector", "--seed", "--schedules", "--limit"],
+        &["--json"],
+    )?;
+    let cmd = args.positional(0).ok_or("missing command")?.to_owned();
+    let file = args.positional(1).ok_or("missing input file")?.to_owned();
+    let program = load(&file)?;
+    let json = args.has("--json");
     match cmd.as_str() {
         "instrument" => {
-            let mode = flag(args, "--mode").unwrap_or_else(|| "bigfoot".into());
-            let out = match mode.as_str() {
-                "bigfoot" => instrument(&program).program,
+            let mode = args.one_of("--mode", &["bigfoot", "redcard", "naive"])?;
+            let out = match mode {
                 "redcard" => redcard_instrument(&program).0,
                 "naive" => naive_instrument(&program),
-                other => return Err(format!("unknown mode `{other}`")),
+                _ => instrument(&program).program,
             };
             outp!("{}", pretty(&out));
             Ok(ExitCode::SUCCESS)
@@ -118,18 +146,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
-            let which = flag(args, "--detector").unwrap_or_else(|| "bigfoot".into());
-            let seed: u64 = match flag(args, "--seed") {
-                Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`"))?,
-                None => 1,
-            };
-            let schedules: u64 = match flag(args, "--schedules") {
-                Some(s) => s
-                    .parse()
-                    .map_err(|_| format!("invalid --schedules `{s}`"))?,
-                None => 1,
-            };
+            let which = args.one_of(
+                "--detector",
+                &[
+                    "bigfoot",
+                    "fasttrack",
+                    "redcard",
+                    "slimstate",
+                    "slimcard",
+                    "djit",
+                ],
+            )?;
+            let seed: u64 = args.parsed("--seed")?.unwrap_or(1);
+            let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
             let mut any_race = false;
+            let mut schedule_reports = Json::array();
             for i in 0..schedules {
                 let policy = if schedules == 1 && seed == 1 {
                     SchedPolicy::default()
@@ -139,9 +170,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         switch_inv: 2,
                     }
                 };
-                let stats = check_once(&program, &which, policy)?;
+                let stats = check_once(&program, which, policy)?;
                 if stats.has_races() {
                     any_race = true;
+                }
+                if json {
+                    let mut sched = Json::object();
+                    sched.set("schedule", i + 1);
+                    sched.set("races", races_json(&stats));
+                    sched.set("stats", stats.to_json());
+                    schedule_reports.push(sched);
+                } else if stats.has_races() {
                     outln!("schedule {}: {} race(s)", i + 1, stats.races.len());
                     for race in &stats.races {
                         outln!("  {} — {}", race.target, race.info);
@@ -156,6 +195,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     );
                 }
             }
+            if json {
+                let mut report = envelope("check", &file);
+                report.set("detector", which);
+                report.set("seed", seed);
+                report.set("schedules", schedules);
+                report.set("any_race", any_race);
+                report.set("runs", schedule_reports);
+                outln!("{}", report.to_string_pretty());
+            }
             Ok(if any_race {
                 ExitCode::FAILURE
             } else {
@@ -164,12 +212,6 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "stats" => {
             let inst = instrument(&program);
-            outln!(
-                "static analysis: {} methods, {:.3} ms/method, {} checks inserted",
-                inst.stats.methods,
-                inst.stats.time_per_method().as_secs_f64() * 1e3,
-                inst.stats.checks_inserted
-            );
             let mut bf = Detector::bigfoot(inst.proxies.clone());
             Interp::new(&inst.program, SchedPolicy::default())
                 .run(&mut bf)
@@ -180,8 +222,34 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .run(&mut ft)
                 .map_err(|e| format!("runtime error: {e}"))?;
             let ft = ft.finish();
+            if json {
+                let mut report = envelope("stats", &file);
+                let mut stat = Json::object();
+                stat.set("methods", inst.stats.methods as u64);
+                stat.set("checks_inserted", inst.stats.checks_inserted as u64);
+                stat.set("total_ms", inst.stats.total_time.as_secs_f64() * 1e3);
+                stat.set("sec_per_method", inst.stats.time_per_method().as_secs_f64());
+                report.set("static", stat);
+                let mut dets = Json::object();
+                dets.set("fasttrack", ft.to_json());
+                dets.set("bigfoot", bf.to_json());
+                report.set("detectors", dets);
+                outln!("{}", report.to_string_pretty());
+                return Ok(ExitCode::SUCCESS);
+            }
+            outln!(
+                "static analysis: {} methods, {:.3} ms/method, {} checks inserted",
+                inst.stats.methods,
+                inst.stats.time_per_method().as_secs_f64() * 1e3,
+                inst.stats.checks_inserted
+            );
             outln!("{:<20} {:>12} {:>12}", "", "FastTrack", "BigFoot");
-            outln!("{:<20} {:>12} {:>12}", "accesses", ft.accesses(), bf.accesses());
+            outln!(
+                "{:<20} {:>12} {:>12}",
+                "accesses",
+                ft.accesses(),
+                bf.accesses()
+            );
             outln!("{:<20} {:>12} {:>12}", "checks", ft.checks, bf.checks);
             outln!(
                 "{:<20} {:>12.3} {:>12.3}",
@@ -189,25 +257,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 ft.check_ratio(),
                 bf.check_ratio()
             );
-            outln!("{:<20} {:>12} {:>12}", "shadow ops", ft.shadow_ops, bf.shadow_ops);
             outln!(
                 "{:<20} {:>12} {:>12}",
-                "shadow space", ft.shadow_space_end, bf.shadow_space_end
+                "shadow ops",
+                ft.shadow_ops,
+                bf.shadow_ops
             );
-            outln!("{:<20} {:>12} {:>12}", "races", ft.races.len(), bf.races.len());
+            outln!(
+                "{:<20} {:>12} {:>12}",
+                "shadow space",
+                ft.shadow_space_end,
+                bf.shadow_space_end
+            );
+            outln!(
+                "{:<20} {:>12} {:>12}",
+                "races",
+                ft.races.len(),
+                bf.races.len()
+            );
             Ok(ExitCode::SUCCESS)
         }
         "trace" => {
             // Print the instrumented program's event stream — the exact
             // view a dynamic detector gets.
-            let seed: u64 = match flag(args, "--seed") {
-                Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`"))?,
-                None => 0,
-            };
-            let limit: usize = match flag(args, "--limit") {
-                Some(s) => s.parse().map_err(|_| format!("invalid --limit `{s}`"))?,
-                None => 200,
-            };
+            let seed: u64 = args.parsed("--seed")?.unwrap_or(0);
+            let limit: usize = args.parsed("--limit")?.unwrap_or(200);
             let inst = instrument(&program);
             let policy = if seed == 0 {
                 SchedPolicy::default()
@@ -226,7 +300,88 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 outln!("{ev:?}");
             }
             if total > limit {
-                outln!("… {} more events (raise --limit to see them)", total - limit);
+                outln!(
+                    "… {} more events (raise --limit to see them)",
+                    total - limit
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "profile" => {
+            let which = args.one_of(
+                "--detector",
+                &[
+                    "bigfoot",
+                    "fasttrack",
+                    "redcard",
+                    "slimstate",
+                    "slimcard",
+                    "djit",
+                ],
+            )?;
+            bigfoot_obs::set_enabled(true);
+            bigfoot_obs::reset();
+            let stats = check_once(&program, which, SchedPolicy::default())?;
+            let snap = bigfoot_obs::snapshot();
+            if json {
+                let mut report = envelope("profile", &file);
+                report.set("detector", which);
+                report.set("stats", stats.to_json());
+                report.set("metrics", snap.to_json());
+                outln!("{}", report.to_string_pretty());
+                return Ok(ExitCode::SUCCESS);
+            }
+            outln!("== profile: {file} ({which}) ==");
+            outln!();
+            outln!("-- phases (wall clock) --");
+            outln!(
+                "{:<32} {:>8} {:>12} {:>12}",
+                "span",
+                "count",
+                "total ms",
+                "mean µs"
+            );
+            for t in &snap.timers {
+                // `observe!` histograms are unit-less; keep them separate.
+                if t.name.starts_with("shadow.commit") || t.name.starts_with("detector.") {
+                    continue;
+                }
+                outln!(
+                    "{:<32} {:>8} {:>12.3} {:>12.2}",
+                    t.name,
+                    t.count,
+                    t.total as f64 / 1e6,
+                    t.mean() / 1e3
+                );
+            }
+            let analysis = snap.timer_total("static.instrument");
+            let entail = snap.timer_total("entail.query");
+            if analysis > 0 {
+                outln!();
+                outln!(
+                    "entailment share of static analysis: {:.1}%",
+                    entail as f64 / analysis as f64 * 100.0
+                );
+            }
+            outln!();
+            outln!("-- distributions --");
+            for t in &snap.timers {
+                if !(t.name.starts_with("shadow.commit") || t.name.starts_with("detector.")) {
+                    continue;
+                }
+                outln!(
+                    "{:<32} {:>8} obs, mean {:.1}, log2 buckets {:?}",
+                    t.name,
+                    t.count,
+                    t.mean(),
+                    t.buckets
+                );
+            }
+            outln!();
+            outln!("-- counters --");
+            outln!("{:<32} {:>12}", "counter", "value");
+            for c in &snap.counters {
+                outln!("{:<32} {:>12}", c.name, c.value);
             }
             Ok(ExitCode::SUCCESS)
         }

@@ -106,7 +106,8 @@ fn fold_adjacent_renames(b: &mut Block, counts: &HashMap<Sym, usize>) {
     while i + 1 < b.stmts.len() {
         let fold = match (&b.stmts[i].kind, &b.stmts[i + 1].kind) {
             (StmtKind::Rename { fresh, old }, StmtKind::Assign { x, e })
-                if x == old && counts.get(fresh).copied().unwrap_or(0) == uses_in_expr(e, *fresh) =>
+                if x == old
+                    && counts.get(fresh).copied().unwrap_or(0) == uses_in_expr(e, *fresh) =>
             {
                 Some((*fresh, *old))
             }
@@ -279,10 +280,9 @@ mod tests {
 
     #[test]
     fn rename_used_in_check_is_kept() {
-        let mut p = parse_program(
-            "main { a = new_array(4); i = 0; i' <- i; i = 1; check(w: a[0..i']); }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("main { a = new_array(4); i = 0; i' <- i; i = 1; check(w: a[0..i']); }")
+                .unwrap();
         cleanup_program(&mut p);
         let out = pretty(&p);
         assert!(out.contains("i' <- i"), "{out}");

@@ -29,9 +29,9 @@ pub fn emit_check_opts(kb: &mut Kb, facts: &[PathFact], coalesce_paths: bool) ->
         let mut paths: Vec<CheckPath> = Vec::new();
         for f in facts {
             let covered = f.kind == AccessKind::Read
-                && facts.iter().any(|w| {
-                    w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path)
-                });
+                && facts
+                    .iter()
+                    .any(|w| w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path));
             if covered {
                 continue;
             }
@@ -54,9 +54,9 @@ pub fn emit_check_opts(kb: &mut Kb, facts: &[PathFact], coalesce_paths: bool) ->
     let mut kept: Vec<&PathFact> = Vec::new();
     for f in facts {
         let covered = f.kind == AccessKind::Read
-            && facts.iter().any(|w| {
-                w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path)
-            });
+            && facts
+                .iter()
+                .any(|w| w.kind == AccessKind::Write && path_subsumes(kb, &w.path, &f.path));
         if !covered {
             kept.push(f);
         }
@@ -128,16 +128,23 @@ pub fn emit_check_opts(kb: &mut Kb, facts: &[PathFact], coalesce_paths: bool) ->
         });
     }
     for c in arr_classes {
+        let multi = c.ranges.len() > 1;
         match coalesce_ranges(kb, &c.ranges) {
-            Some(merged) => paths.push(CheckPath {
-                kind: c.kind,
-                path: APath::Arr {
-                    base: c.base,
-                    range: merged,
+            Some(merged) => {
+                if multi {
+                    bigfoot_obs::count!("static.coalesce.merged");
                 }
-                .to_ast(),
-            }),
+                paths.push(CheckPath {
+                    kind: c.kind,
+                    path: APath::Arr {
+                        base: c.base,
+                        range: merged,
+                    }
+                    .to_ast(),
+                })
+            }
             None => {
+                bigfoot_obs::count!("static.coalesce.kept_separate");
                 for r in c.ranges {
                     paths.push(CheckPath {
                         kind: c.kind,
@@ -273,7 +280,10 @@ mod tests {
             },
         ];
         let s = emit_check(&mut kb, &facts).unwrap();
-        assert_eq!(render(&s).trim(), "check(w: arr$d[0..5], w: arr$d[10..20]);");
+        assert_eq!(
+            render(&s).trim(),
+            "check(w: arr$d[0..5], w: arr$d[10..20]);"
+        );
     }
 
     #[test]

@@ -451,12 +451,24 @@ impl Anticipated {
 pub fn path_subsumes(kb: &mut Kb, big: &APath, small: &APath) -> bool {
     match (big, small) {
         (
-            APath::Field { base: b1, field: f1 },
-            APath::Field { base: b2, field: f2 },
+            APath::Field {
+                base: b1,
+                field: f1,
+            },
+            APath::Field {
+                base: b2,
+                field: f2,
+            },
         ) => f1 == f2 && kb.refs_equal(*b1, *b2),
         (
-            APath::Arr { base: b1, range: r1 },
-            APath::Arr { base: b2, range: r2 },
+            APath::Arr {
+                base: b1,
+                range: r1,
+            },
+            APath::Arr {
+                base: b2,
+                range: r2,
+            },
         ) => kb.refs_equal(*b1, *b2) && bigfoot_entail::subsumes(kb, r1, r2),
         _ => false,
     }
@@ -591,10 +603,7 @@ mod tests {
             kind: AccessKind::Read,
         });
         // i := j + 1
-        a.subst(
-            Sym::intern("i"),
-            &Expr::add(Expr::var("j"), Expr::Int(1)),
-        );
+        a.subst(Sym::intern("i"), &Expr::add(Expr::var("j"), Expr::Int(1)));
         assert_eq!(a.facts.len(), 1);
         assert!(a.facts[0].path.mentions(Sym::intern("j")));
     }

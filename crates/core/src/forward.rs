@@ -287,8 +287,9 @@ impl Fwd<'_> {
                 // A same-thread write invalidates alias facts loaded from
                 // this field (any base may alias `obj`).
                 let fld = *field;
-                h.aliases
-                    .retain(|(_, rhs)| !matches!(rhs, AliasRhs::Field { field, .. } if *field == fld));
+                h.aliases.retain(
+                    |(_, rhs)| !matches!(rhs, AliasRhs::Field { field, .. } if *field == fld),
+                );
                 h.add_alias(
                     *src,
                     AliasRhs::Field {
@@ -312,7 +313,13 @@ impl Fwd<'_> {
                             },
                             kind: AccessKind::Read,
                         });
-                        h.add_alias(*x, AliasRhs::Elem { base: *arr, index: l });
+                        h.add_alias(
+                            *x,
+                            AliasRhs::Elem {
+                                base: *arr,
+                                index: l,
+                            },
+                        );
                     }
                     None => {
                         // Untrackable index: check immediately.
@@ -335,7 +342,13 @@ impl Fwd<'_> {
                             },
                             kind: AccessKind::Write,
                         });
-                        h.add_alias(*src, AliasRhs::Elem { base: *arr, index: l });
+                        h.add_alias(
+                            *src,
+                            AliasRhs::Elem {
+                                base: *arr,
+                                index: l,
+                            },
+                        );
                     }
                     None => {
                         self.check_here(*arr, idx, AccessKind::Write, out);
@@ -594,7 +607,11 @@ impl Fwd<'_> {
                     continue;
                 }
                 let f = &range.lo;
-                let k = f.terms.get(&bigfoot_entail::Atom::Var(ind.var)).copied().unwrap_or(0);
+                let k = f
+                    .terms
+                    .get(&bigfoot_entail::Atom::Var(ind.var))
+                    .copied()
+                    .unwrap_or(0);
                 // Other atoms of the index must be loop-invariant. Opaque
                 // (non-linear) atoms such as `i * n` qualify when none of
                 // their variables is assigned in the loop — this is what
@@ -603,16 +620,14 @@ impl Fwd<'_> {
                 let others_stable = f.atoms().all(|a| match a {
                     bigfoot_entail::Atom::Var(v) => v == ind.var || !assigned.contains(&v),
                     bigfoot_entail::Atom::Len(v) => !assigned.contains(&v),
-                    bigfoot_entail::Atom::Opaque(s) => {
-                        match bigfoot_bfj::parse_expr(s.as_str()) {
-                            Ok(e) => {
-                                let mut vs = Vec::new();
-                                e.vars(&mut vs);
-                                vs.iter().all(|v| *v != ind.var && !assigned.contains(v))
-                            }
-                            Err(_) => false,
+                    bigfoot_entail::Atom::Opaque(s) => match bigfoot_bfj::parse_expr(s.as_str()) {
+                        Ok(e) => {
+                            let mut vs = Vec::new();
+                            e.vars(&mut vs);
+                            vs.iter().all(|v| *v != ind.var && !assigned.contains(v))
                         }
-                    }
+                        Err(_) => false,
+                    },
                 });
                 if k == 0 || !others_stable {
                     continue;
@@ -633,17 +648,16 @@ impl Fwd<'_> {
                     }
                 };
                 inv.add_access(PathFact {
-                    path: APath::Arr {
-                        base: *base,
-                        range,
-                    },
+                    path: APath::Arr { base: *base, range },
                     kind: acc.kind,
                 });
             }
         }
         // Greatest fixed point: prune candidates until entry and back edge
         // both establish them.
+        bigfoot_obs::count!("static.loop_invariant.loops");
         for _ in 0..MAX_INV_ITERS {
+            bigfoot_obs::count!("static.loop_invariant.iterations");
             let before = (inv.bools.len(), inv.aliases.len(), inv.accesses.len());
             // Entry.
             prune_by(&mut inv, h_in);

@@ -68,8 +68,8 @@ pub use facts::{path_subsumes, APath, Anticipated, History, PathFact};
 pub use forward::{forward_pass, forward_pass_opts, ForwardTables, PlacementOptions};
 pub use killset::{volatile_fields, Effects, KillSets};
 pub use pipeline::{
-    count_checks, instrument, instrument_with, naive_instrument, AnalysisStats, Instrumented,
-    InstrumentOptions,
+    count_checks, instrument, instrument_with, naive_instrument, AnalysisStats, InstrumentOptions,
+    Instrumented,
 };
 pub use proxy::{field_proxies, grouping_from_sets};
 pub use redcard::redcard_instrument;

@@ -98,21 +98,28 @@ impl Default for InstrumentOptions {
 
 /// Runs the BigFoot static analysis with explicit [`InstrumentOptions`].
 pub fn instrument_with(p: &Program, options: InstrumentOptions) -> Instrumented {
+    let _span_total = bigfoot_obs::span!("static.instrument");
     let t_start = Instant::now();
     let mut out = p.clone();
-    // Freshen every body first, then renumber so statement ids are
-    // program-unique (the analysis tables are keyed by them).
-    for c in &mut out.classes {
-        for m in &mut c.methods {
-            freshen_body(&mut m.body, &m.params);
+    {
+        let _span = bigfoot_obs::span!("static.freshen");
+        // Freshen every body first, then renumber so statement ids are
+        // program-unique (the analysis tables are keyed by them).
+        for c in &mut out.classes {
+            for m in &mut c.methods {
+                freshen_body(&mut m.body, &m.params);
+            }
         }
+        let mut main = std::mem::take(&mut out.main);
+        freshen_body(&mut main, &[]);
+        out.main = main;
+        out.renumber();
     }
-    let mut main = std::mem::take(&mut out.main);
-    freshen_body(&mut main, &[]);
-    out.main = main;
-    out.renumber();
 
-    let kills = KillSets::compute(&out);
+    let kills = {
+        let _span = bigfoot_obs::span!("static.killsets");
+        KillSets::compute(&out)
+    };
     let volatiles = volatile_fields(&out);
     let mut stats = AnalysisStats::default();
 
@@ -122,14 +129,20 @@ pub fn instrument_with(p: &Program, options: InstrumentOptions) -> Instrumented 
     };
     // Per-method: record → anticipate → place.
     let analyze = |body: &Block, kills: &KillSets| -> (Block, Duration) {
+        let _span = bigfoot_obs::span!("static.method");
         let t0 = Instant::now();
         let at = if options.anticipation {
+            let _span = bigfoot_obs::span!("static.backward");
             let (_, tables) = forward_pass_opts(body, kills, &volatiles, None, popts);
             Some(anticipate_body(body, kills, &volatiles, &tables.h_pre))
         } else {
             None
         };
-        let (placed, _) = forward_pass_opts(body, kills, &volatiles, at.as_ref(), popts);
+        let placed = {
+            let _span = bigfoot_obs::span!("static.forward");
+            let (placed, _) = forward_pass_opts(body, kills, &volatiles, at.as_ref(), popts);
+            placed
+        };
         (placed, t0.elapsed())
     };
 
@@ -152,14 +165,20 @@ pub fn instrument_with(p: &Program, options: InstrumentOptions) -> Instrumented 
     stats.per_method.push(("main".to_owned(), dt));
     stats.methods += 1;
 
-    cleanup_program(&mut out);
+    {
+        let _span = bigfoot_obs::span!("static.cleanup");
+        cleanup_program(&mut out);
+    }
     stats.checks_inserted = count_checks(&out);
     stats.total_time = t_start.elapsed();
     let proxies = if options.field_proxies {
+        let _span = bigfoot_obs::span!("static.proxy");
         field_proxies(&out)
     } else {
         bigfoot_detectors::ProxyTable::identity()
     };
+    bigfoot_obs::count!("static.methods", stats.methods);
+    bigfoot_obs::count!("static.checks_inserted", stats.checks_inserted);
     Instrumented {
         program: out,
         proxies,
@@ -184,7 +203,10 @@ pub fn naive_instrument(p: &Program) -> Program {
     out
 }
 
-fn naive_block(stmts: Vec<Stmt>, volatiles: &std::collections::HashSet<bigfoot_bfj::Sym>) -> Vec<Stmt> {
+fn naive_block(
+    stmts: Vec<Stmt>,
+    volatiles: &std::collections::HashSet<bigfoot_bfj::Sym>,
+) -> Vec<Stmt> {
     let mut out = Vec::with_capacity(stmts.len() * 2);
     for mut s in stmts {
         let check = match &s.kind {

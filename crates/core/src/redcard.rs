@@ -133,8 +133,9 @@ impl RedCard<'_> {
                 }
                 self.span_fields.insert(*field);
                 let fld = *field;
-                h.aliases
-                    .retain(|(_, rhs)| !matches!(rhs, AliasRhs::Field { field, .. } if *field == fld));
+                h.aliases.retain(
+                    |(_, rhs)| !matches!(rhs, AliasRhs::Field { field, .. } if *field == fld),
+                );
                 self.check_access(
                     &mut h,
                     PathFact {
@@ -247,10 +248,7 @@ impl RedCard<'_> {
                 let mut h1 = h.clone();
                 h1.add_bool(cond.clone());
                 let mut h2 = h;
-                h2.add_bool(Expr::Unop(
-                    bigfoot_bfj::Unop::Not,
-                    Box::new(cond.clone()),
-                ));
+                h2.add_bool(Expr::Unop(bigfoot_bfj::Unop::Not, Box::new(cond.clone())));
                 let (rb1, h1p) = self.block(&then_b.stmts, h1);
                 let (rb2, h2p) = self.block(&else_b.stmts, h2);
                 // Keep checks present on both sides.
@@ -295,10 +293,7 @@ impl RedCard<'_> {
                 }
                 let (rhead, hj) = self.block(&head.stmts, h_head);
                 let mut hback = hj.clone();
-                hback.add_bool(Expr::Unop(
-                    bigfoot_bfj::Unop::Not,
-                    Box::new(exit.clone()),
-                ));
+                hback.add_bool(Expr::Unop(bigfoot_bfj::Unop::Not, Box::new(exit.clone())));
                 let (rtail, _) = self.block(&tail.stmts, hback);
                 let mut hout = hj;
                 hout.add_bool(exit.clone());

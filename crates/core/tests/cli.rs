@@ -76,7 +76,10 @@ fn stats_compares_detectors() {
     let out = bfc(&["stats", &clean]);
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
-    assert!(text.contains("FastTrack") && text.contains("BigFoot"), "{text}");
+    assert!(
+        text.contains("FastTrack") && text.contains("BigFoot"),
+        "{text}"
+    );
     assert!(text.contains("check ratio"), "{text}");
 }
 
@@ -94,10 +97,15 @@ fn trace_prints_events_with_limit() {
 fn usage_errors_exit_2() {
     assert_eq!(bfc(&[]).status.code(), Some(2));
     assert_eq!(bfc(&["frobnicate", "x.bfj"]).status.code(), Some(2));
-    assert_eq!(bfc(&["check", "/definitely/missing.bfj"]).status.code(), Some(2));
+    assert_eq!(
+        bfc(&["check", "/definitely/missing.bfj"]).status.code(),
+        Some(2)
+    );
     let clean = write_program("clean6.bfj", CLEAN);
     assert_eq!(
-        bfc(&["check", &clean, "--detector", "nosuch"]).status.code(),
+        bfc(&["check", &clean, "--detector", "nosuch"])
+            .status
+            .code(),
         Some(2)
     );
     assert_eq!(
@@ -109,7 +117,14 @@ fn usage_errors_exit_2() {
 #[test]
 fn every_detector_flag_works() {
     let racy = write_program("racy2.bfj", RACY);
-    for det in ["bigfoot", "fasttrack", "redcard", "slimstate", "slimcard", "djit"] {
+    for det in [
+        "bigfoot",
+        "fasttrack",
+        "redcard",
+        "slimstate",
+        "slimcard",
+        "djit",
+    ] {
         let out = bfc(&["check", &racy, "--detector", det, "--schedules", "3"]);
         assert_eq!(
             out.status.code(),

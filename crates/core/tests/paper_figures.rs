@@ -80,7 +80,10 @@ fn fig1_movepts_coalesced_array_check() {
         .unwrap();
     let loop_body = movepts.split("loop {").nth(1).unwrap();
     let before_exit = loop_body.split("} exit").next().unwrap();
-    assert!(!before_exit.contains("check("), "loop body has checks: {movepts}");
+    assert!(
+        !before_exit.contains("check("),
+        "loop body has checks: {movepts}"
+    );
 }
 
 /// Figure 3: three reads of `b.f` around two critical sections need
@@ -243,7 +246,10 @@ fn checks_stay_inside_critical_sections() {
     );
     let pos_check = text.find("check(w: c.f)").expect("check present");
     let pos_rel = text.find("rel(l)").unwrap();
-    assert!(pos_check < pos_rel, "check must precede the release: {text}");
+    assert!(
+        pos_check < pos_rel,
+        "check must precede the release: {text}"
+    );
 }
 
 /// Calls to methods that synchronize force checks before the call; calls

@@ -5,10 +5,8 @@
 //! schedules.
 
 use bigfoot::{instrument, redcard_instrument};
-use bigfoot_bfj::{
-    parse_program, Event, EventSink, Interp, RecordingSink, SchedPolicy,
-};
-use bigfoot_detectors::{verify_precise_checks, Detector, ProxyTable};
+use bigfoot_bfj::{parse_program, Event, EventSink, Interp, RecordingSink, SchedPolicy};
+use bigfoot_detectors::{verify_precise_checks, Detector};
 use bigfoot_workloads::{random_program, RandomConfig};
 
 /// Runs `program` deterministically and returns the trace.
@@ -182,8 +180,7 @@ fn redcard_placement_is_precise_on_scenarios() {
         let p = parse_program(src).unwrap();
         let (rc, _) = redcard_instrument(&p);
         let events = trace_of(&rc, SchedPolicy::RoundRobin { quantum: 8 });
-        verify_precise_checks(&events)
-            .unwrap_or_else(|e| panic!("{name}: imprecise checks: {e}"));
+        verify_precise_checks(&events).unwrap_or_else(|e| panic!("{name}: imprecise checks: {e}"));
     }
 }
 
@@ -389,12 +386,15 @@ fn ablations_remain_precise() {
         for (ci, opts) in configs.iter().enumerate() {
             let inst = bigfoot::instrument_with(&p, *opts);
             let events = trace_of(&inst.program, SchedPolicy::RoundRobin { quantum: 16 });
-            verify_precise_checks(&events)
-                .unwrap_or_else(|e| panic!("{name} config {ci}: {e}"));
+            verify_precise_checks(&events).unwrap_or_else(|e| panic!("{name} config {ci}: {e}"));
             let ft = replay(&events, Detector::fasttrack());
             let bf = replay(&events, Detector::bigfoot(inst.proxies.clone()));
             assert_eq!(ft.has_races(), bf.has_races(), "{name} config {ci}");
-            assert_eq!(ft.racy_locations(), bf.racy_locations(), "{name} config {ci}");
+            assert_eq!(
+                ft.racy_locations(),
+                bf.racy_locations(),
+                "{name} config {ci}"
+            );
         }
     }
 }

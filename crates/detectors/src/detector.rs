@@ -215,6 +215,7 @@ impl Detector {
         }
         self.sample_space();
         self.stats.sync_ops = self.clocks.sync_ops();
+        self.stats.publish();
         self.finished = true;
     }
 
@@ -390,7 +391,8 @@ impl EventSink for Detector {
                 obj, class, fields, ..
             } => {
                 let grouping = self.proxies.grouping(*class, *fields);
-                self.objects.insert(*obj, ObjectShadow::new(grouping.groups));
+                self.objects
+                    .insert(*obj, ObjectShadow::new(grouping.groups));
                 self.groupings.insert(*obj, grouping);
             }
             Event::AllocArr { arr, len, .. } => match self.engine {
@@ -508,7 +510,12 @@ mod tests {
         let ss = run(src, Detector::slimstate());
         assert!(ss.has_races());
         // SlimState commits whole-array footprints: far fewer shadow ops.
-        assert!(ss.shadow_ops < ft.shadow_ops / 4, "ss={} ft={}", ss.shadow_ops, ft.shadow_ops);
+        assert!(
+            ss.shadow_ops < ft.shadow_ops / 4,
+            "ss={} ft={}",
+            ss.shadow_ops,
+            ft.shadow_ops
+        );
     }
 
     #[test]

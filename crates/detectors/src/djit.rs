@@ -92,9 +92,14 @@ impl DjitDetector {
             .values()
             .map(|s| s.space_units() as u64)
             .sum::<u64>()
-            + self.elems.values().map(|s| s.space_units() as u64).sum::<u64>();
+            + self
+                .elems
+                .values()
+                .map(|s| s.space_units() as u64)
+                .sum::<u64>();
         self.stats.observe_space(units);
         self.stats.sync_ops = self.clocks.sync_ops();
+        self.stats.publish();
         self.stats
     }
 }
@@ -127,9 +132,7 @@ impl EventSink for DjitDetector {
             Event::Check { .. } | Event::AllocObj { .. } | Event::AllocArr { .. } => {}
             Event::Acquire { t, lock } => self.clocks.acquire(*t, *lock),
             Event::Release { t, lock } => self.clocks.release(*t, *lock),
-            Event::VolatileWrite { t, obj, field } => {
-                self.clocks.volatile_write(*t, *obj, *field)
-            }
+            Event::VolatileWrite { t, obj, field } => self.clocks.volatile_write(*t, *obj, *field),
             Event::VolatileRead { t, obj, field } => self.clocks.volatile_read(*t, *obj, *field),
             Event::Fork { parent, child } => self.clocks.fork(*parent, *child),
             Event::Join { parent, child } => self.clocks.join(*parent, *child),

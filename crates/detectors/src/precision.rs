@@ -94,10 +94,16 @@ pub fn verify_precise_checks(events: &[Event]) -> Result<(), PrecisionError> {
     for ev in events {
         match ev {
             Event::Access { t, kind, loc } => {
-                per_thread.entry(*t).or_default().push(Item::Access(*loc, *kind));
+                per_thread
+                    .entry(*t)
+                    .or_default()
+                    .push(Item::Access(*loc, *kind));
             }
             Event::Check { t, paths } => {
-                per_thread.entry(*t).or_default().push(Item::Check(paths.clone()));
+                per_thread
+                    .entry(*t)
+                    .or_default()
+                    .push(Item::Check(paths.clone()));
             }
             Event::Acquire { t, .. } => per_thread.entry(*t).or_default().push(Item::Acq),
             Event::Release { t, .. } => per_thread.entry(*t).or_default().push(Item::Rel),
@@ -106,9 +112,7 @@ pub fn verify_precise_checks(events: &[Event]) -> Result<(), PrecisionError> {
             Event::VolatileWrite { t, .. } => per_thread.entry(*t).or_default().push(Item::Rel),
             Event::VolatileRead { t, .. } => per_thread.entry(*t).or_default().push(Item::Acq),
             // Fork publishes like a release; join observes like an acquire.
-            Event::Fork { parent, .. } => {
-                per_thread.entry(*parent).or_default().push(Item::Rel)
-            }
+            Event::Fork { parent, .. } => per_thread.entry(*parent).or_default().push(Item::Rel),
             Event::Join { parent, .. } => per_thread.entry(*parent).or_default().push(Item::Acq),
             Event::ThreadExit { .. } | Event::AllocObj { .. } | Event::AllocArr { .. } => {}
         }
@@ -133,11 +137,11 @@ fn verify_thread(t: Tid, items: &[Item]) -> Result<(), PrecisionError> {
                 Item::Check(paths)
                     if paths
                         .iter()
-                        .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc))
-                    => {
-                        covered = true;
-                        break;
-                    }
+                        .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc)) =>
+                {
+                    covered = true;
+                    break;
+                }
                 _ => {}
             }
         }
@@ -149,11 +153,11 @@ fn verify_thread(t: Tid, items: &[Item]) -> Result<(), PrecisionError> {
                     Item::Check(paths)
                         if paths
                             .iter()
-                            .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc))
-                        => {
-                            covered = true;
-                            break;
-                        }
+                            .any(|(ck, tgt)| ck.covers(*kind) && target_covers_loc(tgt, loc)) =>
+                    {
+                        covered = true;
+                        break;
+                    }
                     _ => {}
                 }
             }
@@ -188,11 +192,10 @@ fn verify_thread(t: Tid, items: &[Item]) -> Result<(), PrecisionError> {
                 for prev in items[..i].iter().rev() {
                     match prev {
                         Item::Rel => break,
-                        Item::Access(loc, ak)
-                            if legitimate_for(loc, *ak) => {
-                                legit = true;
-                                break;
-                            }
+                        Item::Access(loc, ak) if legitimate_for(loc, *ak) => {
+                            legit = true;
+                            break;
+                        }
                         _ => {}
                     }
                 }
@@ -203,11 +206,10 @@ fn verify_thread(t: Tid, items: &[Item]) -> Result<(), PrecisionError> {
                 for next in &items[i + 1..] {
                     match next {
                         Item::Acq => break,
-                        Item::Access(loc, ak)
-                            if legitimate_for(loc, *ak) => {
-                                legit = true;
-                                break;
-                            }
+                        Item::Access(loc, ak) if legitimate_for(loc, *ak) => {
+                            legit = true;
+                            break;
+                        }
                         _ => {}
                     }
                 }

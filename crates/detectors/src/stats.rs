@@ -134,6 +134,47 @@ impl Stats {
             self.shadow_space_peak = units;
         }
     }
+
+    /// Serializes the counters as a JSON object with stable key order
+    /// (shared by `bfc --json` and the `repro` reports).
+    pub fn to_json(&self) -> bigfoot_obs::json::Json {
+        let mut out = bigfoot_obs::json::Json::object();
+        out.set("reads", self.reads);
+        out.set("writes", self.writes);
+        out.set("accesses", self.accesses());
+        out.set("checks", self.checks);
+        out.set("array_checks", self.array_checks);
+        out.set("field_checks", self.field_checks);
+        out.set("check_ratio", self.check_ratio());
+        out.set("shadow_ops", self.shadow_ops);
+        out.set("footprint_ops", self.footprint_ops);
+        out.set("sync_ops", self.sync_ops);
+        out.set("races", self.races.len() as u64);
+        out.set("shadow_space_peak", self.shadow_space_peak);
+        out.set("shadow_space_end", self.shadow_space_end);
+        out
+    }
+
+    /// Publishes the run's counters into the `bigfoot-obs` registry
+    /// (under `detector.*`), so `bfc profile` and the `--json` reports see
+    /// detector work alongside static-analysis spans. Called by detector
+    /// `finalize`/`finish`; a no-op while collection is disabled.
+    pub fn publish(&self) {
+        if !bigfoot_obs::enabled() {
+            return;
+        }
+        bigfoot_obs::count!("detector.runs");
+        bigfoot_obs::count!("detector.reads", self.reads);
+        bigfoot_obs::count!("detector.writes", self.writes);
+        bigfoot_obs::count!("detector.checks", self.checks);
+        bigfoot_obs::count!("detector.array_checks", self.array_checks);
+        bigfoot_obs::count!("detector.field_checks", self.field_checks);
+        bigfoot_obs::count!("detector.shadow_ops", self.shadow_ops);
+        bigfoot_obs::count!("detector.footprint_ops", self.footprint_ops);
+        bigfoot_obs::count!("detector.sync_ops", self.sync_ops);
+        bigfoot_obs::count!("detector.races", self.races.len());
+        bigfoot_obs::observe!("detector.shadow_space_peak", self.shadow_space_peak);
+    }
 }
 
 #[cfg(test)]
@@ -166,10 +207,12 @@ mod tests {
 
     #[test]
     fn check_ratio_computation() {
-        let mut s = Stats::default();
-        s.reads = 75;
-        s.writes = 25;
-        s.checks = 43;
+        let s = Stats {
+            reads: 75,
+            writes: 25,
+            checks: 43,
+            ..Stats::default()
+        };
         assert!((s.check_ratio() - 0.43).abs() < 1e-9);
     }
 

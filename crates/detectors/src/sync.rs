@@ -103,10 +103,7 @@ impl SyncClocks {
         self.ensure(t);
         self.sync_ops += 1;
         let c = self.threads[t.index()].clone();
-        self.volatiles
-            .entry((obj, field))
-            .or_default()
-            .join(&c);
+        self.volatiles.entry((obj, field)).or_default().join(&c);
         let next = self.threads[t.index()].get(t) + 1;
         self.threads[t.index()].set(t, next);
     }

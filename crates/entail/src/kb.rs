@@ -204,9 +204,7 @@ impl Kb {
             let aliases = self.aliases.clone();
             for (lhs, rhs) in &aliases {
                 let key = match rhs {
-                    AliasRhs::Field { base, field } => {
-                        (self.find(*base), Some(*field), None)
-                    }
+                    AliasRhs::Field { base, field } => (self.find(*base), Some(*field), None),
                     AliasRhs::Elem { base, index } => {
                         (self.find(*base), None, Some(self.canon_lin(index)))
                     }
@@ -251,6 +249,8 @@ impl Kb {
         if x == y {
             return true;
         }
+        bigfoot_obs::count!("entail.query.refs_equal");
+        let _q = crate::obs::QueryGuard::enter();
         self.close();
         self.find(x) == self.find(y)
     }
@@ -265,6 +265,7 @@ impl Kb {
 
     /// Proves `l >= 0` from the assumed facts.
     pub fn proves_nonneg(&mut self, l: &Lin) -> bool {
+        let _q = crate::obs::QueryGuard::enter();
         self.close();
         let q = self.canon_lin(l);
         if let Some(c) = q.as_const() {
@@ -274,11 +275,7 @@ impl Kb {
             // Fall through: inconsistent facts entail everything.
         }
         // Refute facts ∧ (q <= -1), i.e. facts ∧ (-q - 1 >= 0).
-        let mut rows: Vec<Lin> = self
-            .ineqs
-            .iter()
-            .map(|f| self.canon_lin(f))
-            .collect();
+        let mut rows: Vec<Lin> = self.ineqs.iter().map(|f| self.canon_lin(f)).collect();
         rows.push(q.scale(-1).offset(-1));
         fm_infeasible(rows)
     }
@@ -320,6 +317,7 @@ impl Kb {
         if m <= 1 {
             return true;
         }
+        let _q = crate::obs::QueryGuard::enter();
         self.close();
         let q = self.canon_lin(l);
         if let Some(c) = q.as_const() {
@@ -371,6 +369,8 @@ impl Kb {
     /// Handles conjunction, comparison, and negated comparison queries;
     /// anything else is conservatively *not* entailed.
     pub fn entails(&mut self, e: &Expr) -> bool {
+        bigfoot_obs::count!("entail.query.entails");
+        let _q = crate::obs::QueryGuard::enter();
         match e {
             Expr::Bool(true) => true,
             Expr::Binop(Binop::And, a, b) => self.entails(a) && self.entails(b),
@@ -444,8 +444,7 @@ fn negate_cmp(e: &Expr) -> Option<Expr> {
 /// returns `false` (feasible / unknown).
 fn fm_infeasible(mut rows: Vec<Lin>) -> bool {
     // Quick constant check.
-    let has_neg_const =
-        |rows: &[Lin]| rows.iter().any(|r| r.is_const() && r.konst < 0);
+    let has_neg_const = |rows: &[Lin]| rows.iter().any(|r| r.is_const() && r.konst < 0);
     if has_neg_const(&rows) {
         return true;
     }

@@ -46,6 +46,7 @@
 
 mod kb;
 mod lin;
+mod obs;
 mod range;
 
 pub use kb::{AliasRhs, Kb};

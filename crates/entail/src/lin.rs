@@ -126,8 +126,7 @@ impl Lin {
                 Atom::Len(x) => Expr::Len(*x),
                 // Opaque atoms are keyed by their rendering, which is
                 // valid expression syntax; re-parse to recover the term.
-                Atom::Opaque(s) => bigfoot_bfj::parse_expr(s.as_str())
-                    .unwrap_or(Expr::Var(*s)),
+                Atom::Opaque(s) => bigfoot_bfj::parse_expr(s.as_str()).unwrap_or(Expr::Var(*s)),
             };
             let term = match c {
                 1 => base,

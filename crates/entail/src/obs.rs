@@ -1,0 +1,59 @@
+//! Reentrancy-guarded timing of entailment queries.
+//!
+//! The range algebra calls back into [`crate::Kb`] entailment
+//! (`subsumes` → `proves_le`/`proves_cong`, `coalesce` → pair merging →
+//! more queries), and queries decompose into sub-queries, so a naive span
+//! at every public entry would double-count solver time. A thread-local
+//! depth counter makes only the *outermost* query on each thread record
+//! into the shared `entail.query` timer; per-entry-point counters still
+//! count every call. The timer total is what `repro static --json`
+//! reports as the entailment engine's share of StaticBF wall time.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+static QUERY_TIMER: bigfoot_obs::LazyTimer = bigfoot_obs::LazyTimer::new("entail.query");
+
+/// RAII guard timing the enclosing query iff it is the outermost one on
+/// this thread and collection is enabled. When collection is off the
+/// guard does nothing at all (not even depth bookkeeping).
+pub(crate) struct QueryGuard {
+    start: Option<Instant>,
+    counted: bool,
+}
+
+impl QueryGuard {
+    #[inline]
+    pub(crate) fn enter() -> QueryGuard {
+        if !bigfoot_obs::enabled() {
+            return QueryGuard {
+                start: None,
+                counted: false,
+            };
+        }
+        let outermost = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v == 0
+        });
+        QueryGuard {
+            start: outermost.then(Instant::now),
+            counted: true,
+        }
+    }
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        if self.counted {
+            DEPTH.with(|d| d.set(d.get() - 1));
+        }
+        if let Some(start) = self.start {
+            QUERY_TIMER.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}

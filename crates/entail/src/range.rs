@@ -100,11 +100,12 @@ impl std::fmt::Display for SymRange {
 
 /// True if every index of `small` is provably an index of `big`.
 pub fn subsumes(kb: &mut Kb, big: &SymRange, small: &SymRange) -> bool {
+    bigfoot_obs::count!("entail.query.subsumes");
+    let _q = crate::obs::QueryGuard::enter();
     if small.provably_empty(kb) {
         return true;
     }
-    let bounds_ok =
-        kb.proves_le(&big.lo, &small.lo) && kb.proves_le(&small.hi, &big.hi);
+    let bounds_ok = kb.proves_le(&big.lo, &small.lo) && kb.proves_le(&small.hi, &big.hi);
     if !bounds_ok {
         return false;
     }
@@ -127,6 +128,8 @@ pub fn subsumes(kb: &mut Kb, big: &SymRange, small: &SymRange) -> bool {
 /// walks a "covered up to" frontier across the facts. Sound but
 /// incomplete: a `false` answer merely forces an extra check.
 pub fn covered_by_union(kb: &mut Kb, query: &SymRange, facts: &[SymRange]) -> bool {
+    bigfoot_obs::count!("entail.query.covered_by_union");
+    let _q = crate::obs::QueryGuard::enter();
     if query.provably_empty(kb) {
         return true;
     }
@@ -174,9 +177,7 @@ pub fn covered_by_union(kb: &mut Kb, query: &SymRange, facts: &[SymRange]) -> bo
                 // with i' possibly 0). For strided facts whose last grid
                 // point is provably hi-1, the next *uncovered* grid point
                 // is hi-1+k, not hi.
-                pos = if f.step > 1
-                    && kb.proves_cong(&f.hi.offset(-1).sub(&f.lo), f.step)
-                {
+                pos = if f.step > 1 && kb.proves_cong(&f.hi.offset(-1).sub(&f.lo), f.step) {
                     f.hi.offset(f.step - 1)
                 } else {
                     f.hi.clone()
@@ -253,10 +254,7 @@ fn merge_directed(kb: &mut Kb, a: &SymRange, b: &SymRange) -> Option<SymRange> {
     // Contiguous adjacency / overlap: [lo1,hi1) ∪ [lo2,hi2) with
     // lo1 <= lo2 <= hi1 <= hi2 is exactly [lo1,hi2).
     if a.step == 1 && b.step == 1 {
-        if kb.proves_le(&a.lo, &b.lo)
-            && kb.proves_le(&b.lo, &a.hi)
-            && kb.proves_le(&a.hi, &b.hi)
-        {
+        if kb.proves_le(&a.lo, &b.lo) && kb.proves_le(&b.lo, &a.hi) && kb.proves_le(&a.hi, &b.hi) {
             return Some(SymRange {
                 lo: a.lo.clone(),
                 hi: b.hi.clone(),
@@ -307,6 +305,8 @@ fn merge_directed(kb: &mut Kb, a: &SymRange, b: &SymRange) -> Option<SymRange> {
 /// no exact single-range form is found (the caller then keeps the original
 /// paths).
 pub fn coalesce(kb: &mut Kb, ranges: &[SymRange]) -> Option<SymRange> {
+    bigfoot_obs::count!("entail.query.coalesce");
+    let _q = crate::obs::QueryGuard::enter();
     match ranges.len() {
         0 => return None,
         1 => return Some(ranges[0].clone()),
@@ -494,8 +494,11 @@ mod tests {
     fn coalesce_range_plus_singleton() {
         // a[0..i'] ∪ {i'} → a[0..i'+1] — the Fig. 6(b) check.
         let mut kb = kb_with(&["ip >= 0"]);
-        let merged =
-            coalesce(&mut kb, &[rng("0", "ip", 1), SymRange::singleton(lin("ip"))]).unwrap();
+        let merged = coalesce(
+            &mut kb,
+            &[rng("0", "ip", 1), SymRange::singleton(lin("ip"))],
+        )
+        .unwrap();
         assert_eq!(merged, rng("0", "ip + 1", 1));
     }
 
@@ -528,8 +531,7 @@ mod tests {
     fn coalesce_strided_extension() {
         // a[0..i:2] ∪ {i} with i even and nonnegative → a[0..i+1:2].
         let mut kb = kb_with(&["i % 2 == 0", "i >= 0"]);
-        let merged =
-            coalesce(&mut kb, &[rng("0", "i", 2), SymRange::singleton(lin("i"))]).unwrap();
+        let merged = coalesce(&mut kb, &[rng("0", "i", 2), SymRange::singleton(lin("i"))]).unwrap();
         assert_eq!(merged, rng("0", "i + 1", 2));
     }
 

@@ -1,0 +1,304 @@
+//! The global metric registry: counter and timer cells, lazy per-site
+//! handles, RAII span guards, and consistent snapshot/reset.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets (covers u64's full range).
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter cell.
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+/// A timer/histogram cell: observation count, summed value (nanoseconds
+/// for spans, arbitrary units for `observe!`), and log2 buckets.
+struct TimerCell {
+    count: AtomicU64,
+    total: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl TimerCell {
+    fn new() -> TimerCell {
+        TimerCell {
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(value, Ordering::Relaxed);
+        let bucket = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide registry. Cells are leaked on first registration so
+/// call sites can hold `&'static` references; the set of metric names is
+/// fixed by the instrumentation sites, so this is bounded.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static CounterCell>>,
+    timers: Mutex<BTreeMap<&'static str, &'static TimerCell>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn counter_cell(name: &'static str) -> &'static CounterCell {
+    let mut map = registry().counters.lock().unwrap();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(CounterCell::default())))
+}
+
+fn timer_cell(name: &'static str) -> &'static TimerCell {
+    let mut map = registry().timers.lock().unwrap();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(TimerCell::new())))
+}
+
+/// A per-call-site counter handle, resolved against the registry on first
+/// use (`count!` expands to one of these in a `static`).
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static CounterCell>,
+}
+
+impl LazyCounter {
+    /// A handle for the named counter.
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell
+            .get_or_init(|| counter_cell(self.name))
+            .value
+            .fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A per-call-site timer handle (`span!`/`observe!` expand to one of
+/// these in a `static`).
+pub struct LazyTimer {
+    name: &'static str,
+    cell: OnceLock<&'static TimerCell>,
+}
+
+impl LazyTimer {
+    /// A handle for the named timer.
+    pub const fn new(name: &'static str) -> LazyTimer {
+        LazyTimer {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Records one observation of `value` (count + sum + histogram).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.cell
+            .get_or_init(|| timer_cell(self.name))
+            .record(value);
+    }
+}
+
+/// RAII guard timing one span; records elapsed nanoseconds on drop.
+/// When collection is disabled at entry the guard holds no start time and
+/// drop does nothing.
+pub struct SpanGuard {
+    start: Option<Instant>,
+    timer: &'static LazyTimer,
+}
+
+impl SpanGuard {
+    /// Opens a span against a timer handle (used via the `span!` macro).
+    #[inline]
+    pub fn enter(timer: &'static LazyTimer) -> SpanGuard {
+        SpanGuard {
+            start: crate::enabled().then(Instant::now),
+            timer,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.timer.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One timer's state at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSnap {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (ns for spans).
+    pub total: u64,
+    /// Non-empty log2 buckets as `(log2_floor, count)`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl TimerSnap {
+    /// Mean observed value (ns for spans), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// A consistent view of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnap>,
+    /// All timers, sorted by name.
+    pub timers: Vec<TimerSnap>,
+}
+
+impl Snapshot {
+    /// The value of a counter (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// A timer's snapshot, if it was ever registered.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnap> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// Sum of all counters whose name starts with `prefix` (e.g. every
+    /// `entail.query.*` kind counter).
+    pub fn counter_total(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Sum of `total` over all timers whose name starts with `prefix`
+    /// (e.g. every `entail.` query timer).
+    pub fn timer_total(&self, prefix: &str) -> u64 {
+        self.timers
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .map(|t| t.total)
+            .sum()
+    }
+
+    /// Sum of `count` over all timers whose name starts with `prefix`.
+    pub fn timer_count(&self, prefix: &str) -> u64 {
+        self.timers
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .map(|t| t.count)
+            .sum()
+    }
+
+    /// Serializes the snapshot as a JSON object with stable key order:
+    /// `{"counters": {...}, "timers": {name: {count, total, mean, buckets}}}`.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut counters = Json::object();
+        for c in &self.counters {
+            counters.set(&c.name, c.value);
+        }
+        let mut timers = Json::object();
+        for t in &self.timers {
+            let mut entry = Json::object();
+            entry.set("count", t.count);
+            entry.set("total", t.total);
+            entry.set("mean", t.mean());
+            let mut buckets = Json::object();
+            for (b, n) in &t.buckets {
+                buckets.set(&b.to_string(), *n);
+            }
+            entry.set("buckets", buckets);
+            timers.set(&t.name, entry);
+        }
+        let mut out = Json::object();
+        out.set("counters", counters);
+        out.set("timers", timers);
+        out
+    }
+}
+
+/// Reads every metric. Values observed concurrently with updates are
+/// per-cell consistent (relaxed reads), which is all the reports need.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    for (name, cell) in registry().counters.lock().unwrap().iter() {
+        snap.counters.push(CounterSnap {
+            name: (*name).to_owned(),
+            value: cell.value.load(Ordering::Relaxed),
+        });
+    }
+    for (name, cell) in registry().timers.lock().unwrap().iter() {
+        let buckets = cell
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v > 0).then_some((i as u32, v))
+            })
+            .collect();
+        snap.timers.push(TimerSnap {
+            name: (*name).to_owned(),
+            count: cell.count.load(Ordering::Relaxed),
+            total: cell.total.load(Ordering::Relaxed),
+            buckets,
+        });
+    }
+    snap
+}
+
+/// Zeroes every registered metric (cells stay registered; per-site handles
+/// remain valid).
+pub fn reset() {
+    for cell in registry().counters.lock().unwrap().values() {
+        cell.value.store(0, Ordering::Relaxed);
+    }
+    for cell in registry().timers.lock().unwrap().values() {
+        cell.count.store(0, Ordering::Relaxed);
+        cell.total.store(0, Ordering::Relaxed);
+        for b in &cell.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}

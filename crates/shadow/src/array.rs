@@ -23,7 +23,10 @@ enum Repr {
     /// One shadow location for the whole array.
     Coarse(VarState),
     /// Contiguous segments: `states[i]` covers `bounds[i] .. bounds[i+1]`.
-    Blocks { bounds: Vec<i64>, states: Vec<VarState> },
+    Blocks {
+        bounds: Vec<i64>,
+        states: Vec<VarState>,
+    },
     /// One shadow location per residue class modulo `k`.
     Strided { k: i64, states: Vec<VarState> },
     /// One shadow location per element.
@@ -141,6 +144,7 @@ impl ArrayShadow {
         if range.is_empty() || self.len == 0 {
             return out;
         }
+        bigfoot_obs::observe!("shadow.commit.len", range.len());
         self.apply_inner(range, kind, t, clock, &mut out);
         out
     }
@@ -190,9 +194,18 @@ impl ArrayShadow {
         for _ in 0..3 {
             match self.try_once(r, kind, t, clock, out) {
                 Step::Done => return,
-                Step::ToBlocks => self.refine_blocks(r),
-                Step::ToStrided(k) => self.refine_strided(k),
-                Step::ToFine => self.go_fine(),
+                Step::ToBlocks => {
+                    bigfoot_obs::count!("shadow.transition.to_blocks");
+                    self.refine_blocks(r)
+                }
+                Step::ToStrided(k) => {
+                    bigfoot_obs::count!("shadow.transition.to_strided");
+                    self.refine_strided(k)
+                }
+                Step::ToFine => {
+                    bigfoot_obs::count!("shadow.transition.to_fine");
+                    self.go_fine()
+                }
             }
         }
         unreachable!("array shadow refinement did not converge");
@@ -344,9 +357,9 @@ impl ArrayShadow {
                 }
                 v
             }
-            Repr::Strided { k, states } => (0..n)
-                .map(|i| states[i % *k as usize].clone())
-                .collect(),
+            Repr::Strided { k, states } => {
+                (0..n).map(|i| states[i % *k as usize].clone()).collect()
+            }
             Repr::Fine(states) => states.clone(),
         };
         self.repr = Repr::Fine(fine);

@@ -270,6 +270,9 @@ mod tests {
         }
         assert_eq!(s.len(), 1);
         assert_eq!(s.ranges()[0].step, 3);
-        assert_eq!(s.ranges()[0].indices().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+        assert_eq!(
+            s.ranges()[0].indices().collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
     }
 }

@@ -33,7 +33,11 @@ fn op() -> impl Strategy<Value = Op> {
     )
         .prop_map(|(tid, w, lo, len, step, sync_before)| Op {
             tid,
-            kind: if w { AccessKind::Write } else { AccessKind::Read },
+            kind: if w {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
             lo,
             len,
             step,

@@ -128,9 +128,11 @@ impl VarState {
         // Same-epoch fast path.
         if let ReadState::Epoch(e) = &self.read {
             if *e == here {
+                bigfoot_obs::count!("vc.read.fast_path");
                 return Ok(());
             }
         }
+        bigfoot_obs::count!("vc.read.slow_path");
         if !self.write.leq(clock) {
             return Err(RaceInfo {
                 prior: AccessKind::Write,
@@ -146,6 +148,7 @@ impl VarState {
                     *e = here;
                 } else {
                     // Read-shared: inflate to a vector clock.
+                    bigfoot_obs::count!("vc.read.inflations");
                     let mut vc = VectorClock::new();
                     vc.set(e.tid(), e.clock());
                     vc.set(t, here.clock());
@@ -168,8 +171,10 @@ impl VarState {
     pub fn write(&mut self, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
         let here = clock.epoch(t);
         if self.write == here {
+            bigfoot_obs::count!("vc.write.fast_path");
             return Ok(());
         }
+        bigfoot_obs::count!("vc.write.slow_path");
         if !self.write.leq(clock) {
             return Err(RaceInfo {
                 prior: AccessKind::Write,

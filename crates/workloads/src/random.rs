@@ -62,9 +62,7 @@ pub fn random_program(cfg: &RandomConfig) -> String {
     let mut rng = Rng(cfg.seed | 1);
     let mut src = String::new();
     let n = cfg.array_len;
-    src.push_str(
-        "class Shared { field f0; field f1; field f2; }\nclass Lk { }\nclass Worker {\n",
-    );
+    src.push_str("class Shared { field f0; field f1; field f2; }\nclass Lk { }\nclass Worker {\n");
     for w in 0..cfg.threads {
         let _ = writeln!(src, "    meth work{w}(s, a, l, me) {{");
         let mut tmp = 0usize;

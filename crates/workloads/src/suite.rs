@@ -420,7 +420,9 @@ fn sparse(scale: Scale) -> String {
             threads,
             "sp",
             "mult",
-            &format!("row, col, val, x, y, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}, {iters}, lock")
+            &format!(
+                "row, col, val, x, y, {{w}} * {chunk}, {{w}} * {chunk} + {chunk}, {iters}, lock"
+            )
         ),
     )
 }
@@ -467,7 +469,9 @@ fn sor(scale: Scale) -> String {
             threads,
             "s",
             "sweep",
-            &format!("g, {n}, 1 + {{w}} * {chunk}, 1 + {{w}} * {chunk} + {chunk}, {iters}, barrier")
+            &format!(
+                "g, {n}, 1 + {{w}} * {chunk}, 1 + {{w}} * {chunk} + {chunk}, {iters}, barrier"
+            )
         ),
     )
 }

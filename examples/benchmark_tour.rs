@@ -10,7 +10,9 @@ use bigfoot_bench::measure;
 use bigfoot_workloads::{benchmark, Scale, NAMES};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "crypt".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crypt".to_owned());
     let Some(b) = benchmark(&name, Scale::Full) else {
         eprintln!("unknown benchmark `{name}`; choose one of: {NAMES:?}");
         std::process::exit(1);
@@ -23,7 +25,11 @@ fn main() {
         r.static_stats.time_per_method().as_secs_f64() * 1e3,
         r.static_stats.checks_inserted,
     );
-    println!("base run: {:.2} ms, {} heap cells\n", r.base_time.as_secs_f64() * 1e3, r.heap_cells);
+    println!(
+        "base run: {:.2} ms, {} heap cells\n",
+        r.base_time.as_secs_f64() * 1e3,
+        r.heap_cells
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>11} {:>11} {:>10} {:>10}",
         "detector", "time(ms)", "overhead", "checks", "shadow ops", "footprint", "space"

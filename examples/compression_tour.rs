@@ -53,10 +53,20 @@ fn main() {
 
     // 3. Strided access from a fresh array: residue-class compression.
     let mut shadow = ArrayShadow::new(n);
-    let evens = ConcreteRange { lo: 0, hi: n as i64, step: 2 };
-    let odds = ConcreteRange { lo: 1, hi: n as i64, step: 2 };
+    let evens = ConcreteRange {
+        lo: 0,
+        hi: n as i64,
+        step: 2,
+    };
+    let odds = ConcreteRange {
+        lo: 1,
+        hi: n as i64,
+        step: 2,
+    };
     let mut total = 0;
-    total += shadow.apply(evens, AccessKind::Write, t0, &clock).shadow_ops;
+    total += shadow
+        .apply(evens, AccessKind::Write, t0, &clock)
+        .shadow_ops;
     total += shadow.apply(odds, AccessKind::Write, t0, &clock).shadow_ops;
     show("even + odd strided writes (fresh array)", &shadow, total);
 
@@ -88,8 +98,6 @@ fn main() {
     show("per-element writes (FastTrack's view)", &shadow, total);
     assert_eq!(shadow.repr_kind(), ReprKind::Fine);
 
-    println!(
-        "\ncoalesced whole-array checks cost O(1) shadow ops; once a pattern"
-    );
+    println!("\ncoalesced whole-array checks cost O(1) shadow ops; once a pattern");
     println!("stops matching, the representation degrades gracefully to fine-grained.");
 }

@@ -98,9 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("seed {seed:>2}: this schedule happened to be race-free");
         }
     }
-    println!(
-        "\nthe unsynchronized done-flag race manifested in {found}/10 schedules;"
-    );
+    println!("\nthe unsynchronized done-flag race manifested in {found}/10 schedules;");
     println!("both detectors agreed on every one of them.");
     Ok(())
 }

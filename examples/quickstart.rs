@@ -61,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== dynamic race detection ===");
     println!("{:<22} {:>12} {:>12}", "", "FastTrack", "BigFoot");
-    println!("{:<22} {:>12} {:>12}", "heap accesses", ft.accesses(), bf.accesses());
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "heap accesses",
+        ft.accesses(),
+        bf.accesses()
+    );
     println!("{:<22} {:>12} {:>12}", "checks", ft.checks, bf.checks);
     println!(
         "{:<22} {:>12.3} {:>12.3}",
@@ -69,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ft.check_ratio(),
         bf.check_ratio()
     );
-    println!("{:<22} {:>12} {:>12}", "shadow operations", ft.shadow_ops, bf.shadow_ops);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "shadow operations", ft.shadow_ops, bf.shadow_ops
+    );
     println!(
         "{:<22} {:>12} {:>12}",
         "shadow space (units)", ft.shadow_space_end, bf.shadow_space_end
