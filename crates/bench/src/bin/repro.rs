@@ -3,8 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|table2|fig2|fig8|static|ablation|all]
-//!       [--scale small|full] [--reps N] [--bench NAME] [--json] [--out FILE]
+//! repro [table1|table2|fig2|fig8|static|ablation|replay|all]
+//!       [--scale small|full] [--reps N] [--bench NAME]
+//!       [--replay-workers N] [--json] [--out FILE]
 //! ```
 //!
 //! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
@@ -16,12 +17,19 @@
 //!   BF/FT overhead ratio.
 //! * `static` — the §6.1 static-analysis scaling claim, including the
 //!   entailment engine's measured share of analysis time.
+//! * `replay` — record each benchmark to an in-memory trace, then compare
+//!   serial detection against the sharded parallel replay engine
+//!   (`--replay-workers N` pins one worker count; default measures
+//!   1, 2, and 4). Errors if any replay's verdicts diverge from serial.
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
 
 use bigfoot_bench::report;
-use bigfoot_bench::{geomean, mean, measure, measure_ablation, BenchResult, ABLATIONS, DETECTORS};
+use bigfoot_bench::{
+    geomean, mean, measure, measure_ablation, measure_replay, BenchResult, ReplayResult, ABLATIONS,
+    DETECTORS,
+};
 use bigfoot_obs::cli::CliArgs;
 use bigfoot_obs::json::Json;
 use bigfoot_workloads::{benchmark, benchmarks, Scale};
@@ -35,8 +43,9 @@ fn main() -> ExitCode {
             eprintln!("repro: {msg}");
             eprintln!();
             eprintln!(
-                "usage: repro [table1|table2|fig2|fig8|static|ablation|all] \
-                 [--scale small|full] [--reps N] [--bench NAME] [--json] [--out FILE]"
+                "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|all] \
+                 [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
+                 [--json] [--out FILE]"
             );
             ExitCode::from(2)
         }
@@ -46,7 +55,7 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<(), String> {
     let args = CliArgs::parse(
         args,
-        &["--scale", "--reps", "--bench", "--out"],
+        &["--scale", "--reps", "--bench", "--out", "--replay-workers"],
         &["--json"],
     )?;
     let what = args.positional(0).unwrap_or("all").to_owned();
@@ -73,6 +82,43 @@ fn run(args: Vec<String>) -> Result<(), String> {
             vec![benchmark(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
         }
     };
+
+    if what == "replay" {
+        let workers: Vec<usize> = match args.parsed::<usize>("--replay-workers")? {
+            Some(n) => vec![n],
+            None => vec![1, 2, 4],
+        };
+        eprintln!(
+            "recording and replaying {} benchmark(s) at {scale:?} scale, workers {workers:?} …",
+            selected.len()
+        );
+        let results: Vec<ReplayResult> = selected
+            .iter()
+            .map(|b| {
+                eprintln!("  {}", b.name);
+                measure_replay(b.name, &b.program, &workers, reps)
+            })
+            .collect();
+        for r in &results {
+            for run in &r.replays {
+                if !run.matches_serial {
+                    return Err(format!(
+                        "replay verdicts diverge from serial detection on `{}` at {} worker(s)",
+                        r.name, run.workers
+                    ));
+                }
+            }
+        }
+        if json {
+            return emit(
+                Some(report::replay_json(&results, scale_name, reps)),
+                &args,
+                true,
+            );
+        }
+        replay_table(&results);
+        return Ok(());
+    }
     eprintln!(
         "measuring {} benchmark(s) at {scale:?} scale, {reps} reps per detector …",
         selected.len()
@@ -251,6 +297,49 @@ fn table1(results: &[BenchResult]) {
         );
     }
     println!();
+}
+
+fn replay_table(results: &[ReplayResult]) {
+    println!("== Trace replay: serial vs sharded parallel detection (BigFoot config) ==");
+    println!(
+        "{:<11} {:>9} {:>9} {:>10} {:>10} | replay ms (speedup) per workers",
+        "program", "trace KB", "events", "record ms", "serial ms"
+    );
+    for r in results {
+        print!(
+            "{:<11} {:>9.1} {:>9} {:>10.2} {:>10.2} |",
+            r.name,
+            r.trace_bytes as f64 / 1024.0,
+            r.trace_events,
+            r.record_time.as_secs_f64() * 1e3,
+            r.serial_time.as_secs_f64() * 1e3,
+        );
+        for run in &r.replays {
+            print!(
+                " {}w:{:.2} ({:.2}x)",
+                run.workers,
+                run.time.as_secs_f64() * 1e3,
+                r.serial_time.as_secs_f64() / run.time.as_secs_f64().max(1e-9),
+            );
+        }
+        println!();
+    }
+    if let Some(first) = results.first() {
+        print!("geomean speedup:");
+        for run in &first.replays {
+            let w = run.workers;
+            print!(
+                " {}w {:.2}x",
+                w,
+                geomean(results.iter().map(|r| {
+                    let replay = r.replays.iter().find(|x| x.workers == w).expect("worker");
+                    r.serial_time.as_secs_f64() / replay.time.as_secs_f64().max(1e-9)
+                }))
+            );
+        }
+        println!();
+    }
+    println!("all replay verdicts matched serial detection bit-for-bit.");
 }
 
 fn ratio(a: f64, b: f64) -> f64 {

@@ -6,8 +6,10 @@ use bigfoot::{
     instrument, instrument_with, naive_instrument, redcard_instrument, InstrumentOptions,
     Instrumented,
 };
-use bigfoot_bfj::{Interp, NullSink, Program, SchedPolicy};
-use bigfoot_detectors::{ArrayEngine, CheckSource, Detector, ProxyTable, Stats};
+use bigfoot_bfj::{trace::TraceWriter, EventSink, Interp, NullSink, Program, SchedPolicy};
+use bigfoot_detectors::{
+    replay_trace, ArrayEngine, CheckSource, Detector, ProxyTable, ReplayConfig, Stats, TraceReader,
+};
 use std::time::{Duration, Instant};
 
 pub mod report;
@@ -313,4 +315,120 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
 /// and returns only the statistics (no timing) — cheap enough for tests.
 pub fn stats_only(name: &'static str, program: &Program) -> BenchResult {
     measure(name, program, 1)
+}
+
+/// One worker count's replay measurement.
+#[derive(Debug, Clone)]
+pub struct ReplayRun {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Median wall time of the replay detection stage.
+    pub time: Duration,
+    /// True if the replay's stats and races are bit-identical to the
+    /// serial detector's over the same trace (they must be).
+    pub matches_serial: bool,
+}
+
+/// Record-once/replay-many measurements for one benchmark under the
+/// BigFoot detector configuration.
+#[derive(Debug)]
+pub struct ReplayResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Serialized trace size, bytes.
+    pub trace_bytes: u64,
+    /// Events in the trace.
+    pub trace_events: u64,
+    /// Wall time of the recording run (interpreter + trace encoding).
+    pub record_time: Duration,
+    /// Median wall time of serial detection over the recorded trace.
+    pub serial_time: Duration,
+    /// Serial detection statistics (the reference verdicts).
+    pub serial_stats: Stats,
+    /// Parallel replay runs, one per requested worker count.
+    pub replays: Vec<ReplayRun>,
+}
+
+impl ReplayResult {
+    /// True if every worker count reproduced the serial verdicts exactly.
+    pub fn all_match(&self) -> bool {
+        self.replays.iter().all(|r| r.matches_serial)
+    }
+}
+
+/// True if two stats blocks are bit-identical (races and every counter,
+/// via the stable JSON serialization).
+pub fn stats_identical(a: &Stats, b: &Stats) -> bool {
+    a.races == b.races && a.to_json().to_string_compact() == b.to_json().to_string_compact()
+}
+
+/// Records one benchmark run to a trace, then measures serial detection
+/// and sharded parallel replay over it at each worker count (median of
+/// `reps`), verifying that every replay reproduces the serial verdicts.
+///
+/// Uses the BigFoot detector configuration (instrumented program +
+/// proxies), the paper's headline detector.
+pub fn measure_replay(
+    name: &'static str,
+    program: &Program,
+    workers: &[usize],
+    reps: usize,
+) -> ReplayResult {
+    let inst: Instrumented = instrument(program);
+
+    let t0 = Instant::now();
+    let mut writer = TraceWriter::new();
+    Interp::new(&inst.program, SchedPolicy::default())
+        .run(&mut writer)
+        .expect("run");
+    let record_time = t0.elapsed();
+    let trace_events = writer.events();
+    let bytes = writer.into_bytes();
+
+    let mut serial_times = Vec::with_capacity(reps);
+    let mut serial_stats = None;
+    for _ in 0..reps.max(1) {
+        let mut det = Detector::bigfoot(inst.proxies.clone());
+        let t0 = Instant::now();
+        for ev in TraceReader::new(&bytes).expect("trace header") {
+            det.event(&ev.expect("trace event"));
+        }
+        let stats = det.finish();
+        serial_times.push(t0.elapsed());
+        serial_stats = Some(stats);
+    }
+    serial_times.sort();
+    let serial_time = serial_times[serial_times.len() / 2];
+    let serial_stats = serial_stats.expect("serial stats");
+
+    let replays = workers
+        .iter()
+        .map(|&w| {
+            let config = ReplayConfig::bigfoot(inst.proxies.clone(), w);
+            let mut times = Vec::with_capacity(reps);
+            let mut matches = true;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let stats = replay_trace(&bytes, &config).expect("replay");
+                times.push(t0.elapsed());
+                matches &= stats_identical(&stats, &serial_stats);
+            }
+            times.sort();
+            ReplayRun {
+                workers: w,
+                time: times[times.len() / 2],
+                matches_serial: matches,
+            }
+        })
+        .collect();
+
+    ReplayResult {
+        name,
+        trace_bytes: bytes.len() as u64,
+        trace_events,
+        record_time,
+        serial_time,
+        serial_stats,
+        replays,
+    }
 }

@@ -20,7 +20,7 @@
 //! `crates/bench/tests/golden_json.rs` pin the invariants (keys present,
 //! `checks <= accesses`, check ratio in `[0, 1]`, …).
 
-use crate::{geomean, mean, BenchResult, DetectorRun, DETECTORS};
+use crate::{geomean, mean, BenchResult, DetectorRun, ReplayResult, DETECTORS};
 use bigfoot_detectors::Stats;
 use bigfoot_obs::json::Json;
 
@@ -240,6 +240,81 @@ pub fn ablation_json(rows: Vec<Json>, scale: &str, reps: usize) -> Json {
         arr.push(row);
     }
     env.set("rows", arr);
+    env
+}
+
+/// `repro replay --json`: serial vs sharded-parallel trace replay.
+///
+/// Deterministic content (trace shape, races, counters, the
+/// `serial_matches` verdict) lives under each benchmark's `verdicts`
+/// block; wall-clock measurements live under `timing` and the top-level
+/// `timing_summary`/`workers` keys. CI compares reports from different
+/// `--replay-workers` invocations after stripping exactly those
+/// timing-dependent keys.
+pub fn replay_json(results: &[ReplayResult], scale: &str, reps: usize) -> Json {
+    let mut env = envelope("replay", scale, reps);
+    let mut workers = Json::array();
+    if let Some(r) = results.first() {
+        for run in &r.replays {
+            workers.push(run.workers as u64);
+        }
+    }
+    env.set("workers", workers);
+    let mut arr = Json::array();
+    for r in results {
+        let mut b = Json::object();
+        b.set("name", r.name);
+
+        let mut verdicts = Json::object();
+        verdicts.set("trace_bytes", r.trace_bytes);
+        verdicts.set("trace_events", r.trace_events);
+        let mut races = Json::array();
+        for race in &r.serial_stats.races {
+            let mut row = Json::object();
+            row.set("target", race.target.to_string());
+            row.set("info", race.info.to_string());
+            races.push(row);
+        }
+        verdicts.set("races", races);
+        verdicts.set("stats", stats_json(&r.serial_stats));
+        verdicts.set("serial_matches", r.all_match());
+        b.set("verdicts", verdicts);
+
+        let mut timing = Json::object();
+        timing.set("record_ms", r.record_time.as_secs_f64() * 1e3);
+        timing.set("serial_ms", r.serial_time.as_secs_f64() * 1e3);
+        let mut per = Json::object();
+        for run in &r.replays {
+            per.set(&run.workers.to_string(), run.time.as_secs_f64() * 1e3);
+        }
+        timing.set("replay_ms", per);
+        b.set("timing", timing);
+        arr.push(b);
+    }
+    env.set("benchmarks", arr);
+
+    let mut summary = Json::object();
+    summary.set("all_match", results.iter().all(ReplayResult::all_match));
+    env.set("summary", summary);
+
+    let mut timing_summary = Json::object();
+    if let Some(r) = results.first() {
+        for run in &r.replays {
+            let w = run.workers;
+            timing_summary.set(
+                &format!("speedup_{w}w_geomean"),
+                geomean(results.iter().map(|r| {
+                    let replay = r
+                        .replays
+                        .iter()
+                        .find(|x| x.workers == w)
+                        .expect("worker count measured");
+                    r.serial_time.as_secs_f64() / replay.time.as_secs_f64().max(1e-9)
+                })),
+            );
+        }
+    }
+    env.set("timing_summary", timing_summary);
     env
 }
 

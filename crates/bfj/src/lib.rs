@@ -38,6 +38,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 mod sym;
+pub mod trace;
 
 pub use ast::{
     AccessKind, Binop, Block, CheckPath, ClassDef, Expr, MethodDef, Path, Program, Range, Stmt,
@@ -53,6 +54,7 @@ pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pretty::{pretty, pretty_check_path, pretty_expr, pretty_stmt};
 pub use sym::Sym;
+pub use trace::{TraceError, TraceWriter, TRACE_MAGIC, TRACE_VERSION};
 
 /// Re-export of the thread-id type used throughout the event stream.
 pub use bigfoot_vc::Tid;

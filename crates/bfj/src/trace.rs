@@ -1,0 +1,630 @@
+//! Compact serialized trace format for record-once / replay-many
+//! detection.
+//!
+//! The interpreter's [`Event`] stream can be captured by a [`TraceWriter`]
+//! (an [`EventSink`]) into a flat byte buffer, then replayed any number of
+//! times — by the serial [`Detector`](../../bigfoot_detectors/struct.Detector.html)
+//! or by the parallel sharded replay engine in `bigfoot-detectors` —
+//! without re-running the program. Recording is cheap enough to leave on:
+//! one tag byte plus LEB128 varints per event, no allocation beyond the
+//! growing buffer.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "BFTR" | version u8 | event*      (no length prefix; EOF ends it)
+//! event := tag u8, payload varints (see `encode_event`)
+//! ```
+//!
+//! Unsigned fields are LEB128 varints; signed array indices/bounds are
+//! zigzag-encoded first. The decoder entry points ([`read_header`],
+//! [`read_event`]) live here next to the encoder so the two cannot drift;
+//! the replay engine's `TraceReader` in `bigfoot-detectors` wraps them
+//! into an iterator.
+
+use crate::event::{ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, ObjId};
+use bigfoot_vc::{AccessKind, Tid};
+
+/// File magic for serialized traces.
+pub const TRACE_MAGIC: [u8; 4] = *b"BFTR";
+
+/// Current trace format version.
+pub const TRACE_VERSION: u8 = 1;
+
+/// Event tag bytes (one per [`Event`] variant).
+const TAG_ALLOC_OBJ: u8 = 0;
+const TAG_ALLOC_ARR: u8 = 1;
+const TAG_ACCESS: u8 = 2;
+const TAG_CHECK: u8 = 3;
+const TAG_VOLATILE_READ: u8 = 4;
+const TAG_VOLATILE_WRITE: u8 = 5;
+const TAG_ACQUIRE: u8 = 6;
+const TAG_RELEASE: u8 = 7;
+const TAG_FORK: u8 = 8;
+const TAG_JOIN: u8 = 9;
+const TAG_THREAD_EXIT: u8 = 10;
+
+/// A malformed or truncated serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The header's version byte is not [`TRACE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The buffer ended mid-event.
+    Truncated {
+        /// Byte offset where decoding stopped.
+        offset: usize,
+    },
+    /// An unknown tag byte was encountered.
+    BadTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The offending byte.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a BFTR trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (expected {TRACE_VERSION})"
+                )
+            }
+            TraceError::Truncated { offset } => {
+                write!(f, "trace truncated at byte {offset}")
+            }
+            TraceError::BadTag { offset, tag } => {
+                write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+// ---------------- varint primitives ----------------
+
+fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    put_u64(buf, v as u64);
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    // Zigzag: small magnitudes (of either sign) stay short.
+    put_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or(TraceError::Truncated { offset: *pos })?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::Truncated { offset: *pos });
+        }
+    }
+}
+
+fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+    Ok(get_u64(bytes, pos)? as u32)
+}
+
+fn get_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+    let z = get_u64(bytes, pos)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+fn put_kind(buf: &mut Vec<u8>, kind: AccessKind) {
+    buf.push(match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    });
+}
+
+fn get_kind(bytes: &[u8], pos: &mut usize) -> Result<AccessKind, TraceError> {
+    let byte = *bytes
+        .get(*pos)
+        .ok_or(TraceError::Truncated { offset: *pos })?;
+    *pos += 1;
+    match byte {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        tag => Err(TraceError::BadTag {
+            offset: *pos - 1,
+            tag,
+        }),
+    }
+}
+
+fn put_range(buf: &mut Vec<u8>, r: &ConcreteRange) {
+    put_i64(buf, r.lo);
+    put_i64(buf, r.hi);
+    put_i64(buf, r.step);
+}
+
+fn get_range(bytes: &[u8], pos: &mut usize) -> Result<ConcreteRange, TraceError> {
+    Ok(ConcreteRange {
+        lo: get_i64(bytes, pos)?,
+        hi: get_i64(bytes, pos)?,
+        step: get_i64(bytes, pos)?,
+    })
+}
+
+// ---------------- event codec ----------------
+
+/// Appends one encoded event to `buf`.
+pub fn encode_event(buf: &mut Vec<u8>, ev: &Event) {
+    match ev {
+        Event::AllocObj {
+            t,
+            obj,
+            class,
+            fields,
+        } => {
+            buf.push(TAG_ALLOC_OBJ);
+            put_u32(buf, t.0);
+            put_u32(buf, obj.0);
+            put_u32(buf, *class);
+            put_u32(buf, *fields);
+        }
+        Event::AllocArr { t, arr, len } => {
+            buf.push(TAG_ALLOC_ARR);
+            put_u32(buf, t.0);
+            put_u32(buf, arr.0);
+            put_u64(buf, *len);
+        }
+        Event::Access { t, kind, loc } => {
+            buf.push(TAG_ACCESS);
+            put_u32(buf, t.0);
+            put_kind(buf, *kind);
+            match loc {
+                Loc::Field(obj, f) => {
+                    buf.push(0);
+                    put_u32(buf, obj.0);
+                    put_u32(buf, *f);
+                }
+                Loc::Elem(arr, i) => {
+                    buf.push(1);
+                    put_u32(buf, arr.0);
+                    put_i64(buf, *i);
+                }
+            }
+        }
+        Event::Check { t, paths } => {
+            buf.push(TAG_CHECK);
+            put_u32(buf, t.0);
+            put_u64(buf, paths.len() as u64);
+            for (kind, target) in paths {
+                put_kind(buf, *kind);
+                match target {
+                    CheckTarget::Fields(obj, idxs) => {
+                        buf.push(0);
+                        put_u32(buf, obj.0);
+                        put_u64(buf, idxs.len() as u64);
+                        for f in idxs {
+                            put_u32(buf, *f);
+                        }
+                    }
+                    CheckTarget::Range(arr, r) => {
+                        buf.push(1);
+                        put_u32(buf, arr.0);
+                        put_range(buf, r);
+                    }
+                }
+            }
+        }
+        Event::VolatileRead { t, obj, field } => {
+            buf.push(TAG_VOLATILE_READ);
+            put_u32(buf, t.0);
+            put_u32(buf, obj.0);
+            put_u32(buf, *field);
+        }
+        Event::VolatileWrite { t, obj, field } => {
+            buf.push(TAG_VOLATILE_WRITE);
+            put_u32(buf, t.0);
+            put_u32(buf, obj.0);
+            put_u32(buf, *field);
+        }
+        Event::Acquire { t, lock } => {
+            buf.push(TAG_ACQUIRE);
+            put_u32(buf, t.0);
+            put_u32(buf, lock.0);
+        }
+        Event::Release { t, lock } => {
+            buf.push(TAG_RELEASE);
+            put_u32(buf, t.0);
+            put_u32(buf, lock.0);
+        }
+        Event::Fork { parent, child } => {
+            buf.push(TAG_FORK);
+            put_u32(buf, parent.0);
+            put_u32(buf, child.0);
+        }
+        Event::Join { parent, child } => {
+            buf.push(TAG_JOIN);
+            put_u32(buf, parent.0);
+            put_u32(buf, child.0);
+        }
+        Event::ThreadExit { t } => {
+            buf.push(TAG_THREAD_EXIT);
+            put_u32(buf, t.0);
+        }
+    }
+}
+
+/// Validates the trace header and returns the offset of the first event.
+pub fn read_header(bytes: &[u8]) -> Result<usize, TraceError> {
+    if bytes.len() < TRACE_MAGIC.len() + 1 || bytes[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = bytes[TRACE_MAGIC.len()];
+    if version != TRACE_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    Ok(TRACE_MAGIC.len() + 1)
+}
+
+/// Decodes the event at `*pos`, advancing `*pos` past it. Returns
+/// `Ok(None)` at a clean end of buffer.
+pub fn read_event(bytes: &[u8], pos: &mut usize) -> Result<Option<Event>, TraceError> {
+    let Some(&tag) = bytes.get(*pos) else {
+        return Ok(None);
+    };
+    let tag_offset = *pos;
+    *pos += 1;
+    let ev = match tag {
+        TAG_ALLOC_OBJ => Event::AllocObj {
+            t: Tid(get_u32(bytes, pos)?),
+            obj: ObjId(get_u32(bytes, pos)?),
+            class: get_u32(bytes, pos)?,
+            fields: get_u32(bytes, pos)?,
+        },
+        TAG_ALLOC_ARR => Event::AllocArr {
+            t: Tid(get_u32(bytes, pos)?),
+            arr: ArrId(get_u32(bytes, pos)?),
+            len: get_u64(bytes, pos)?,
+        },
+        TAG_ACCESS => {
+            let t = Tid(get_u32(bytes, pos)?);
+            let kind = get_kind(bytes, pos)?;
+            let subtag = *bytes
+                .get(*pos)
+                .ok_or(TraceError::Truncated { offset: *pos })?;
+            *pos += 1;
+            let loc = match subtag {
+                0 => Loc::Field(ObjId(get_u32(bytes, pos)?), get_u32(bytes, pos)?),
+                1 => Loc::Elem(ArrId(get_u32(bytes, pos)?), get_i64(bytes, pos)?),
+                tag => {
+                    return Err(TraceError::BadTag {
+                        offset: *pos - 1,
+                        tag,
+                    })
+                }
+            };
+            Event::Access { t, kind, loc }
+        }
+        TAG_CHECK => {
+            let t = Tid(get_u32(bytes, pos)?);
+            let n = get_u64(bytes, pos)? as usize;
+            let mut paths = Vec::with_capacity(n);
+            for _ in 0..n {
+                let kind = get_kind(bytes, pos)?;
+                let subtag = *bytes
+                    .get(*pos)
+                    .ok_or(TraceError::Truncated { offset: *pos })?;
+                *pos += 1;
+                let target = match subtag {
+                    0 => {
+                        let obj = ObjId(get_u32(bytes, pos)?);
+                        let k = get_u64(bytes, pos)? as usize;
+                        let mut idxs = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            idxs.push(get_u32(bytes, pos)?);
+                        }
+                        CheckTarget::Fields(obj, idxs)
+                    }
+                    1 => CheckTarget::Range(ArrId(get_u32(bytes, pos)?), get_range(bytes, pos)?),
+                    tag => {
+                        return Err(TraceError::BadTag {
+                            offset: *pos - 1,
+                            tag,
+                        })
+                    }
+                };
+                paths.push((kind, target));
+            }
+            Event::Check { t, paths }
+        }
+        TAG_VOLATILE_READ => Event::VolatileRead {
+            t: Tid(get_u32(bytes, pos)?),
+            obj: ObjId(get_u32(bytes, pos)?),
+            field: get_u32(bytes, pos)?,
+        },
+        TAG_VOLATILE_WRITE => Event::VolatileWrite {
+            t: Tid(get_u32(bytes, pos)?),
+            obj: ObjId(get_u32(bytes, pos)?),
+            field: get_u32(bytes, pos)?,
+        },
+        TAG_ACQUIRE => Event::Acquire {
+            t: Tid(get_u32(bytes, pos)?),
+            lock: ObjId(get_u32(bytes, pos)?),
+        },
+        TAG_RELEASE => Event::Release {
+            t: Tid(get_u32(bytes, pos)?),
+            lock: ObjId(get_u32(bytes, pos)?),
+        },
+        TAG_FORK => Event::Fork {
+            parent: Tid(get_u32(bytes, pos)?),
+            child: Tid(get_u32(bytes, pos)?),
+        },
+        TAG_JOIN => Event::Join {
+            parent: Tid(get_u32(bytes, pos)?),
+            child: Tid(get_u32(bytes, pos)?),
+        },
+        TAG_THREAD_EXIT => Event::ThreadExit {
+            t: Tid(get_u32(bytes, pos)?),
+        },
+        tag => {
+            return Err(TraceError::BadTag {
+                offset: tag_offset,
+                tag,
+            })
+        }
+    };
+    Ok(Some(ev))
+}
+
+/// An [`EventSink`] that serializes the stream into a trace buffer.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::{parse_program, trace, Interp, SchedPolicy};
+///
+/// let p = parse_program("main { a = new_array(4); a[0] = 1; }")?;
+/// let mut w = trace::TraceWriter::new();
+/// Interp::new(&p, SchedPolicy::default()).run(&mut w)?;
+/// let bytes = w.into_bytes();
+/// let start = trace::read_header(&bytes)?;
+/// let mut pos = start;
+/// let mut events = 0;
+/// while trace::read_event(&bytes, &mut pos)?.is_some() {
+///     events += 1;
+/// }
+/// assert!(events >= 3); // alloc, access, thread exit
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWriter {
+    buf: Vec<u8>,
+    events: u64,
+}
+
+impl TraceWriter {
+    /// Creates a writer with the header already emitted.
+    pub fn new() -> TraceWriter {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.push(TRACE_VERSION);
+        TraceWriter { buf, events: 0 }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Size of the encoded trace so far, in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Consumes the writer, returning the serialized trace.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for TraceWriter {
+    fn default() -> Self {
+        TraceWriter::new()
+    }
+}
+
+impl EventSink for TraceWriter {
+    fn event(&mut self, ev: &Event) {
+        encode_event(&mut self.buf, ev);
+        self.events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, Interp, RecordingSink, SchedPolicy};
+
+    fn decode_all(bytes: &[u8]) -> Vec<Event> {
+        let mut pos = read_header(bytes).expect("header");
+        let mut out = Vec::new();
+        while let Some(ev) = read_event(bytes, &mut pos).expect("event") {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let events = vec![
+            Event::AllocObj {
+                t: Tid(0),
+                obj: ObjId(7),
+                class: 2,
+                fields: 3,
+            },
+            Event::AllocArr {
+                t: Tid(1),
+                arr: ArrId(4),
+                len: 1_000_000,
+            },
+            Event::Access {
+                t: Tid(2),
+                kind: AccessKind::Read,
+                loc: Loc::Field(ObjId(7), 1),
+            },
+            Event::Access {
+                t: Tid(2),
+                kind: AccessKind::Write,
+                loc: Loc::Elem(ArrId(4), -3),
+            },
+            Event::Check {
+                t: Tid(0),
+                paths: vec![
+                    (AccessKind::Write, CheckTarget::Fields(ObjId(7), vec![0, 2])),
+                    (
+                        AccessKind::Read,
+                        CheckTarget::Range(
+                            ArrId(4),
+                            ConcreteRange {
+                                lo: 0,
+                                hi: 100,
+                                step: 3,
+                            },
+                        ),
+                    ),
+                ],
+            },
+            Event::VolatileRead {
+                t: Tid(1),
+                obj: ObjId(9),
+                field: 0,
+            },
+            Event::VolatileWrite {
+                t: Tid(1),
+                obj: ObjId(9),
+                field: 0,
+            },
+            Event::Acquire {
+                t: Tid(3),
+                lock: ObjId(5),
+            },
+            Event::Release {
+                t: Tid(3),
+                lock: ObjId(5),
+            },
+            Event::Fork {
+                parent: Tid(0),
+                child: Tid(3),
+            },
+            Event::Join {
+                parent: Tid(0),
+                child: Tid(3),
+            },
+            Event::ThreadExit { t: Tid(3) },
+        ];
+        let mut w = TraceWriter::new();
+        for ev in &events {
+            w.event(ev);
+        }
+        assert_eq!(w.events(), events.len() as u64);
+        let bytes = w.into_bytes();
+        assert_eq!(decode_all(&bytes), events);
+    }
+
+    #[test]
+    fn recorded_trace_matches_recording_sink() {
+        let p = parse_program(
+            "class C { field x; meth poke(v) { this.x = v; return 0; } }
+             main {
+                 c = new C;
+                 a = new_array(8);
+                 for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+                 fork t1 = c.poke(1);
+                 join(t1);
+             }",
+        )
+        .expect("parse");
+        let mut rec = RecordingSink::default();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut rec)
+            .expect("run");
+        let mut w = TraceWriter::new();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut w)
+            .expect("run");
+        assert_eq!(decode_all(&w.into_bytes()), rec.events);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert_eq!(read_header(b"nope"), Err(TraceError::BadMagic));
+        assert_eq!(
+            read_header(b"BFTR\x63"),
+            Err(TraceError::UnsupportedVersion(0x63))
+        );
+        let w = TraceWriter::new();
+        let bytes = w.into_bytes();
+        let mut pos = read_header(&bytes).expect("header");
+        assert_eq!(read_event(&bytes, &mut pos), Ok(None));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = TraceWriter::new();
+        w.event(&Event::AllocArr {
+            t: Tid(0),
+            arr: ArrId(1),
+            len: 300,
+        });
+        let bytes = w.into_bytes();
+        let cut = &bytes[..bytes.len() - 1];
+        let mut pos = read_header(cut).expect("header");
+        assert!(matches!(
+            read_event(cut, &mut pos),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn varints_keep_small_traces_small() {
+        let mut w = TraceWriter::new();
+        for i in 0..100 {
+            w.event(&Event::Access {
+                t: Tid(0),
+                kind: AccessKind::Write,
+                loc: Loc::Elem(ArrId(0), i),
+            });
+        }
+        // Tag + tid + kind + subtag + arr + zigzag index: at most 7
+        // bytes/event for indices below 100.
+        assert!(w.len() <= 5 + 100 * 7, "trace too large: {}", w.len());
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
-//!                      [--seed N] [--schedules N] [--json]
+//!                      [--seed N] [--schedules N] [--replay-workers N] [--json]
 //! bfc run <file.bfj>
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
@@ -12,7 +12,10 @@
 //!
 //! * `instrument` prints the instrumented program.
 //! * `check` executes the program under a detector (optionally across
-//!   several random schedules) and reports any data races.
+//!   several random schedules) and reports any data races. With
+//!   `--replay-workers N` the run is recorded to an in-memory trace and
+//!   detection replays it through the sharded parallel engine — the
+//!   verdicts are identical to the serial detector's at any `N`.
 //! * `run` executes the program uninstrumented and prints `main`'s
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
@@ -24,8 +27,10 @@
 //!   report with a stable schema (see `docs/OBSERVABILITY.md`).
 
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
-use bigfoot_bfj::{parse_program, pretty, Interp, NullSink, Program, SchedPolicy, Tid, Value};
-use bigfoot_detectors::{Detector, DjitDetector, Stats};
+use bigfoot_bfj::{
+    parse_program, pretty, trace::TraceWriter, Interp, NullSink, Program, SchedPolicy, Tid, Value,
+};
+use bigfoot_detectors::{replay_trace, Detector, DjitDetector, ReplayConfig, Stats};
 use bigfoot_obs::cli::CliArgs;
 use bigfoot_obs::json::Json;
 use std::io::Write;
@@ -65,7 +70,8 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
-                "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] [--json]"
+                "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
+                 [--replay-workers N] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
@@ -105,7 +111,14 @@ fn races_json(stats: &Stats) -> Json {
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let args = CliArgs::parse(
         args,
-        &["--mode", "--detector", "--seed", "--schedules", "--limit"],
+        &[
+            "--mode",
+            "--detector",
+            "--seed",
+            "--schedules",
+            "--limit",
+            "--replay-workers",
+        ],
         &["--json"],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
@@ -159,6 +172,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             )?;
             let seed: u64 = args.parsed("--seed")?.unwrap_or(1);
             let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
+            let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             let mut any_race = false;
             let mut schedule_reports = Json::array();
             for i in 0..schedules {
@@ -170,7 +184,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                         switch_inv: 2,
                     }
                 };
-                let stats = check_once(&program, which, policy)?;
+                let stats = check_once(&program, which, policy, replay_workers)?;
                 if stats.has_races() {
                     any_race = true;
                 }
@@ -200,6 +214,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 report.set("detector", which);
                 report.set("seed", seed);
                 report.set("schedules", schedules);
+                if let Some(workers) = replay_workers {
+                    report.set("replay_workers", workers as u64);
+                }
                 report.set("any_race", any_race);
                 report.set("runs", schedule_reports);
                 outln!("{}", report.to_string_pretty());
@@ -319,9 +336,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                     "djit",
                 ],
             )?;
+            let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             bigfoot_obs::set_enabled(true);
             bigfoot_obs::reset();
-            let stats = check_once(&program, which, SchedPolicy::default())?;
+            let stats = check_once(&program, which, SchedPolicy::default(), replay_workers)?;
             let snap = bigfoot_obs::snapshot();
             if json {
                 let mut report = envelope("profile", &file);
@@ -389,8 +407,19 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
-/// Runs one schedule under the named detector configuration.
-fn check_once(program: &Program, which: &str, policy: SchedPolicy) -> Result<Stats, String> {
+/// Runs one schedule under the named detector configuration. With
+/// `replay_workers` set, the schedule is recorded to an in-memory trace and
+/// detection runs through the parallel sharded replay engine instead of
+/// inline — same verdicts, record-once/detect-many.
+fn check_once(
+    program: &Program,
+    which: &str,
+    policy: SchedPolicy,
+    replay_workers: Option<usize>,
+) -> Result<Stats, String> {
+    if let Some(workers) = replay_workers {
+        return check_replay(program, which, policy, workers);
+    }
     let run_detector = |prog: &Program, mut det: Detector| -> Result<Stats, String> {
         Interp::new(prog, policy)
             .run(&mut det)
@@ -419,6 +448,46 @@ fn check_once(program: &Program, which: &str, policy: SchedPolicy) -> Result<Sta
                 .map_err(|e| format!("runtime error: {e}"))?;
             Ok(det.finish())
         }
+        other => Err(format!("unknown detector `{other}`")),
+    }
+}
+
+/// Record-then-replay variant of [`check_once`].
+fn check_replay(
+    program: &Program,
+    which: &str,
+    policy: SchedPolicy,
+    workers: usize,
+) -> Result<Stats, String> {
+    let record = |prog: &Program| -> Result<Vec<u8>, String> {
+        let mut w = TraceWriter::new();
+        Interp::new(prog, policy)
+            .run(&mut w)
+            .map_err(|e| format!("runtime error: {e}"))?;
+        Ok(w.into_bytes())
+    };
+    let replay = |bytes: Vec<u8>, config: ReplayConfig| -> Result<Stats, String> {
+        replay_trace(&bytes, &config).map_err(|e| format!("replay error: {e}"))
+    };
+    match which {
+        "bigfoot" => {
+            let inst = instrument(program);
+            replay(
+                record(&inst.program)?,
+                ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+            )
+        }
+        "fasttrack" => replay(record(program)?, ReplayConfig::fasttrack(workers)),
+        "slimstate" => replay(record(program)?, ReplayConfig::slimstate(workers)),
+        "redcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            replay(record(&rc)?, ReplayConfig::redcard(proxies, workers))
+        }
+        "slimcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            replay(record(&rc)?, ReplayConfig::slimcard(proxies, workers))
+        }
+        "djit" => Err("--replay-workers is not supported for --detector djit".into()),
         other => Err(format!("unknown detector `{other}`")),
     }
 }

@@ -59,7 +59,7 @@ impl ProxyTable {
         ProxyTable::default()
     }
 
-    fn grouping(&self, class: u32, fields: u32) -> FieldGrouping {
+    pub(crate) fn grouping(&self, class: u32, fields: u32) -> FieldGrouping {
         self.by_class
             .get(class as usize)
             .and_then(|g| g.clone())
@@ -68,7 +68,7 @@ impl ProxyTable {
 }
 
 /// How often (in sync ops) shadow space is sampled for the peak statistic.
-const SPACE_SAMPLE_PERIOD: u64 = 256;
+pub(crate) const SPACE_SAMPLE_PERIOD: u64 = 256;
 
 /// A configurable precise dynamic race detector over the event stream.
 ///
@@ -209,7 +209,12 @@ impl Detector {
         if self.finished {
             return;
         }
-        let tids: Vec<Tid> = self.footprints.keys().copied().collect();
+        // Sorted so the final commits (and any races they surface) happen
+        // in a deterministic order — HashMap iteration order varies
+        // run-to-run, and the replay engine must be able to reproduce
+        // serial verdicts bit-for-bit.
+        let mut tids: Vec<Tid> = self.footprints.keys().copied().collect();
+        tids.sort_unstable();
         for t in tids {
             self.commit_footprints(t);
         }

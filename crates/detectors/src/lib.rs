@@ -10,11 +10,13 @@
 mod detector;
 mod djit;
 mod precision;
+mod replay;
 mod stats;
 mod sync;
 
 pub use detector::{ArrayEngine, CheckSource, Detector, ProxyTable};
 pub use djit::{DjitDetector, DjitState};
 pub use precision::{verify_precise_checks, PrecisionError};
+pub use replay::{replay_trace, ReplayConfig, TraceReader, SHARDS};
 pub use stats::{CoarseTarget, Race, RaceTarget, Stats};
 pub use sync::SyncClocks;

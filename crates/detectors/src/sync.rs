@@ -64,9 +64,7 @@ impl SyncClocks {
         self.sync_ops += 1;
         let c = self.threads[t.index()].clone();
         self.locks.insert(lock, c);
-        let t_idx = t.index();
-        let next = self.threads[t_idx].get(t) + 1;
-        self.threads[t_idx].set(t, next);
+        self.threads[t.index()].tick(t);
     }
 
     /// Processes a fork edge from `parent` to `child`.
@@ -76,8 +74,7 @@ impl SyncClocks {
         self.sync_ops += 1;
         let pc = self.threads[parent.index()].clone();
         self.threads[child.index()].join(&pc);
-        let next = self.threads[parent.index()].get(parent) + 1;
-        self.threads[parent.index()].set(parent, next);
+        self.threads[parent.index()].tick(parent);
     }
 
     /// Processes a join edge from completed `child` into `parent`.
@@ -104,8 +101,7 @@ impl SyncClocks {
         self.sync_ops += 1;
         let c = self.threads[t.index()].clone();
         self.volatiles.entry((obj, field)).or_default().join(&c);
-        let next = self.threads[t.index()].get(t) + 1;
-        self.threads[t.index()].set(t, next);
+        self.threads[t.index()].tick(t);
     }
 
     /// Processes a volatile read: acquire-like — all prior volatile

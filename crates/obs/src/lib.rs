@@ -43,7 +43,8 @@ pub mod json;
 mod registry;
 
 pub use registry::{
-    reset, snapshot, CounterSnap, LazyCounter, LazyTimer, Snapshot, SpanGuard, TimerSnap,
+    count_named, reset, snapshot, CounterSnap, LazyCounter, LazyTimer, Snapshot, SpanGuard,
+    TimerSnap,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -117,6 +117,32 @@ impl LazyTimer {
     }
 }
 
+/// Bumps a counter whose name is computed at run time (e.g. the replay
+/// engine's per-shard `replay.shard07.races` metrics, where the shard
+/// index is not a compile-time literal).
+///
+/// The name is interned into the registry on first use; later bumps of the
+/// same name find the existing cell. Like the [`count!`](crate::count)
+/// macro this is a no-op while collection is disabled, but the enabled
+/// path takes the registry lock, so keep it off per-event hot paths —
+/// batch into one call per shard/stage.
+pub fn count_named(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut map = registry().counters.lock().unwrap();
+    let cell = match map.get(name) {
+        Some(cell) => *cell,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            let cell: &'static CounterCell = Box::leak(Box::new(CounterCell::default()));
+            map.insert(leaked, cell);
+            cell
+        }
+    };
+    cell.value.fetch_add(n, Ordering::Relaxed);
+}
+
 /// RAII guard timing one span; records elapsed nanoseconds on drop.
 /// When collection is disabled at entry the guard holds no start time and
 /// drop does nothing.

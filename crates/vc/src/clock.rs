@@ -44,8 +44,18 @@ impl VectorClock {
     }
 
     /// Increments thread `t`'s entry by one and returns the new value.
+    ///
+    /// The increment **saturates** at `u32::MAX` instead of overflowing: a
+    /// wrapped clock would reset the thread's time to zero and silently
+    /// order *every* prior access before all later ones, corrupting
+    /// happens-before (and the unchecked `+ 1` panicked in debug builds).
+    /// Saturation is the conservative direction — once a thread's clock
+    /// pins at `u32::MAX`, later operations of that thread are treated as
+    /// contemporaneous with its last tick, which can only under-report
+    /// orderings, never invent them. At one tick per synchronization
+    /// operation, reaching 2³² ticks is out of scope for these workloads.
     pub fn tick(&mut self, t: Tid) -> u32 {
-        let v = self.get(t) + 1;
+        let v = self.get(t).saturating_add(1);
         self.set(t, v);
         v
     }
@@ -98,13 +108,17 @@ impl VectorClock {
 }
 
 impl std::fmt::Display for VectorClock {
+    /// Renders the nonzero entries labelled with their thread ids, e.g.
+    /// `<T0@5,T3@2>` (matching [`VectorClock::iter`]'s view). The previous
+    /// unlabelled `<v0,v1,…>` form was ambiguous for sparse clocks: `<0,7>`
+    /// and `<0,0,7>` print identically once implicit zeros are involved.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "<")?;
-        for (i, v) in self.entries.iter().enumerate() {
-            if i > 0 {
+        for (n, (t, v)) in self.iter().enumerate() {
+            if n > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{v}")?;
+            write!(f, "{t}@{v}")?;
         }
         write!(f, ">")
     }
@@ -152,6 +166,27 @@ mod tests {
         let e = a.epoch(Tid(1));
         assert_eq!(e.tid(), Tid(1));
         assert_eq!(e.clock(), 9);
+    }
+
+    #[test]
+    fn tick_saturates_instead_of_wrapping() {
+        let mut a = VectorClock::new();
+        a.set(Tid(1), u32::MAX - 1);
+        assert_eq!(a.tick(Tid(1)), u32::MAX);
+        // A further tick pins at the maximum rather than wrapping to 0
+        // (which would destroy every happens-before edge for the thread).
+        assert_eq!(a.tick(Tid(1)), u32::MAX);
+        assert_eq!(a.get(Tid(1)), u32::MAX);
+    }
+
+    #[test]
+    fn display_labels_nonzero_entries() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.to_string(), "<>");
+        a.set(Tid(0), 5);
+        a.set(Tid(3), 2);
+        // Sparse entries are unambiguous because each carries its tid.
+        assert_eq!(a.to_string(), "<T0@5,T3@2>");
     }
 
     #[test]

@@ -64,11 +64,13 @@ impl Default for Epoch {
 }
 
 impl std::fmt::Display for Epoch {
+    /// Renders the paper's `t@c` notation (thread first, clock second),
+    /// e.g. `T3@5`; the bottom epoch prints as `⊥e`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_none() {
             write!(f, "⊥e")
         } else {
-            write!(f, "{}@{}", self.clock(), self.tid())
+            write!(f, "{}@{}", self.tid(), self.clock())
         }
     }
 }
@@ -89,6 +91,14 @@ mod tests {
         let c = VectorClock::new();
         assert!(Epoch::NONE.leq(&c));
         assert!(Epoch::NONE.is_none());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        // The paper writes epochs as `t@c`: thread first, clock second.
+        assert_eq!(Epoch::new(Tid(3), 5).to_string(), "T3@5");
+        assert_eq!(Epoch::new(Tid(0), 1).to_string(), "T0@1");
+        assert_eq!(Epoch::NONE.to_string(), "⊥e");
     }
 
     #[test]
