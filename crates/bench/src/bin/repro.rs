@@ -3,9 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|table2|fig2|fig8|static|ablation|replay|all]
+//! repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|all]
 //!       [--scale small|full] [--reps N] [--bench NAME]
-//!       [--replay-workers N] [--json] [--out FILE]
+//!       [--replay-workers N] [--budget SECS] [--json] [--out FILE]
 //! ```
 //!
 //! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
@@ -21,6 +21,10 @@
 //!   serial detection against the sharded parallel replay engine
 //!   (`--replay-workers N` pins one worker count; default measures
 //!   1, 2, and 4). Errors if any replay's verdicts diverge from serial.
+//! * `fuzz`   — run the differential fuzzing campaign (placement,
+//!   replay, and trace-codec oracles over seeded random programs and
+//!   schedules; `--budget SECS` bounds wall-clock time). Errors if any
+//!   oracle diverges.
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
@@ -43,9 +47,9 @@ fn main() -> ExitCode {
             eprintln!("repro: {msg}");
             eprintln!();
             eprintln!(
-                "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|all] \
+                "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
-                 [--json] [--out FILE]"
+                 [--budget SECS] [--json] [--out FILE]"
             );
             ExitCode::from(2)
         }
@@ -55,7 +59,14 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<(), String> {
     let args = CliArgs::parse(
         args,
-        &["--scale", "--reps", "--bench", "--out", "--replay-workers"],
+        &[
+            "--scale",
+            "--reps",
+            "--bench",
+            "--out",
+            "--replay-workers",
+            "--budget",
+        ],
         &["--json"],
     )?;
     let what = args.positional(0).unwrap_or("all").to_owned();
@@ -74,6 +85,60 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if what == "ablation" {
         let out = ablation(scale, reps, json);
         return emit(out, &args, json);
+    }
+
+    if what == "fuzz" {
+        // The differential soundness gate: random programs + schedules
+        // through the placement, replay, and codec oracles. Scale picks
+        // the seed window; the optional budget caps wall-clock time.
+        let seeds = match scale {
+            Scale::Small => 60,
+            Scale::Full => 500,
+        };
+        let budget_secs: u64 = args.parsed("--budget")?.unwrap_or(0);
+        eprintln!("fuzzing {seeds} seeded case(s) through the differential oracles …");
+        let report = bigfoot_fuzz::run_campaign(&bigfoot_fuzz::FuzzOptions {
+            seed_lo: 1,
+            seed_hi: 1 + seeds,
+            budget_secs,
+            corpus_dir: None,
+            ..bigfoot_fuzz::FuzzOptions::default()
+        });
+        if !report.divergences.is_empty() {
+            for d in &report.divergences {
+                eprintln!(
+                    "DIVERGENCE seed {} [{}] {}",
+                    d.seed,
+                    d.oracle.name(),
+                    d.detail
+                );
+                eprintln!("{}", d.minimized);
+            }
+            return Err(format!(
+                "{} differential divergence(s) found — placement is unsound",
+                report.divergences.len()
+            ));
+        }
+        if json {
+            let mut out = Json::object();
+            out.set("schema_version", 1u64);
+            out.set("tool", "repro");
+            out.set("command", "fuzz");
+            out.set("report", report.to_json());
+            return emit(Some(out), &args, true);
+        }
+        println!(
+            "fuzz: {} case(s) over seeds {}..{} in {:.1}s — all oracles agree \
+             (roundtrip {}, placement {}, replay {})",
+            report.cases,
+            report.seed_lo,
+            report.seed_hi,
+            report.elapsed.as_secs_f64(),
+            report.oracle_runs[0],
+            report.oracle_runs[1],
+            report.oracle_runs[2],
+        );
+        return Ok(());
     }
 
     let selected: Vec<_> = match args.value("--bench") {

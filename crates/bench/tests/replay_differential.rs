@@ -82,6 +82,7 @@ fn random_programs_replay_identically() {
             threads: 2 + (seed as usize % 3),
             array_len: 16 + (seed as usize % 17),
             racy: seed % 2 == 0,
+            ..RandomConfig::default()
         };
         let src = random_program(&cfg);
         let program = parse_program(&src).expect("generated program parses");

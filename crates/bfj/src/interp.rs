@@ -433,6 +433,23 @@ impl<'p> Interp<'p> {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
+    /// Unbiased draw from `0..n` (Lemire multiply-shift with rejection).
+    /// A plain `rand() % n` over-selects the low residues whenever `n`
+    /// does not divide 2^64, skewing `Random`-policy schedules.
+    fn rand_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut m = self.rand() as u128 * n as u128;
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = self.rand() as u128 * n as u128;
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
     /// Runs the program to completion, streaming events into `sink`.
     ///
     /// # Errors
@@ -472,7 +489,7 @@ impl<'p> Interp<'p> {
             }
             quantum_left -= 1;
             if let SchedPolicy::Random { switch_inv, .. } = self.policy {
-                if switch_inv <= 1 || self.rand().is_multiple_of(switch_inv as u64) {
+                if switch_inv <= 1 || self.rand_below(switch_inv as u64) == 0 {
                     quantum_left = 0;
                 }
             }
@@ -530,7 +547,7 @@ impl<'p> Interp<'p> {
                 .iter()
                 .find(|&&i| i > current)
                 .unwrap_or(&runnable[0]),
-            SchedPolicy::Random { .. } => runnable[(self.rand() % runnable.len() as u64) as usize],
+            SchedPolicy::Random { .. } => runnable[self.rand_below(runnable.len() as u64) as usize],
         })
     }
 

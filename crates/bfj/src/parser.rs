@@ -916,6 +916,22 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_strides_are_rejected_with_a_diagnostic() {
+        // A clamped `:0` stride would denote a different index set, so the
+        // parser must refuse it outright (see SymRange::from_ast).
+        for bad in ["0", "-1", "-3"] {
+            let src = format!("main {{ a = new_array(8); check(r: a[0..8:{bad}]); }}");
+            let err = parse_program(&src).expect_err("stride must be rejected");
+            assert!(
+                err.to_string().contains("positive stride"),
+                "diagnostic should name the stride rule, got: {err}"
+            );
+        }
+        // Positive strides still parse.
+        assert!(parse_program("main { a = new_array(8); check(r: a[0..8:2]); }").is_ok());
+    }
+
+    #[test]
     fn rmw_lowering_produces_read_then_write() {
         let p = parse("class C { field f; } main { c = new C; c.f = c.f + 1; }");
         let kinds: Vec<_> = p.main.stmts.iter().map(|s| &s.kind).collect();

@@ -63,6 +63,17 @@ pub enum TraceError {
         /// The offending byte.
         tag: u8,
     },
+    /// A decoded range carried a non-positive stride. Strides are
+    /// validated at parse time, so this only arises from corrupt or
+    /// hand-crafted traces — rejecting it here keeps `step >= 1` an
+    /// invariant every detector downstream may rely on (a zero stride
+    /// would otherwise divide-by-zero in shadow clamping).
+    InvalidStride {
+        /// Byte offset just past the offending range.
+        offset: usize,
+        /// The decoded stride.
+        step: i64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -80,6 +91,9 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::BadTag { offset, tag } => {
                 write!(f, "unknown event tag {tag} at byte {offset}")
+            }
+            TraceError::InvalidStride { offset, step } => {
+                write!(f, "non-positive range stride {step} at byte {offset}")
             }
         }
     }
@@ -167,11 +181,18 @@ fn put_range(buf: &mut Vec<u8>, r: &ConcreteRange) {
 }
 
 fn get_range(bytes: &[u8], pos: &mut usize) -> Result<ConcreteRange, TraceError> {
-    Ok(ConcreteRange {
+    let r = ConcreteRange {
         lo: get_i64(bytes, pos)?,
         hi: get_i64(bytes, pos)?,
         step: get_i64(bytes, pos)?,
-    })
+    };
+    if r.step < 1 {
+        return Err(TraceError::InvalidStride {
+            offset: *pos,
+            step: r.step,
+        });
+    }
+    Ok(r)
 }
 
 // ---------------- event codec ----------------
@@ -479,6 +500,36 @@ mod tests {
             out.push(ev);
         }
         out
+    }
+
+    #[test]
+    fn decoding_rejects_non_positive_strides() {
+        // `encode_event` is trusted (the interpreter never emits such a
+        // range), but a corrupt or crafted trace must not smuggle a
+        // zero/negative stride past the decoder.
+        for step in [0i64, -2] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&TRACE_MAGIC);
+            buf.push(TRACE_VERSION);
+            encode_event(
+                &mut buf,
+                &Event::Check {
+                    t: Tid(0),
+                    paths: vec![(
+                        AccessKind::Read,
+                        CheckTarget::Range(ArrId(0), ConcreteRange { lo: 0, hi: 8, step }),
+                    )],
+                },
+            );
+            let mut pos = read_header(&buf).expect("header");
+            assert!(
+                matches!(
+                    read_event(&buf, &mut pos),
+                    Err(TraceError::InvalidStride { step: s, .. }) if s == step
+                ),
+                "stride {step} must be rejected"
+            );
+        }
     }
 
     #[test]

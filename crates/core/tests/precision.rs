@@ -243,6 +243,7 @@ fn random_programs_precise_and_agreeing() {
                 size: 10,
                 threads: 2,
                 array_len: 16,
+                ..RandomConfig::default()
             };
             let src = random_program(&cfg);
             let p = parse_program(&src).unwrap();
@@ -412,6 +413,7 @@ fn djit_differential_on_random_programs() {
                 size: 8,
                 threads: 2,
                 array_len: 12,
+                ..RandomConfig::default()
             };
             let src = random_program(&cfg);
             let p = parse_program(&src).unwrap();

@@ -897,6 +897,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_arrays_replay_identically() {
+        // Empty allocations flow through shard pinning, fine states, and
+        // adaptive shadows without panicking or perturbing space units.
+        let src = "
+            class W { meth scan(a, b) {
+                s = 0;
+                for (i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+                for (i = 0; i < b.length; i = i + 1) { b[i] = s; }
+                return s; } }
+            main {
+                w = new W;
+                a = new_array(0);
+                b = new_array(8);
+                fork t1 = w.scan(a, b);
+                fork t2 = w.scan(a, b);
+                join(t1); join(t2);
+            }";
+        let bytes = record(src);
+        for (config, serial_det) in [
+            (ReplayConfig::fasttrack(3), Detector::fasttrack()),
+            (ReplayConfig::slimstate(3), Detector::slimstate()),
+        ] {
+            let reference = serial_stats(&bytes, serial_det);
+            let stats = replay_trace(&bytes, &config).expect("replay");
+            assert_identical(&stats, &reference);
+            assert!(stats.has_races(), "b is raced over; a contributes nothing");
+        }
+    }
+
+    #[test]
     fn malformed_trace_is_an_error() {
         assert!(matches!(
             replay_trace(b"junk", &ReplayConfig::fasttrack(1)),

@@ -39,11 +39,21 @@ impl SymRange {
     }
 
     /// Builds from a syntactic [`Range`], normalizing the bounds.
+    ///
+    /// Returns `None` for non-positive strides rather than silently
+    /// clamping them to 1: a clamped `a[lo..hi:0]` would denote a
+    /// *different* index set than the (malformed) input, and a `None`
+    /// here merely makes the analysis keep the original per-access
+    /// checks. The parser already rejects non-positive strides in
+    /// surface syntax; this guards programmatically built ASTs.
     pub fn from_ast(r: &Range) -> Option<SymRange> {
+        if r.step <= 0 {
+            return None;
+        }
         Some(SymRange {
             lo: crate::lin::linearize(&r.lo)?,
             hi: crate::lin::linearize(&r.hi)?,
-            step: r.step.max(1),
+            step: r.step,
         })
     }
 
@@ -427,6 +437,28 @@ mod tests {
             kb.assume(&e(f));
         }
         kb
+    }
+
+    #[test]
+    fn from_ast_rejects_non_positive_strides() {
+        use bigfoot_bfj::Expr;
+        for step in [0, -1, -7] {
+            let r = Range {
+                lo: Expr::Int(0),
+                hi: Expr::Int(8),
+                step,
+            };
+            assert!(
+                SymRange::from_ast(&r).is_none(),
+                "step {step} must be rejected"
+            );
+        }
+        let ok = Range {
+            lo: Expr::Int(0),
+            hi: Expr::Int(8),
+            step: 2,
+        };
+        assert_eq!(SymRange::from_ast(&ok).unwrap().step, 2);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Brute-force exactness oracle for the symbolic range engine.
+//!
+//! For constant bounds the symbolic answers have a trivially computable
+//! ground truth: enumerate the concrete index sets. Over every small
+//! `(lo, hi, step)` combination this checks that
+//!
+//! * [`subsumes`] is *sound*: a `true` answer implies set inclusion;
+//! * [`covered_by_union`] is *sound*: a `true` answer implies the query's
+//!   index set is inside the facts' union (the engine is deliberately
+//!   incomplete — a `false` merely places an extra check — so only this
+//!   direction is asserted);
+//! * [`coalesce`] is *exact* in both directions: when it returns a range,
+//!   that range's index set equals the union of the inputs (§4 coalescing
+//!   replaces checks, so over- *and* under-approximation would be bugs);
+//! * the strided frontier-advance branch of `covered_by_union` (a fact
+//!   whose last grid point is provably `hi - 1` advances the frontier to
+//!   `hi - 1 + step`, not `hi`) is actually reachable and sound.
+
+use bigfoot_entail::{coalesce, covered_by_union, subsumes, Kb, Lin, SymRange};
+use std::collections::BTreeSet;
+
+/// A symbolic range with constant bounds.
+fn crange(lo: i64, hi: i64, step: i64) -> SymRange {
+    SymRange {
+        lo: Lin::constant(lo),
+        hi: Lin::constant(hi),
+        step,
+    }
+}
+
+/// Ground truth: the concrete index set `{lo + i·step | lo + i·step < hi}`.
+fn indices(r: &SymRange) -> BTreeSet<i64> {
+    let lo = r.lo.as_const().expect("constant lo");
+    let hi = r.hi.as_const().expect("constant hi");
+    let mut out = BTreeSet::new();
+    let mut i = lo;
+    while i < hi {
+        out.insert(i);
+        i += r.step;
+    }
+    out
+}
+
+/// Every `(lo, hi, step)` over small bounds; includes empty (`lo >= hi`)
+/// and `lo == hi` forms.
+fn pool() -> Vec<SymRange> {
+    let mut out = Vec::new();
+    for lo in 0..=4i64 {
+        for hi in 0..=6i64 {
+            for step in 1..=3i64 {
+                out.push(crange(lo, hi, step));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn subsumes_is_sound_on_all_small_constant_pairs() {
+    let pool = pool();
+    let mut kb = Kb::new();
+    let mut positives = 0usize;
+    for big in &pool {
+        let big_set = indices(big);
+        for small in &pool {
+            if subsumes(&mut kb, big, small) {
+                positives += 1;
+                let small_set = indices(small);
+                assert!(
+                    small_set.is_subset(&big_set),
+                    "subsumes claimed {small:?} ⊆ {big:?}, but {small_set:?} ⊄ {big_set:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        positives > 1000,
+        "the oracle should exercise real positives"
+    );
+}
+
+#[test]
+fn covered_by_union_is_sound_on_all_small_constant_pairs() {
+    // Facts drawn pairwise from the pool; queries from a reduced pool to
+    // bound the cube. Union coverage with two facts reaches the greedy
+    // frontier chain, singleton hand-off, and the merge prepass.
+    let pool = pool();
+    let queries: Vec<SymRange> = pool
+        .iter()
+        .filter(|q| {
+            let lo = q.lo.as_const().unwrap();
+            let hi = q.hi.as_const().unwrap();
+            lo <= 1 && hi >= lo && hi <= 6
+        })
+        .cloned()
+        .collect();
+    let mut kb = Kb::new();
+    let mut positives = 0usize;
+    for (i, f1) in pool.iter().enumerate() {
+        for f2 in &pool[i..] {
+            let facts = [f1.clone(), f2.clone()];
+            let mut union = indices(f1);
+            union.extend(indices(f2));
+            for q in &queries {
+                if covered_by_union(&mut kb, q, &facts) {
+                    positives += 1;
+                    let q_set = indices(q);
+                    assert!(
+                        q_set.is_subset(&union),
+                        "covered_by_union claimed {q:?} ⊆ {f1:?} ∪ {f2:?}, \
+                         but {q_set:?} ⊄ {union:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        positives > 5000,
+        "the oracle should exercise real positives"
+    );
+}
+
+#[test]
+fn coalesce_is_exact_on_all_small_constant_pairs() {
+    let pool = pool();
+    let mut kb = Kb::new();
+    let mut merges = 0usize;
+    for f1 in &pool {
+        for f2 in &pool {
+            let mut union = indices(f1);
+            union.extend(indices(f2));
+            if let Some(m) = coalesce(&mut kb, &[f1.clone(), f2.clone()]) {
+                merges += 1;
+                assert_eq!(
+                    indices(&m),
+                    union,
+                    "coalesce({f1:?}, {f2:?}) = {m:?} is not the exact union"
+                );
+            }
+        }
+    }
+    assert!(merges > 500, "the oracle should exercise real merges");
+}
+
+#[test]
+fn coalesce_is_exact_on_strided_triples() {
+    // Residue-class fusion and strided adjacency need ≥3 inputs to fire
+    // on stride-3 grids; keep the triple pool small but strided.
+    let pool: Vec<SymRange> = {
+        let mut out = Vec::new();
+        for lo in 0..=2i64 {
+            for hi in 2..=6i64 {
+                for step in 1..=3i64 {
+                    out.push(crange(lo, hi, step));
+                }
+            }
+        }
+        out
+    };
+    let mut kb = Kb::new();
+    let mut merges = 0usize;
+    for f1 in &pool {
+        for f2 in &pool {
+            for f3 in &pool {
+                let mut union = indices(f1);
+                union.extend(indices(f2));
+                union.extend(indices(f3));
+                if let Some(m) = coalesce(&mut kb, &[f1.clone(), f2.clone(), f3.clone()]) {
+                    merges += 1;
+                    assert_eq!(
+                        indices(&m),
+                        union,
+                        "coalesce({f1:?}, {f2:?}, {f3:?}) = {m:?} is not the exact union"
+                    );
+                }
+            }
+        }
+    }
+    assert!(merges > 1000, "the oracle should exercise real merges");
+}
+
+#[test]
+fn strided_frontier_advance_is_reachable_and_sound() {
+    // Fact [0..3:2] covers {0, 2}; its last grid point 2 is provably
+    // hi - 1, so the frontier advances to 3 - 1 + 2 = 4 — allowing the
+    // singleton {4} to finish covering the query [0..5:2] = {0, 2, 4}.
+    // With the conservative frontier (pos = hi = 3) the singleton at 4
+    // would not match and coverage would be refused.
+    let mut kb = Kb::new();
+    let query = crange(0, 5, 2);
+    let facts = [crange(0, 3, 2), crange(4, 5, 1)];
+    assert!(
+        covered_by_union(&mut kb, &query, &facts),
+        "frontier must advance past the stride gap"
+    );
+    let mut union = indices(&facts[0]);
+    union.extend(indices(&facts[1]));
+    assert!(
+        indices(&query).is_subset(&union),
+        "the oracle itself agrees"
+    );
+
+    // The same shape one notch longer: [0..5:2] ∪ {6} covers [0..7:2].
+    let query = crange(0, 7, 2);
+    let facts = [crange(0, 5, 2), crange(6, 7, 1)];
+    assert!(covered_by_union(&mut kb, &query, &facts));
+
+    // Misaligned singleton (5 is off the even grid): must refuse.
+    let query = crange(0, 7, 2);
+    let facts = [crange(0, 5, 2), crange(5, 6, 1)];
+    assert!(!covered_by_union(&mut kb, &query, &facts));
+}

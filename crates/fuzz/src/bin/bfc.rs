@@ -8,6 +8,7 @@
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
 //! bfc profile <file.bfj> [--detector NAME] [--json]
+//! bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]
 //! ```
 //!
 //! * `instrument` prints the instrumented program.
@@ -23,14 +24,22 @@
 //! * `profile` runs the full pipeline with `bigfoot-obs` collection on
 //!   and prints the per-phase time/count breakdown (static-analysis
 //!   spans, entailment share, shadow transitions, detector counters).
-//! * `--json` on `check`, `stats`, and `profile` emits a machine-readable
-//!   report with a stable schema (see `docs/OBSERVABILITY.md`).
+//! * `fuzz` runs the differential fuzzing campaign: each seed in the
+//!   range becomes a random program + schedule cross-checked between the
+//!   unoptimized and BigFoot-optimized placements, serial and sharded
+//!   replay, and the trace codec round-trip. Divergences are shrunk to
+//!   minimal reproducers and written to the corpus directory; the exit
+//!   code is non-zero if any were found.
+//! * `--json` on `check`, `stats`, `profile`, and `fuzz` emits a
+//!   machine-readable report with a stable schema (see
+//!   `docs/OBSERVABILITY.md`).
 
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
 use bigfoot_bfj::{
     parse_program, pretty, trace::TraceWriter, Interp, NullSink, Program, SchedPolicy, Tid, Value,
 };
 use bigfoot_detectors::{replay_trace, Detector, DjitDetector, ReplayConfig, Stats};
+use bigfoot_fuzz::{run_campaign, FuzzOptions};
 use bigfoot_obs::cli::CliArgs;
 use bigfoot_obs::json::Json;
 use std::io::Write;
@@ -77,6 +86,7 @@ fn main() -> ExitCode {
             eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
             eprintln!("  bfc profile <file.bfj> [--detector NAME] [--json]");
+            eprintln!("  bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]");
             ExitCode::from(2)
         }
     }
@@ -118,10 +128,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--schedules",
             "--limit",
             "--replay-workers",
+            "--seed-range",
+            "--budget",
+            "--corpus",
         ],
         &["--json"],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
+    if cmd == "fuzz" {
+        return fuzz_cmd(&args);
+    }
     let file = args.positional(1).ok_or("missing input file")?.to_owned();
     let program = load(&file)?;
     let json = args.has("--json");
@@ -405,6 +421,85 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// The `bfc fuzz` subcommand: a differential fuzzing campaign.
+fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
+    let json = args.has("--json");
+    let range = args.value("--seed-range").unwrap_or("1..501");
+    let (lo, hi) = range
+        .split_once("..")
+        .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<u64>().ok()?)))
+        .filter(|(a, b)| a < b)
+        .ok_or_else(|| format!("--seed-range wants `A..B` with A < B, got `{range}`"))?;
+    let budget_secs: u64 = args.parsed("--budget")?.unwrap_or(0);
+    // Default the corpus next to the fuzz crate when run from the repo
+    // root; otherwise a local directory.
+    let corpus_dir = match args.value("--corpus") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let in_repo = std::path::Path::new("crates/fuzz/corpus");
+            if in_repo.parent().is_some_and(|p| p.is_dir()) {
+                in_repo.to_path_buf()
+            } else {
+                std::path::PathBuf::from("fuzz-corpus")
+            }
+        }
+    };
+    bigfoot_obs::set_enabled(true);
+    bigfoot_obs::reset();
+    let opts = FuzzOptions {
+        seed_lo: lo,
+        seed_hi: hi,
+        budget_secs,
+        corpus_dir: Some(corpus_dir),
+        ..FuzzOptions::default()
+    };
+    let report = run_campaign(&opts);
+    let snap = bigfoot_obs::snapshot();
+    if json {
+        let mut out = envelope("fuzz", "-");
+        out.set("report", report.to_json());
+        out.set("metrics", snap.to_json());
+        outln!("{}", out.to_string_pretty());
+    } else {
+        outln!(
+            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, placement {}, replay {}",
+            report.cases,
+            report.seed_lo,
+            report.seed_hi,
+            report.elapsed.as_secs_f64(),
+            if report.exhausted_budget {
+                " (budget exhausted)"
+            } else {
+                ""
+            },
+            report.oracle_runs[0],
+            report.oracle_runs[1],
+            report.oracle_runs[2],
+        );
+        for d in &report.divergences {
+            outln!();
+            outln!(
+                "DIVERGENCE seed {} [{}] {}",
+                d.seed,
+                d.oracle.name(),
+                d.detail
+            );
+            if let Some(p) = &d.corpus_file {
+                outln!("  reproducer written to {}", p.display());
+            }
+            outp!("{}", d.minimized);
+        }
+        if report.divergences.is_empty() {
+            outln!("no divergences");
+        }
+    }
+    Ok(if report.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// Runs one schedule under the named detector configuration. With

@@ -1,0 +1,215 @@
+//! The regression corpus: minimized reproducers replayed forever.
+//!
+//! Every divergence the fuzzer ever finds is shrunk and committed here as
+//! a plain `.bfj` file whose leading `//` directive lines carry the
+//! metadata needed to re-run the exact case (the BFJ lexer treats `//` as
+//! comments, so a corpus file is also directly loadable by `bfc`).
+//!
+//! Layout of an entry:
+//!
+//! ```text
+//! // bigfoot-fuzz reproducer
+//! // seed: 42
+//! // oracle: placement
+//! // policy: random seed=97 switch_inv=2
+//! // detail: fasttrack sees races at {...}, bigfoot at {...}
+//! <minimized program source>
+//! ```
+
+use crate::oracle::OracleKind;
+use bigfoot_bfj::SchedPolicy;
+use std::path::{Path, PathBuf};
+
+/// One parsed corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// File the entry came from.
+    pub path: PathBuf,
+    /// The campaign seed that found it.
+    pub seed: u64,
+    /// Which oracle fired when it was found.
+    pub oracle: OracleKind,
+    /// The schedule to replay under.
+    pub policy: SchedPolicy,
+    /// The divergence description at commit time.
+    pub detail: String,
+    /// The program source (directives included — they are comments).
+    pub source: String,
+}
+
+/// Renders the schedule policy as a directive value.
+fn policy_to_directive(policy: SchedPolicy) -> String {
+    match policy {
+        SchedPolicy::RoundRobin { quantum } => format!("roundrobin quantum={quantum}"),
+        SchedPolicy::Random { seed, switch_inv } => {
+            format!("random seed={seed} switch_inv={switch_inv}")
+        }
+    }
+}
+
+/// Parses a `policy:` directive value.
+fn policy_from_directive(s: &str) -> Result<SchedPolicy, String> {
+    let mut kind = None;
+    let mut fields = std::collections::BTreeMap::new();
+    for word in s.split_whitespace() {
+        match word.split_once('=') {
+            Some((k, v)) => {
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad policy field `{word}`"))?;
+                fields.insert(k.to_string(), v);
+            }
+            None => kind = Some(word),
+        }
+    }
+    match kind {
+        Some("roundrobin") => Ok(SchedPolicy::RoundRobin {
+            quantum: *fields.get("quantum").ok_or("roundrobin needs quantum=")? as u32,
+        }),
+        Some("random") => Ok(SchedPolicy::Random {
+            seed: *fields.get("seed").ok_or("random needs seed=")?,
+            switch_inv: *fields.get("switch_inv").ok_or("random needs switch_inv=")? as u32,
+        }),
+        other => Err(format!("unknown policy `{other:?}`")),
+    }
+}
+
+/// Serializes one reproducer to the corpus file format.
+pub fn render_entry(
+    seed: u64,
+    oracle: OracleKind,
+    policy: SchedPolicy,
+    detail: &str,
+    minimized_source: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str("// bigfoot-fuzz reproducer\n");
+    out.push_str(&format!("// seed: {seed}\n"));
+    out.push_str(&format!("// oracle: {}\n", oracle.name()));
+    out.push_str(&format!("// policy: {}\n", policy_to_directive(policy)));
+    out.push_str(&format!("// detail: {}\n", detail.replace('\n', "; ")));
+    out.push_str(minimized_source);
+    if !minimized_source.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a corpus file's directive header.
+pub fn parse_entry(path: &Path, text: &str) -> Result<CorpusEntry, String> {
+    let mut seed = None;
+    let mut oracle = None;
+    let mut policy = None;
+    let mut detail = String::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("//") else {
+            break; // directives end at the first non-comment line
+        };
+        let rest = rest.trim();
+        if let Some(v) = rest.strip_prefix("seed:") {
+            seed = Some(
+                v.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("{}: bad seed directive", path.display()))?,
+            );
+        } else if let Some(v) = rest.strip_prefix("oracle:") {
+            oracle = Some(
+                OracleKind::from_name(v.trim())
+                    .ok_or_else(|| format!("{}: unknown oracle `{}`", path.display(), v.trim()))?,
+            );
+        } else if let Some(v) = rest.strip_prefix("policy:") {
+            policy = Some(
+                policy_from_directive(v.trim()).map_err(|e| format!("{}: {e}", path.display()))?,
+            );
+        } else if let Some(v) = rest.strip_prefix("detail:") {
+            detail = v.trim().to_string();
+        }
+    }
+    Ok(CorpusEntry {
+        path: path.to_path_buf(),
+        seed: seed.ok_or_else(|| format!("{}: missing seed directive", path.display()))?,
+        oracle: oracle.ok_or_else(|| format!("{}: missing oracle directive", path.display()))?,
+        policy: policy.ok_or_else(|| format!("{}: missing policy directive", path.display()))?,
+        detail,
+        source: text.to_string(),
+    })
+}
+
+/// Writes a reproducer into `dir` (created if missing), returning its
+/// path. The name embeds the oracle and seed so entries sort usefully.
+pub fn write_entry(
+    dir: &Path,
+    seed: u64,
+    oracle: OracleKind,
+    policy: SchedPolicy,
+    detail: &str,
+    minimized_source: &str,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}-seed{}.bfj", oracle.name(), seed));
+    let text = render_entry(seed, oracle, policy, detail, minimized_source);
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Loads every `.bfj` entry in `dir`, sorted by file name. A missing
+/// directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("bfj") {
+                    paths.push(path);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    }
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push(parse_entry(&path, &text)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrips_through_render_and_parse() {
+        let policy = SchedPolicy::Random {
+            seed: 97,
+            switch_inv: 2,
+        };
+        let text = render_entry(
+            42,
+            OracleKind::Placement,
+            policy,
+            "fasttrack vs bigfoot\nsecond line",
+            "main { x = 1; }\n",
+        );
+        let entry = parse_entry(Path::new("x.bfj"), &text).unwrap();
+        assert_eq!(entry.seed, 42);
+        assert_eq!(entry.oracle, OracleKind::Placement);
+        assert_eq!(entry.policy, policy);
+        assert_eq!(entry.detail, "fasttrack vs bigfoot; second line");
+        // The directives are comments: the whole entry still parses as BFJ.
+        bigfoot_bfj::parse_program(&entry.source).unwrap();
+    }
+
+    #[test]
+    fn roundrobin_policies_roundtrip_too() {
+        let policy = SchedPolicy::RoundRobin { quantum: 64 };
+        let text = render_entry(7, OracleKind::Replay, policy, "d", "main { x = 1; }\n");
+        let entry = parse_entry(Path::new("y.bfj"), &text).unwrap();
+        assert_eq!(entry.policy, policy);
+    }
+}

@@ -1,0 +1,374 @@
+//! The differential oracles.
+//!
+//! Every case runs through three independent cross-checks, each of which
+//! has a ground truth the others don't:
+//!
+//! * **round-trip** — the binary trace codec must be lossless: decoding
+//!   the recorded bytes yields the recorded events, and re-encoding the
+//!   events yields the recorded bytes.
+//! * **placement** — the precision theorem (§3.5): the BigFoot-placed
+//!   checks must be *precise* (`verify_precise_checks`) and must make the
+//!   detector report exactly FastTrack's race verdict — same boolean, same
+//!   set of racy locations. The theorem is *per trace*: both detectors
+//!   consume the **same** recorded execution of the instrumented program
+//!   (FastTrack checks at each access and ignores the `check` statements;
+//!   BigFoot checks only at them). Comparing two separate executions
+//!   would be unsound — the original and instrumented programs interleave
+//!   differently under a randomized scheduler, and a racy program's
+//!   verdict may legitimately differ between schedules.
+//! * **replay** — the sharded parallel replay engine must be bit-identical
+//!   to serial detection at every worker count, for both the unoptimized
+//!   and the optimized placement.
+//!
+//! All oracles are deterministic functions of `(program, policy)`, which
+//! is what lets the shrinker re-validate determinism at every step.
+
+use bigfoot::instrument;
+use bigfoot_bfj::{
+    trace::{read_event, read_header},
+    Event, EventSink, Interp, Program, RecordingSink, SchedPolicy, TraceWriter,
+};
+use bigfoot_detectors::{replay_trace, verify_precise_checks, Detector, ReplayConfig, Stats};
+
+/// Step bound for generated programs (they terminate well before this;
+/// the bound turns a generator bug into an error instead of a hang).
+const MAX_STEPS: u64 = 50_000_000;
+
+/// Worker counts the replay oracle exercises (one even divisor of the
+/// shard count, one that is not).
+const REPLAY_WORKERS: [usize; 2] = [2, 5];
+
+/// Which oracle observed a divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// The program failed to run at all (generator contract violation).
+    Execution,
+    /// Trace encode/decode round-trip mismatch.
+    RoundTrip,
+    /// FastTrack vs BigFoot placement verdict mismatch, or imprecise
+    /// checks.
+    Placement,
+    /// Parallel replay verdict differs from serial detection.
+    Replay,
+}
+
+impl OracleKind {
+    /// Stable lowercase name (used in corpus directives and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OracleKind::Execution => "execution",
+            OracleKind::RoundTrip => "roundtrip",
+            OracleKind::Placement => "placement",
+            OracleKind::Replay => "replay",
+        }
+    }
+
+    /// Inverse of [`OracleKind::name`].
+    pub fn from_name(name: &str) -> Option<OracleKind> {
+        Some(match name {
+            "execution" => OracleKind::Execution,
+            "roundtrip" => OracleKind::RoundTrip,
+            "placement" => OracleKind::Placement,
+            "replay" => OracleKind::Replay,
+            _ => return None,
+        })
+    }
+}
+
+/// A cross-check failure: which oracle fired and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// One-line description of the disagreement.
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(oracle: OracleKind, detail: impl Into<String>) -> Divergence {
+        let detail: String = detail.into();
+        // Corpus directives are line-oriented; keep the detail on one.
+        let detail = detail.replace('\n', "; ");
+        Divergence { oracle, detail }
+    }
+}
+
+/// Feeds one interpreter run into both the binary trace writer and an
+/// in-memory event recording, so the two views come from the *same*
+/// execution.
+struct Tee<'a> {
+    writer: &'a mut TraceWriter,
+    rec: &'a mut RecordingSink,
+}
+
+impl EventSink for Tee<'_> {
+    fn event(&mut self, ev: &Event) {
+        self.writer.event(ev);
+        self.rec.event(ev);
+    }
+}
+
+/// Runs `program` once, returning the encoded trace and the event list.
+fn record(program: &Program, policy: SchedPolicy) -> Result<(Vec<u8>, Vec<Event>), String> {
+    let mut writer = TraceWriter::new();
+    let mut rec = RecordingSink::default();
+    let mut tee = Tee {
+        writer: &mut writer,
+        rec: &mut rec,
+    };
+    Interp::new(program, policy)
+        .with_max_steps(MAX_STEPS)
+        .run(&mut tee)
+        .map_err(|e| format!("runtime error: {e}"))?;
+    Ok((writer.into_bytes(), rec.events))
+}
+
+/// Feeds a recorded trace to a serial detector.
+fn serial(events: &[Event], mut det: Detector) -> Stats {
+    for ev in events {
+        det.event(ev);
+    }
+    det.finish()
+}
+
+/// The round-trip oracle for one (bytes, events) pair.
+fn roundtrip(label: &str, bytes: &[u8], events: &[Event]) -> Option<Divergence> {
+    // Decode the bytes and compare event-by-event.
+    let mut pos = match read_header(bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::RoundTrip,
+                format!("{label}: recorded trace has a bad header: {e}"),
+            ))
+        }
+    };
+    let mut decoded = 0usize;
+    loop {
+        match read_event(bytes, &mut pos) {
+            Ok(None) => break,
+            Ok(Some(ev)) => {
+                match events.get(decoded) {
+                    Some(expected) if *expected == ev => {}
+                    Some(expected) => {
+                        return Some(Divergence::new(
+                            OracleKind::RoundTrip,
+                            format!(
+                                "{label}: event {decoded} decodes to {ev:?}, recorded {expected:?}"
+                            ),
+                        ))
+                    }
+                    None => {
+                        return Some(Divergence::new(
+                            OracleKind::RoundTrip,
+                            format!("{label}: trace decodes more events than were recorded"),
+                        ))
+                    }
+                }
+                decoded += 1;
+            }
+            Err(e) => {
+                return Some(Divergence::new(
+                    OracleKind::RoundTrip,
+                    format!("{label}: decode error at event {decoded}: {e}"),
+                ))
+            }
+        }
+    }
+    if decoded != events.len() {
+        return Some(Divergence::new(
+            OracleKind::RoundTrip,
+            format!(
+                "{label}: trace decodes {decoded} events, recorder saw {}",
+                events.len()
+            ),
+        ));
+    }
+    // Re-encode the recorded events and compare the bytes.
+    let mut w = TraceWriter::new();
+    for ev in events {
+        w.event(ev);
+    }
+    if w.into_bytes() != bytes {
+        return Some(Divergence::new(
+            OracleKind::RoundTrip,
+            format!("{label}: re-encoding the recorded events changes the byte stream"),
+        ));
+    }
+    None
+}
+
+/// Compares a replay verdict against the serial ground truth.
+fn replay_matches(
+    label: &str,
+    bytes: &[u8],
+    config: &ReplayConfig,
+    workers: usize,
+    truth: &Stats,
+) -> Option<Divergence> {
+    let got = match replay_trace(bytes, config) {
+        Ok(s) => s,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Replay,
+                format!("{label}: replay at {workers} worker(s) failed: {e}"),
+            ))
+        }
+    };
+    if got.races != truth.races {
+        return Some(Divergence::new(
+            OracleKind::Replay,
+            format!(
+                "{label}: replay at {workers} worker(s) reports races {:?}, serial {:?}",
+                got.races, truth.races
+            ),
+        ));
+    }
+    let got_json = got.to_json().to_string_compact();
+    let truth_json = truth.to_json().to_string_compact();
+    if got_json != truth_json {
+        return Some(Divergence::new(
+            OracleKind::Replay,
+            format!(
+                "{label}: replay at {workers} worker(s) stats diverge: {got_json} vs {truth_json}"
+            ),
+        ));
+    }
+    None
+}
+
+/// Runs every oracle over one case. `None` means all cross-checks agree.
+///
+/// Deterministic in `(program, policy)`: calling this twice on the same
+/// inputs yields the same answer (the shrinker relies on that).
+pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence> {
+    let _span = bigfoot_obs::span!("fuzz.case");
+
+    // One execution per placement; every oracle below reuses these.
+    let (ft_bytes, ft_events) = match record(program, policy) {
+        Ok(x) => x,
+        Err(e) => return Some(Divergence::new(OracleKind::Execution, e)),
+    };
+    let inst = instrument(program);
+    let (bf_bytes, bf_events) = match record(&inst.program, policy) {
+        Ok(x) => x,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Execution,
+                format!("instrumented program: {e}"),
+            ))
+        }
+    };
+
+    bigfoot_obs::count!("fuzz.oracle.roundtrip");
+    if let Some(d) = roundtrip("unoptimized", &ft_bytes, &ft_events) {
+        return Some(d);
+    }
+    if let Some(d) = roundtrip("instrumented", &bf_bytes, &bf_events) {
+        return Some(d);
+    }
+
+    // Per-trace comparison: both detectors read the instrumented run.
+    bigfoot_obs::count!("fuzz.oracle.placement");
+    let ft = serial(&bf_events, Detector::fasttrack());
+    let bf = serial(&bf_events, Detector::bigfoot(inst.proxies.clone()));
+    if let Err(e) = verify_precise_checks(&bf_events) {
+        return Some(Divergence::new(
+            OracleKind::Placement,
+            format!("imprecise checks: {e}"),
+        ));
+    }
+    if ft.has_races() != bf.has_races() || ft.racy_locations() != bf.racy_locations() {
+        return Some(Divergence::new(
+            OracleKind::Placement,
+            format!(
+                "fasttrack sees races at {:?}, bigfoot at {:?}",
+                ft.racy_locations(),
+                bf.racy_locations()
+            ),
+        ));
+    }
+
+    bigfoot_obs::count!("fuzz.oracle.replay");
+    let ft_truth = serial(&ft_events, Detector::fasttrack());
+    for workers in REPLAY_WORKERS {
+        if let Some(d) = replay_matches(
+            "unoptimized",
+            &ft_bytes,
+            &ReplayConfig::fasttrack(workers),
+            workers,
+            &ft_truth,
+        ) {
+            return Some(d);
+        }
+        if let Some(d) = replay_matches(
+            "instrumented",
+            &bf_bytes,
+            &ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+            workers,
+            &bf,
+        ) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::parse_program;
+
+    #[test]
+    fn agreeing_program_passes_every_oracle() {
+        let p = parse_program(
+            "class C { field x; meth poke(l, v) { acq(l); this.x = v; rel(l); return 0; } }
+             class L { }
+             main {
+                 c = new C; l = new L;
+                 fork t1 = c.poke(l, 1);
+                 fork t2 = c.poke(l, 2);
+                 join(t1); join(t2);
+             }",
+        )
+        .unwrap();
+        assert_eq!(run_oracles(&p, SchedPolicy::default()), None);
+    }
+
+    #[test]
+    fn racy_program_still_passes_because_all_sides_agree() {
+        // Divergence means *disagreement between* detectors, not races.
+        let p = parse_program(
+            "class C { field x; meth poke(v) { this.x = v; return 0; } }
+             main {
+                 c = new C;
+                 fork t1 = c.poke(1);
+                 fork t2 = c.poke(2);
+                 join(t1); join(t2);
+             }",
+        )
+        .unwrap();
+        assert_eq!(
+            run_oracles(
+                &p,
+                SchedPolicy::Random {
+                    seed: 3,
+                    switch_inv: 2
+                }
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_codec_would_be_caught() {
+        // Sanity-check the round-trip comparator itself: flipping one
+        // payload byte in a recorded trace must register as a divergence.
+        let p = parse_program("main { a = new_array(4); a[1] = 2; x = a[1]; }").unwrap();
+        let (mut bytes, events) = record(&p, SchedPolicy::default()).unwrap();
+        assert!(roundtrip("ok", &bytes, &events).is_none());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x7;
+        assert!(roundtrip("bad", &bytes, &events).is_some());
+    }
+}

@@ -1,0 +1,374 @@
+//! Delta-debugging minimizer for diverging cases.
+//!
+//! Greedy reduction over the AST: drop whole statements (fork/join pairs
+//! as a unit when needed) and halve integer literals, keeping a mutation
+//! only when the mutated program still runs *and* still produces the same
+//! oracle divergence **twice in a row** — the double run re-validates that
+//! the repro is deterministic at every step, so the corpus never collects
+//! a flaky case. Invalid mutants (say, a join whose fork was removed)
+//! reject themselves by failing to run.
+
+use crate::oracle::{run_oracles, Divergence, OracleKind};
+use bigfoot_bfj::ast::{Block, Expr, Program, Stmt, StmtKind};
+use bigfoot_bfj::SchedPolicy;
+
+/// Where a statement lives: main, or the body of `classes[c].methods[m]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BodyId {
+    Main,
+    Method(usize, usize),
+}
+
+/// One candidate reduction.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Remove `stmts[idx]` of the body.
+    RemoveStmt(BodyId, usize),
+    /// Remove a `fork` and the `join` on its handle, as a unit.
+    RemoveForkJoin(BodyId, usize, usize),
+    /// Halve the `k`-th integer literal (pre-order) in the program.
+    HalveLiteral(usize),
+}
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized program.
+    pub program: Program,
+    /// The divergence the minimized program still produces.
+    pub divergence: Divergence,
+    /// Oracle executions spent.
+    pub oracle_runs: usize,
+}
+
+/// Greedily minimizes `program` while it keeps diverging on `kind`.
+///
+/// `max_oracle_runs` bounds total work (each accepted or rejected mutant
+/// costs up to two oracle runs). The returned program always reproduces
+/// the divergence — at worst it is the input unchanged.
+pub fn shrink(
+    program: &Program,
+    policy: SchedPolicy,
+    kind: OracleKind,
+    max_oracle_runs: usize,
+) -> Shrunk {
+    let _span = bigfoot_obs::span!("fuzz.shrink");
+    let mut runs = 0usize;
+    let mut current = program.clone();
+    // The divergence the caller observed; refreshed on every accepted
+    // mutant so the reported detail matches the minimized program.
+    let mut divergence = match run_oracles(&current, policy) {
+        Some(d) => {
+            runs += 1;
+            d
+        }
+        None => {
+            // Caller misreported; nothing to shrink.
+            return Shrunk {
+                program: current,
+                divergence: Divergence {
+                    oracle: kind,
+                    detail: "divergence did not reproduce".into(),
+                },
+                oracle_runs: 1,
+            };
+        }
+    };
+    loop {
+        let mut improved = false;
+        for m in candidates(&current) {
+            if runs + 2 > max_oracle_runs {
+                return Shrunk {
+                    program: current,
+                    divergence,
+                    oracle_runs: runs,
+                };
+            }
+            let Some(mut next) = apply(&current, &m) else {
+                continue;
+            };
+            next.renumber();
+            // Deterministic repro check: the same divergence, twice.
+            let first = run_oracles(&next, policy);
+            runs += 1;
+            let Some(first) = first else { continue };
+            if first.oracle != kind {
+                continue;
+            }
+            let second = run_oracles(&next, policy);
+            runs += 1;
+            if second.as_ref() != Some(&first) {
+                continue;
+            }
+            bigfoot_obs::count!("fuzz.shrink.accepted");
+            current = next;
+            divergence = first;
+            improved = true;
+            break;
+        }
+        if !improved {
+            return Shrunk {
+                program: current,
+                divergence,
+                oracle_runs: runs,
+            };
+        }
+    }
+}
+
+/// Every body in the program, biggest first (main last so scaffolding
+/// like forks and init loops goes only after worker bodies shrank).
+fn bodies(p: &Program) -> Vec<BodyId> {
+    let mut out = Vec::new();
+    for (c, class) in p.classes.iter().enumerate() {
+        for (m, _) in class.methods.iter().enumerate() {
+            out.push(BodyId::Method(c, m));
+        }
+    }
+    out.push(BodyId::Main);
+    out
+}
+
+fn body(p: &Program, id: BodyId) -> &Block {
+    match id {
+        BodyId::Main => &p.main,
+        BodyId::Method(c, m) => &p.classes[c].methods[m].body,
+    }
+}
+
+fn body_mut(p: &mut Program, id: BodyId) -> &mut Block {
+    match id {
+        BodyId::Main => &mut p.main,
+        BodyId::Method(c, m) => &mut p.classes[c].methods[m].body,
+    }
+}
+
+/// Enumerates candidate mutations for the current program, cheapest and
+/// most aggressive first (statement removal before literal halving).
+fn candidates(p: &Program) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for id in bodies(p) {
+        let block = body(p, id);
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            if let StmtKind::Fork { x, .. } = &stmt.kind {
+                // A fork's join (if any) must go with it.
+                let join = block
+                    .stmts
+                    .iter()
+                    .position(|s| matches!(&s.kind, StmtKind::Join { t } if t == x));
+                match join {
+                    Some(j) => out.push(Mutation::RemoveForkJoin(id, i, j)),
+                    None => out.push(Mutation::RemoveStmt(id, i)),
+                }
+            } else {
+                out.push(Mutation::RemoveStmt(id, i));
+            }
+        }
+    }
+    for k in 0..count_literals(p) {
+        out.push(Mutation::HalveLiteral(k));
+    }
+    out
+}
+
+/// Applies a mutation, or `None` when it no longer makes sense (stale
+/// index, literal already minimal).
+fn apply(p: &Program, m: &Mutation) -> Option<Program> {
+    let mut next = p.clone();
+    match *m {
+        Mutation::RemoveStmt(id, i) => {
+            let block = body_mut(&mut next, id);
+            if i >= block.stmts.len() {
+                return None;
+            }
+            block.stmts.remove(i);
+        }
+        Mutation::RemoveForkJoin(id, i, j) => {
+            let block = body_mut(&mut next, id);
+            if i >= block.stmts.len() || j >= block.stmts.len() {
+                return None;
+            }
+            let (a, b) = if i < j { (j, i) } else { (i, j) };
+            block.stmts.remove(a);
+            block.stmts.remove(b);
+        }
+        Mutation::HalveLiteral(k) => {
+            let mut seen = 0usize;
+            let mut changed = false;
+            visit_exprs(&mut next, &mut |e| {
+                if let Expr::Int(n) = e {
+                    if seen == k && *n >= 2 {
+                        *e = Expr::Int(*n / 2);
+                        changed = true;
+                    }
+                    seen += 1;
+                }
+            });
+            if !changed {
+                return None;
+            }
+        }
+    }
+    Some(next)
+}
+
+fn count_literals(p: &Program) -> usize {
+    let mut n = 0usize;
+    // The visitor needs `&mut Program`; count on a clone.
+    let mut q = p.clone();
+    visit_exprs(&mut q, &mut |e| {
+        if matches!(e, Expr::Int(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Pre-order walk over every expression in the program.
+fn visit_exprs(p: &mut Program, f: &mut dyn FnMut(&mut Expr)) {
+    for class in &mut p.classes {
+        for meth in &mut class.methods {
+            visit_block(&mut meth.body, f);
+            visit_expr(&mut meth.ret, f);
+        }
+    }
+    visit_block(&mut p.main, f);
+}
+
+fn visit_block(b: &mut Block, f: &mut dyn FnMut(&mut Expr)) {
+    for s in &mut b.stmts {
+        visit_stmt(s, f);
+    }
+}
+
+fn visit_stmt(s: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+    match &mut s.kind {
+        StmtKind::Assign { e, .. } => visit_expr(e, f),
+        StmtKind::If {
+            cond,
+            then_b,
+            else_b,
+        } => {
+            visit_expr(cond, f);
+            visit_block(then_b, f);
+            visit_block(else_b, f);
+        }
+        StmtKind::Loop { head, exit, tail } => {
+            visit_block(head, f);
+            visit_expr(exit, f);
+            visit_block(tail, f);
+        }
+        StmtKind::NewArray { len, .. } => visit_expr(len, f),
+        StmtKind::ReadArr { idx, .. } | StmtKind::WriteArr { idx, .. } => visit_expr(idx, f),
+        StmtKind::Check { paths } => {
+            for cp in paths {
+                if let bigfoot_bfj::ast::Path::Arr { range, .. } = &mut cp.path {
+                    visit_expr(&mut range.lo, f);
+                    visit_expr(&mut range.hi, f);
+                }
+            }
+        }
+        StmtKind::Skip
+        | StmtKind::Rename { .. }
+        | StmtKind::Acquire { .. }
+        | StmtKind::Release { .. }
+        | StmtKind::New { .. }
+        | StmtKind::ReadField { .. }
+        | StmtKind::WriteField { .. }
+        | StmtKind::Call { .. }
+        | StmtKind::Fork { .. }
+        | StmtKind::Join { .. }
+        | StmtKind::Wait { .. }
+        | StmtKind::Notify { .. } => {}
+    }
+}
+
+fn visit_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    f(e);
+    match e {
+        Expr::Unop(_, a) => visit_expr(a, f),
+        Expr::Binop(_, a, b) => {
+            visit_expr(a, f);
+            visit_expr(b, f);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::parse_program;
+
+    fn stmt_total(p: &Program) -> usize {
+        p.stmt_count()
+    }
+
+    #[test]
+    fn candidates_cover_statements_and_literals() {
+        let p = parse_program(
+            "class C { field x; meth poke(v) { this.x = v; return 0; } }
+             main {
+                 c = new C;
+                 a = new_array(8);
+                 fork t = c.poke(3);
+                 join(t);
+             }",
+        )
+        .unwrap();
+        let cands = candidates(&p);
+        assert!(cands
+            .iter()
+            .any(|m| matches!(m, Mutation::RemoveForkJoin(..))));
+        assert!(cands.iter().any(|m| matches!(m, Mutation::RemoveStmt(..))));
+        assert!(cands.iter().any(|m| matches!(m, Mutation::HalveLiteral(_))));
+    }
+
+    #[test]
+    fn fork_join_removal_keeps_the_program_runnable() {
+        let p = parse_program(
+            "class C { field x; meth poke(v) { this.x = v; return 0; } }
+             main {
+                 c = new C;
+                 fork t = c.poke(3);
+                 join(t);
+             }",
+        )
+        .unwrap();
+        let m = candidates(&p)
+            .into_iter()
+            .find(|m| matches!(m, Mutation::RemoveForkJoin(..)))
+            .unwrap();
+        let mut next = apply(&p, &m).unwrap();
+        next.renumber();
+        assert!(stmt_total(&next) < stmt_total(&p));
+        // Both the fork and its join are gone: no dangling `join(t)`.
+        use bigfoot_bfj::{Interp, NullSink};
+        Interp::new(&next, SchedPolicy::default())
+            .run(&mut NullSink)
+            .unwrap();
+    }
+
+    #[test]
+    fn literal_halving_reduces_a_literal() {
+        let p = parse_program("main { a = new_array(16); }").unwrap();
+        let m = Mutation::HalveLiteral(0);
+        let next = apply(&p, &m).unwrap();
+        let mut seen = Vec::new();
+        let mut q = next.clone();
+        visit_exprs(&mut q, &mut |e| {
+            if let Expr::Int(n) = e {
+                seen.push(*n);
+            }
+        });
+        assert_eq!(seen, vec![8]);
+    }
+
+    #[test]
+    fn shrink_returns_input_when_nothing_diverges() {
+        // `shrink` on a healthy program degrades gracefully.
+        let p = parse_program("main { x = 1; }").unwrap();
+        let out = shrink(&p, SchedPolicy::default(), OracleKind::Placement, 10);
+        assert_eq!(out.program, p);
+    }
+}

@@ -106,18 +106,29 @@ impl ArrayShadow {
         }
     }
 
-    /// Number of shadow locations currently held.
+    /// Number of shadow locations currently held. A zero-length array
+    /// shadows no elements, so it reports zero locations (its initial
+    /// coarse state is inert: every commit against it is empty).
     pub fn locations(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
         match &self.repr {
             Repr::Coarse(_) => 1,
             Repr::Blocks { states, .. } => states.len(),
             Repr::Strided { states, .. } => states.len(),
-            Repr::Fine(states) => states.len().max(1),
+            Repr::Fine(states) => states.len(),
         }
     }
 
-    /// Space in clock-entry units (Table 2 accounting).
+    /// Space in clock-entry units (Table 2 accounting). Zero for a
+    /// zero-length array — it has no shadowable elements, and counting
+    /// its inert coarse state would overstate `space_units` by one per
+    /// empty allocation.
     pub fn space_units(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
         match &self.repr {
             Repr::Coarse(s) => s.space_units(),
             Repr::Blocks { bounds, states } => {
@@ -140,6 +151,12 @@ impl ArrayShadow {
         clock: &VectorClock,
     ) -> ApplyOutcome {
         let mut out = ApplyOutcome::default();
+        // A non-positive stride denotes no grid at all; rejecting it here
+        // (before `clamp`, whose grid rounding divides by the stride) keeps
+        // malformed programmatic ranges from panicking.
+        if range.step < 1 {
+            return out;
+        }
         let range = self.clamp(range);
         if range.is_empty() || self.len == 0 {
             return out;
@@ -563,6 +580,117 @@ mod tests {
         );
         assert_eq!(out.shadow_ops, 1); // clamps to whole array
         assert_eq!(sh.repr_kind(), ReprKind::Coarse);
+    }
+
+    #[test]
+    fn zero_length_array_commits_are_noops() {
+        let mut sh = ArrayShadow::new(0);
+        let c = clock(Tid(0), 1);
+        assert_eq!(sh.locations(), 0, "no elements, no shadow locations");
+        assert_eq!(sh.space_units(), 0, "no elements, no space");
+        for r in [
+            ConcreteRange::contiguous(0, 0),
+            ConcreteRange::singleton(0),
+            ConcreteRange::contiguous(-4, 9),
+            ConcreteRange {
+                lo: 0,
+                hi: 8,
+                step: 3,
+            },
+        ] {
+            let out = sh.apply(r, AccessKind::Write, Tid(0), &c);
+            assert_eq!(out.shadow_ops, 0, "{r}: empty array never checks");
+            assert!(out.races.is_empty());
+        }
+        // Conflicting-thread commits still cannot race on zero elements.
+        let out = sh.apply(
+            ConcreteRange::contiguous(0, 4),
+            AccessKind::Write,
+            Tid(1),
+            &clock(Tid(1), 1),
+        );
+        assert!(out.races.is_empty());
+        assert_eq!(sh.repr_kind(), ReprKind::Coarse, "repr never refines");
+        assert_eq!(sh.locations(), 0);
+        assert_eq!(sh.space_units(), 0);
+    }
+
+    #[test]
+    fn non_positive_stride_commit_is_rejected_not_a_panic() {
+        let mut sh = ArrayShadow::new(16);
+        let c = clock(Tid(0), 1);
+        for step in [0, -3] {
+            // lo < 0 would previously reach clamp's grid rounding and
+            // divide by a zero stride.
+            let out = sh.apply(
+                ConcreteRange {
+                    lo: -5,
+                    hi: 10,
+                    step,
+                },
+                AccessKind::Write,
+                Tid(0),
+                &c,
+            );
+            assert_eq!(out.shadow_ops, 0);
+            assert!(out.races.is_empty());
+        }
+        assert_eq!(sh.repr_kind(), ReprKind::Coarse);
+    }
+
+    #[test]
+    fn lo_equals_hi_commit_is_noop_at_every_repr() {
+        let c = clock(Tid(0), 1);
+        let mut sh = ArrayShadow::new(12);
+        // Drive the shadow through Blocks and Fine, probing an empty
+        // `lo == hi` commit at each representation.
+        for probe_at in [0i64, 5, 12] {
+            let out = sh.apply(
+                ConcreteRange::contiguous(probe_at, probe_at),
+                AccessKind::Write,
+                Tid(0),
+                &c,
+            );
+            assert_eq!(out.shadow_ops, 0);
+        }
+        sh.apply(
+            ConcreteRange::contiguous(0, 6),
+            AccessKind::Write,
+            Tid(0),
+            &c,
+        );
+        assert_eq!(sh.repr_kind(), ReprKind::Blocks);
+        assert_eq!(
+            sh.apply(
+                ConcreteRange::contiguous(3, 3),
+                AccessKind::Read,
+                Tid(0),
+                &c
+            )
+            .shadow_ops,
+            0
+        );
+        sh.apply(
+            ConcreteRange {
+                lo: 1,
+                hi: 8,
+                step: 3,
+            },
+            AccessKind::Write,
+            Tid(0),
+            &c,
+        );
+        assert_eq!(sh.repr_kind(), ReprKind::Fine);
+        assert_eq!(
+            sh.apply(
+                ConcreteRange::contiguous(7, 7),
+                AccessKind::Read,
+                Tid(0),
+                &c
+            )
+            .shadow_ops,
+            0
+        );
     }
 
     #[test]
