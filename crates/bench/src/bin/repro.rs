@@ -25,6 +25,13 @@
 //!   replay, and trace-codec oracles over seeded random programs and
 //!   schedules; `--budget SECS` bounds wall-clock time). Errors if any
 //!   oracle diverges.
+//! * `perf`   — the tracked performance baseline: record each benchmark
+//!   to a trace, stream the pre-decoded events through every detector
+//!   configuration (detector-only events/sec), and report static-analysis
+//!   wall time, entailment share, and peak shadow space. `--out
+//!   BENCH.json` writes the baseline; `--check BENCH.json` re-measures
+//!   and fails on a >`--tolerance` (default 0.25) throughput regression
+//!   (see `docs/PERFORMANCE.md`).
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
@@ -47,9 +54,9 @@ fn main() -> ExitCode {
             eprintln!("repro: {msg}");
             eprintln!();
             eprintln!(
-                "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|all] \
+                "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
-                 [--budget SECS] [--json] [--out FILE]"
+                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--json] [--out FILE]"
             );
             ExitCode::from(2)
         }
@@ -66,6 +73,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--out",
             "--replay-workers",
             "--budget",
+            "--check",
+            "--tolerance",
         ],
         &["--json"],
     )?;
@@ -147,6 +156,38 @@ fn run(args: Vec<String>) -> Result<(), String> {
             vec![benchmark(name, scale).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
         }
     };
+
+    if what == "perf" {
+        eprintln!(
+            "perf-profiling {} benchmark(s) at {scale:?} scale, {reps} reps per detector …",
+            selected.len()
+        );
+        let results: Vec<bigfoot_bench::perf::PerfBench> = selected
+            .iter()
+            .map(|b| {
+                eprintln!("  {}", b.name);
+                bigfoot_bench::perf::measure_perf(b.name, &b.program, reps)
+            })
+            .collect();
+        let report = bigfoot_bench::perf::perf_json(&results, scale_name, reps);
+        if let Some(path) = args.value("--check") {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let baseline = bigfoot_obs::json::parse(&text)
+                .map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
+            let tolerance: f64 = args.parsed("--tolerance")?.unwrap_or(0.25);
+            let lines = bigfoot_bench::perf::check_against_baseline(&report, &baseline, tolerance)?;
+            for line in lines {
+                eprintln!("  {line}");
+            }
+            eprintln!("perf within {:.0}% of {path}", tolerance * 100.0);
+        }
+        if json {
+            return emit(Some(report), &args, true);
+        }
+        perf_table(&results);
+        return Ok(());
+    }
 
     if what == "replay" {
         let workers: Vec<usize> = match args.parsed::<usize>("--replay-workers")? {
@@ -405,6 +446,33 @@ fn replay_table(results: &[ReplayResult]) {
         println!();
     }
     println!("all replay verdicts matched serial detection bit-for-bit.");
+}
+
+fn perf_table(results: &[bigfoot_bench::perf::PerfBench]) {
+    println!("== perf baseline: detector event-loop throughput (events/sec) ==");
+    println!(
+        "{:<11} {:>12} {:>12} {:>12} {:>12} {:>12} | {:>11} {:>7}",
+        "program", "FT", "RC", "SS", "SC", "BF", "analysis ms", "entail"
+    );
+    for r in results {
+        print!("{:<11}", r.name);
+        for d in DETECTORS {
+            print!(" {:>12.3e}", r.run(d).events_per_sec);
+        }
+        println!(
+            " | {:>11.2} {:>6.1}%",
+            r.static_obs.analysis_ns as f64 / 1e6,
+            r.static_obs.entail_share() * 100.0
+        );
+    }
+    print!("{:<11}", "GeoMean");
+    for d in DETECTORS {
+        print!(
+            " {:>12.3e}",
+            geomean(results.iter().map(|r| r.run(d).events_per_sec))
+        );
+    }
+    println!(" |");
 }
 
 fn ratio(a: f64, b: f64) -> f64 {

@@ -12,6 +12,7 @@ use bigfoot_detectors::{
 };
 use std::time::{Duration, Instant};
 
+pub mod perf;
 pub mod report;
 
 /// The detector configurations of Fig. 2, in presentation order.

@@ -1,0 +1,276 @@
+//! The `repro perf` measurement: detector-only event-loop throughput,
+//! static-analysis cost, and peak shadow space — the numbers committed to
+//! `BENCH.json` as the tracked performance baseline.
+//!
+//! Unlike [`crate::measure`], which times interpreter + detector together
+//! (the paper's overhead experiment), `perf` records each benchmark to a
+//! trace once, decodes it once, and then streams the pre-decoded events
+//! through each detector configuration. That isolates the detector event
+//! loop, so `events_per_sec` moves when the detector moves and not when
+//! the interpreter does — exactly what a perf baseline must track.
+
+use crate::{geomean, StaticObsStats, DETECTORS};
+use bigfoot::{instrument, naive_instrument, redcard_instrument, Instrumented};
+use bigfoot_bfj::{trace::TraceWriter, Event, EventSink, Interp, Program, SchedPolicy};
+use bigfoot_detectors::{Detector, ProxyTable, Stats, TraceReader};
+use bigfoot_obs::json::Json;
+use std::time::Instant;
+
+/// Each detection run is repeated until it has consumed at least this
+/// much wall time, so nanosecond-scale timer noise cannot dominate the
+/// per-event quotient on small traces.
+const MIN_SAMPLE_NS: u64 = 20_000_000;
+
+/// One detector configuration's throughput on one benchmark.
+#[derive(Debug, Clone)]
+pub struct DetectorPerf {
+    /// Short name (FT/RC/SS/SC/BF).
+    pub name: &'static str,
+    /// Events in the recorded trace for this configuration's program.
+    pub events: u64,
+    /// Median events/second over the measurement reps.
+    pub events_per_sec: f64,
+    /// Peak shadow space (space units) observed during detection.
+    pub shadow_space_peak: u64,
+}
+
+/// All `perf` measurements for one benchmark.
+#[derive(Debug)]
+pub struct PerfBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Static-analysis wall time and entailment share (obs span deltas).
+    pub static_obs: StaticObsStats,
+    /// Entailment-cache hits during the analysis (0 when uncached).
+    pub entail_cache_hits: u64,
+    /// Entailment-cache misses during the analysis.
+    pub entail_cache_misses: u64,
+    /// Per-detector throughput, in [`DETECTORS`] order.
+    pub detectors: Vec<DetectorPerf>,
+}
+
+impl PerfBench {
+    /// The run for a detector name.
+    pub fn run(&self, name: &str) -> &DetectorPerf {
+        self.detectors
+            .iter()
+            .find(|r| r.name == name)
+            .expect("detector")
+    }
+}
+
+fn record(program: &Program) -> (u64, Vec<Event>) {
+    let mut writer = TraceWriter::new();
+    Interp::new(program, SchedPolicy::default())
+        .run(&mut writer)
+        .expect("run");
+    let events = writer.events();
+    let bytes = writer.into_bytes();
+    let decoded: Vec<Event> = TraceReader::new(&bytes)
+        .expect("trace header")
+        .map(|ev| ev.expect("trace event"))
+        .collect();
+    (events, decoded)
+}
+
+fn drive(events: &[Event], mut det: Detector) -> Stats {
+    for ev in events {
+        det.event(ev);
+    }
+    det.finish()
+}
+
+/// Median events/sec over `reps` samples, where each sample loops whole
+/// detection runs until [`MIN_SAMPLE_NS`] has elapsed.
+fn throughput<F: Fn() -> Detector>(events: &[Event], reps: usize, make: F) -> (f64, Stats) {
+    // Calibration run: how many whole detections fit one sample?
+    let t0 = Instant::now();
+    let stats = drive(events, make());
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = (MIN_SAMPLE_NS / once).clamp(1, 10_000) as usize;
+
+    let mut rates = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(drive(events, make()));
+        }
+        let dt = t0.elapsed().as_secs_f64().max(1e-12);
+        rates.push(events.len() as f64 * iters as f64 / dt);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (rates[rates.len() / 2], stats)
+}
+
+/// Runs the full `perf` measurement for one benchmark.
+pub fn measure_perf(name: &'static str, program: &Program, reps: usize) -> PerfBench {
+    let snap0 = bigfoot_obs::snapshot();
+    let inst: Instrumented = instrument(program);
+    let snap1 = bigfoot_obs::snapshot();
+    let static_obs = StaticObsStats {
+        analysis_ns: snap1.timer_total("static.instrument")
+            - snap0.timer_total("static.instrument"),
+        entail_ns: snap1.timer_total("entail.query") - snap0.timer_total("entail.query"),
+        entail_queries: snap1.counter_total("entail.query.") - snap0.counter_total("entail.query."),
+    };
+    let entail_cache_hits = snap1.counter("entail.cache.hit") - snap0.counter("entail.cache.hit");
+    let entail_cache_misses =
+        snap1.counter("entail.cache.miss") - snap0.counter("entail.cache.miss");
+
+    let (rc_prog, rc_proxies) = redcard_instrument(program);
+    let naive = naive_instrument(program);
+    let (naive_events, naive_trace) = record(&naive);
+    let (rc_events, rc_trace) = record(&rc_prog);
+    let (bf_events, bf_trace) = record(&inst.program);
+
+    // Metric collection off while timing: the baseline tracks the bare
+    // detector loop (obs overhead is bounded separately by its own bench).
+    let obs_was_on = bigfoot_obs::enabled();
+    bigfoot_obs::set_enabled(false);
+    let mut detectors = Vec::new();
+    for d in DETECTORS {
+        let (events, trace): (u64, &[Event]) = match d {
+            "FT" | "SS" => (naive_events, &naive_trace),
+            "RC" | "SC" => (rc_events, &rc_trace),
+            _ => (bf_events, &bf_trace),
+        };
+        let (rate, stats) = throughput(trace, reps, || match d {
+            "FT" => Detector::new(
+                "FastTrack",
+                bigfoot_detectors::CheckSource::CheckEvents,
+                bigfoot_detectors::ArrayEngine::Fine,
+                ProxyTable::identity(),
+            ),
+            "RC" => Detector::redcard(rc_proxies.clone()),
+            "SS" => Detector::new(
+                "SlimState",
+                bigfoot_detectors::CheckSource::CheckEvents,
+                bigfoot_detectors::ArrayEngine::Footprint,
+                ProxyTable::identity(),
+            ),
+            "SC" => Detector::slimcard(rc_proxies.clone()),
+            _ => Detector::bigfoot(inst.proxies.clone()),
+        });
+        detectors.push(DetectorPerf {
+            name: d,
+            events,
+            events_per_sec: rate,
+            shadow_space_peak: stats.shadow_space_peak,
+        });
+    }
+    bigfoot_obs::set_enabled(obs_was_on);
+
+    PerfBench {
+        name,
+        static_obs,
+        entail_cache_hits,
+        entail_cache_misses,
+        detectors,
+    }
+}
+
+/// The `repro perf --json` report (the `BENCH.json` schema).
+pub fn perf_json(results: &[PerfBench], scale: &str, reps: usize) -> Json {
+    let mut env = crate::report::envelope("perf", scale, reps);
+    let mut arr = Json::array();
+    for r in results {
+        let mut b = Json::object();
+        b.set("name", r.name);
+        let mut stat = Json::object();
+        stat.set("analysis_ms", r.static_obs.analysis_ns as f64 / 1e6);
+        stat.set("entail_ms", r.static_obs.entail_ns as f64 / 1e6);
+        stat.set("entail_share", r.static_obs.entail_share());
+        stat.set("entail_queries", r.static_obs.entail_queries);
+        stat.set("entail_cache_hits", r.entail_cache_hits);
+        stat.set("entail_cache_misses", r.entail_cache_misses);
+        b.set("static", stat);
+        let mut dets = Json::object();
+        for d in &r.detectors {
+            let mut o = Json::object();
+            o.set("events", d.events);
+            o.set("events_per_sec", d.events_per_sec);
+            o.set("shadow_space_peak", d.shadow_space_peak);
+            dets.set(d.name, o);
+        }
+        b.set("detectors", dets);
+        arr.push(b);
+    }
+    env.set("benchmarks", arr);
+
+    let mut summary = Json::object();
+    let mut rates = Json::object();
+    for d in DETECTORS {
+        rates.set(d, geomean(results.iter().map(|r| r.run(d).events_per_sec)));
+    }
+    summary.set("events_per_sec_geomean", rates);
+    let analysis_ns: u64 = results.iter().map(|r| r.static_obs.analysis_ns).sum();
+    let entail_ns: u64 = results.iter().map(|r| r.static_obs.entail_ns).sum();
+    summary.set("static_analysis_ms", analysis_ns as f64 / 1e6);
+    summary.set(
+        "entail_share",
+        if analysis_ns == 0 {
+            0.0
+        } else {
+            entail_ns as f64 / analysis_ns as f64
+        },
+    );
+    let mut space = Json::object();
+    for d in DETECTORS {
+        space.set(
+            d,
+            results
+                .iter()
+                .map(|r| r.run(d).shadow_space_peak)
+                .sum::<u64>(),
+        );
+    }
+    summary.set("shadow_space_peak_total", space);
+    env.set("summary", summary);
+    env
+}
+
+/// Compares a fresh `perf` report against a committed baseline: fails if
+/// any detector's `events_per_sec_geomean` dropped by more than
+/// `tolerance` (a fraction, e.g. `0.25`). Returns human-readable lines on
+/// success; `Err` lists the regressions.
+pub fn check_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let rate = |j: &Json, d: &str| -> Result<f64, String> {
+        j.get("summary")
+            .and_then(|s| s.get("events_per_sec_geomean"))
+            .and_then(|r| r.get(d))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing summary.events_per_sec_geomean.{d}"))
+    };
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for d in DETECTORS {
+        let old = rate(baseline, d).map_err(|e| format!("baseline: {e}"))?;
+        let new = rate(current, d).map_err(|e| format!("current: {e}"))?;
+        let ratio = if old > 0.0 { new / old } else { 1.0 };
+        let line = format!(
+            "{d}: {:.3e} -> {:.3e} events/sec ({:+.1}%)",
+            old,
+            new,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(line);
+        } else {
+            lines.push(line);
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(format!(
+            "throughput regressed beyond the {:.0}% tolerance:\n  {}\n\
+             (to refresh the baseline intentionally, see docs/PERFORMANCE.md)",
+            tolerance * 100.0,
+            failures.join("\n  ")
+        ))
+    }
+}

@@ -91,6 +91,7 @@ impl ConcreteRange {
     }
 
     /// Iterates over covered indices in increasing order.
+    #[inline]
     pub fn indices(&self) -> impl Iterator<Item = i64> + '_ {
         let (lo, hi, step) = (self.lo, self.hi, self.step);
         (lo..hi)

@@ -16,6 +16,7 @@ use bigfoot_bfj::{Block, Path, Program, StmtKind, Sym};
 use bigfoot_detectors::ProxyTable;
 use bigfoot_shadow::FieldGrouping;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Computes per-class field groupings from the checks of an instrumented
 /// program (a single pass over all checks, as in the paper).
@@ -66,7 +67,7 @@ pub fn grouping_from_sets(p: &Program, check_sets: &[Vec<Sym>]) -> ProxyTable {
         }
         let grouping = FieldGrouping::from_assignment(group_of);
         by_class.push(if grouping.compresses() {
-            Some(grouping)
+            Some(Arc::new(grouping))
         } else {
             None
         });

@@ -20,9 +20,10 @@
 use crate::stats::{Race, RaceTarget, Stats};
 use crate::sync::SyncClocks;
 use bigfoot_bfj::{ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, ObjId};
-use bigfoot_shadow::{ArrayShadow, FieldGrouping, Footprint, ObjectShadow};
+use bigfoot_obs::fx::FxHashMap;
+use bigfoot_shadow::{ArrayShadow, FieldGrouping, Footprint, ObjectShadow, Slab};
 use bigfoot_vc::{AccessKind, Tid, VarState};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where the detector's race checks come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,11 +47,14 @@ pub enum ArrayEngine {
 }
 
 /// Field-proxy groupings per class (from the static proxy analysis).
+///
+/// Groupings are shared (`Arc`), so handing one to each allocated object
+/// is a reference-count bump, not a clone of the assignment vector.
 #[derive(Debug, Clone, Default)]
 pub struct ProxyTable {
     /// `by_class[c]` is the grouping for class index `c`; missing entries
     /// mean identity (no compression).
-    pub by_class: Vec<Option<FieldGrouping>>,
+    pub by_class: Vec<Option<Arc<FieldGrouping>>>,
 }
 
 impl ProxyTable {
@@ -59,13 +63,21 @@ impl ProxyTable {
         ProxyTable::default()
     }
 
-    pub(crate) fn grouping(&self, class: u32, fields: u32) -> FieldGrouping {
-        self.by_class
-            .get(class as usize)
-            .and_then(|g| g.clone())
-            .unwrap_or_else(|| FieldGrouping::identity(fields as usize))
+    pub(crate) fn grouping(&self, class: u32) -> Option<&Arc<FieldGrouping>> {
+        self.by_class.get(class as usize).and_then(|g| g.as_ref())
     }
 }
+
+/// Per-object shadow entry: the field states and the grouping that maps
+/// field indices onto them, fetched with a single slab lookup per check.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjEntry {
+    pub(crate) grouping: Arc<FieldGrouping>,
+    pub(crate) shadow: ObjectShadow,
+}
+
+/// Retained recycled footprints; beyond this the allocator takes over.
+pub(crate) const FP_POOL_MAX: usize = 256;
 
 /// How often (in sync ops) shadow space is sampled for the peak statistic.
 pub(crate) const SPACE_SAMPLE_PERIOD: u64 = 256;
@@ -100,14 +112,25 @@ pub struct Detector {
     engine: ArrayEngine,
     proxies: ProxyTable,
     clocks: SyncClocks,
-    objects: HashMap<ObjId, ObjectShadow>,
-    groupings: HashMap<ObjId, FieldGrouping>,
-    arrays_fine: HashMap<ArrId, Vec<VarState>>,
-    arrays_adaptive: HashMap<ArrId, ArrayShadow>,
-    /// Pending footprints per thread. A thread touches few arrays per
-    /// release-free span, so a small vector beats nested hashing on the
-    /// per-access hot path.
-    footprints: HashMap<Tid, Vec<(ArrId, Footprint)>>,
+    objects: Slab<ObjId, ObjEntry>,
+    arrays_fine: Slab<ArrId, Vec<VarState>>,
+    arrays_adaptive: Slab<ArrId, ArrayShadow>,
+    /// Pending footprints, indexed by dense thread id. A thread touches
+    /// few arrays per release-free span, so a small vector beats nested
+    /// hashing on the per-access hot path.
+    footprints: Vec<Vec<(ArrId, Footprint)>>,
+    /// Drained footprints recycled across commit spans, so steady-state
+    /// commits allocate nothing.
+    fp_pool: Vec<Footprint>,
+    /// Identity groupings for classes absent from the proxy table, shared
+    /// per field count instead of rebuilt per allocation.
+    identity_groupings: FxHashMap<u32, Arc<FieldGrouping>>,
+    /// Scratch for proxy-group deduplication in multi-field checks.
+    group_scratch: Vec<u32>,
+    /// Events processed, aggregated locally and flushed to the `det.events`
+    /// obs counter at finalization — a per-event `count!` would put an
+    /// atomic check on the hottest loop in the pipeline.
+    events: u64,
     stats: Stats,
     finished: bool,
 }
@@ -126,11 +149,14 @@ impl Detector {
             engine,
             proxies,
             clocks: SyncClocks::new(),
-            objects: HashMap::new(),
-            groupings: HashMap::new(),
-            arrays_fine: HashMap::new(),
-            arrays_adaptive: HashMap::new(),
-            footprints: HashMap::new(),
+            objects: Slab::new(),
+            arrays_fine: Slab::new(),
+            arrays_adaptive: Slab::new(),
+            footprints: Vec::new(),
+            fp_pool: Vec::new(),
+            identity_groupings: FxHashMap::default(),
+            group_scratch: Vec::new(),
+            events: 0,
             stats: Stats::default(),
             finished: false,
         }
@@ -209,17 +235,16 @@ impl Detector {
         if self.finished {
             return;
         }
-        // Sorted so the final commits (and any races they surface) happen
-        // in a deterministic order — HashMap iteration order varies
-        // run-to-run, and the replay engine must be able to reproduce
-        // serial verdicts bit-for-bit.
-        let mut tids: Vec<Tid> = self.footprints.keys().copied().collect();
-        tids.sort_unstable();
-        for t in tids {
-            self.commit_footprints(t);
+        // Ascending thread-id order keeps the final commits (and any races
+        // they surface) deterministic — the replay engine must be able to
+        // reproduce serial verdicts bit-for-bit.
+        for ti in 0..self.footprints.len() {
+            self.commit_footprints(Tid(ti as u32));
         }
         self.sample_space();
         self.stats.sync_ops = self.clocks.sync_ops();
+        bigfoot_obs::count_named("det.events", self.events);
+        bigfoot_vc::path_stats::flush();
         self.stats.publish();
         self.finished = true;
     }
@@ -229,22 +254,32 @@ impl Detector {
     fn field_check(&mut self, t: Tid, obj: ObjId, fields: &[u32], kind: AccessKind) {
         self.stats.checks += 1;
         self.stats.field_checks += 1;
-        let grouping = match self.groupings.get(&obj) {
-            Some(g) => g,
-            None => return, // unseen allocation (library object): skip
+        let Some(entry) = self.objects.get_mut(obj) else {
+            return; // unseen allocation (library object): skip
         };
+        let clock = self.clocks.clock(t);
+        if let [f] = fields {
+            // Single-field fast path (every raw access): no dedup needed.
+            let g = entry.grouping.group(*f);
+            self.stats.shadow_ops += 1;
+            if let Err(info) = entry.shadow.apply(g, kind, t, clock) {
+                self.stats.report_race(Race {
+                    target: RaceTarget::Field(obj, g),
+                    info,
+                });
+            }
+            return;
+        }
         // Deduplicate proxy groups within one coalesced path: p.x/y/z over
         // a single group performs a single shadow operation.
-        let mut groups: Vec<u32> = fields.iter().map(|f| grouping.group(*f)).collect();
+        let groups = &mut self.group_scratch;
+        groups.clear();
+        groups.extend(fields.iter().map(|f| entry.grouping.group(*f)));
         groups.sort_unstable();
         groups.dedup();
-        let clock = self.clocks.clock(t);
-        let Some(shadow) = self.objects.get_mut(&obj) else {
-            return;
-        };
-        for g in groups {
+        for &g in groups.iter() {
             self.stats.shadow_ops += 1;
-            if let Err(info) = shadow.apply(g, kind, t, clock) {
+            if let Err(info) = entry.shadow.apply(g, kind, t, clock) {
                 self.stats.report_race(Race {
                     target: RaceTarget::Field(obj, g),
                     info,
@@ -259,7 +294,7 @@ impl Detector {
         match self.engine {
             ArrayEngine::Fine => {
                 let clock = self.clocks.clock(t);
-                let Some(states) = self.arrays_fine.get_mut(&arr) else {
+                let Some(states) = self.arrays_fine.get_mut(arr) else {
                     return;
                 };
                 for i in range.indices() {
@@ -277,11 +312,17 @@ impl Detector {
             }
             ArrayEngine::Footprint => {
                 self.stats.footprint_ops += 1;
-                let per_thread = self.footprints.entry(t).or_default();
+                let ti = t.index();
+                if self.footprints.len() <= ti {
+                    self.footprints.resize_with(ti + 1, Vec::new);
+                }
+                let per_thread = &mut self.footprints[ti];
                 match per_thread.iter_mut().find(|(a, _)| *a == arr) {
                     Some((_, fp)) => fp.add(kind, range),
                     None => {
-                        let mut fp = Footprint::new();
+                        // Recycle a drained footprint when one is pooled;
+                        // its range sets keep their capacity.
+                        let mut fp = self.fp_pool.pop().unwrap_or_default();
                         fp.add(kind, range);
                         per_thread.push((arr, fp));
                     }
@@ -293,7 +334,7 @@ impl Detector {
     /// Commits all pending footprints of thread `t` against the adaptive
     /// array shadow (called at each of `t`'s synchronization operations).
     fn commit_footprints(&mut self, t: Tid) {
-        let Some(per_arr) = self.footprints.get_mut(&t) else {
+        let Some(per_arr) = self.footprints.get_mut(t.index()) else {
             return;
         };
         if per_arr.is_empty() {
@@ -304,14 +345,14 @@ impl Detector {
             if fp.is_empty() {
                 continue;
             }
-            let Some(shadow) = self.arrays_adaptive.get_mut(arr) else {
+            let Some(shadow) = self.arrays_adaptive.get_mut(*arr) else {
                 continue;
             };
             for (kind, ranges) in [
-                (AccessKind::Write, fp.writes.take()),
-                (AccessKind::Read, fp.reads.take()),
+                (AccessKind::Write, fp.writes.ranges()),
+                (AccessKind::Read, fp.reads.ranges()),
             ] {
-                for r in ranges {
+                for &r in ranges {
                     let out = shadow.apply(r, kind, t, clock);
                     self.stats.shadow_ops += out.shadow_ops;
                     for (extent, info) in out.races {
@@ -323,16 +364,21 @@ impl Detector {
                 }
             }
         }
-        // Every footprint was drained; drop the entries so the per-thread
-        // list does not grow with the number of distinct arrays ever
-        // touched (programs allocate fresh arrays per task).
-        per_arr.clear();
+        // Every footprint was applied; drain the entries (so the
+        // per-thread list does not grow with the number of distinct arrays
+        // ever touched) and recycle the emptied footprints.
+        for (_, mut fp) in per_arr.drain(..) {
+            fp.clear();
+            if self.fp_pool.len() < FP_POOL_MAX {
+                self.fp_pool.push(fp);
+            }
+        }
     }
 
     fn sample_space(&mut self) {
         let mut units: u64 = 0;
         for o in self.objects.values() {
-            units += o.space_units() as u64;
+            units += o.shadow.space_units() as u64;
         }
         for a in self.arrays_fine.values() {
             units += a.iter().map(VarState::space_units).sum::<usize>() as u64;
@@ -340,7 +386,7 @@ impl Detector {
         for a in self.arrays_adaptive.values() {
             units += a.space_units() as u64;
         }
-        for per_arr in self.footprints.values() {
+        for per_arr in &self.footprints {
             units += per_arr
                 .iter()
                 .map(|(_, fp)| fp.space_units())
@@ -391,14 +437,24 @@ impl Detector {
 
 impl EventSink for Detector {
     fn event(&mut self, ev: &Event) {
+        self.events += 1;
         match ev {
             Event::AllocObj {
                 obj, class, fields, ..
             } => {
-                let grouping = self.proxies.grouping(*class, *fields);
-                self.objects
-                    .insert(*obj, ObjectShadow::new(grouping.groups));
-                self.groupings.insert(*obj, grouping);
+                let grouping = match self.proxies.grouping(*class) {
+                    Some(g) => Arc::clone(g),
+                    None => {
+                        let n = *fields;
+                        Arc::clone(
+                            self.identity_groupings
+                                .entry(n)
+                                .or_insert_with(|| Arc::new(FieldGrouping::identity(n as usize))),
+                        )
+                    }
+                };
+                let shadow = ObjectShadow::new(grouping.groups);
+                self.objects.insert(*obj, ObjEntry { grouping, shadow });
             }
             Event::AllocArr { arr, len, .. } => match self.engine {
                 ArrayEngine::Fine => {
@@ -570,9 +626,9 @@ mod tests {
             }";
         // Proxy table: class 0 groups all three fields together.
         let proxies = ProxyTable {
-            by_class: vec![Some(bigfoot_shadow::FieldGrouping::from_assignment(vec![
-                0, 0, 0,
-            ]))],
+            by_class: vec![Some(Arc::new(
+                bigfoot_shadow::FieldGrouping::from_assignment(vec![0, 0, 0]),
+            ))],
         };
         let stats = run(src, Detector::bigfoot(proxies));
         assert_eq!(stats.checks, 1);

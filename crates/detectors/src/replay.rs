@@ -32,14 +32,15 @@
 //! its own footprint-buffer size at that point, and the merge sums the
 //! per-shard measurements per probe.
 
-use crate::detector::{ArrayEngine, CheckSource, ProxyTable, SPACE_SAMPLE_PERIOD};
+use crate::detector::SPACE_SAMPLE_PERIOD;
+use crate::detector::{ArrayEngine, CheckSource, ObjEntry, ProxyTable, FP_POOL_MAX};
 use crate::stats::{Race, RaceTarget, Stats};
 use crate::sync::SyncClocks;
 use bigfoot_bfj::trace::{read_event, read_header, TraceError};
 use bigfoot_bfj::{ArrId, CheckTarget, ConcreteRange, Event, Loc, ObjId};
-use bigfoot_shadow::{ArrayShadow, FieldGrouping, Footprint, ObjectShadow};
+use bigfoot_obs::fx::FxHashMap;
+use bigfoot_shadow::{ArrayShadow, FieldGrouping, Footprint, ObjectShadow, Slab};
 use bigfoot_vc::{AccessKind, Tid, VarState, VectorClock};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Number of fixed logical shards.
@@ -179,7 +180,7 @@ impl ReplayConfig {
 enum Item {
     AllocObj {
         obj: ObjId,
-        grouping: FieldGrouping,
+        grouping: Arc<FieldGrouping>,
     },
     AllocArr {
         arr: ArrId,
@@ -230,14 +231,17 @@ struct ShardOutcome {
     probe_spaces: Vec<u64>,
 }
 
-/// Per-shard detection state: exactly the serial detector's shadow maps,
-/// restricted to the objects/arrays that hash to this shard.
+/// Per-shard detection state: exactly the serial detector's shadow stores,
+/// restricted to the objects/arrays that route to this shard. Ids within
+/// shard `s` are `s, s + SHARDS, …`, so strided slabs index by
+/// `id / SHARDS` and stay dense per shard.
 struct ShardState {
     engine: ArrayEngine,
-    objects: HashMap<ObjId, ObjectShadow>,
-    groupings: HashMap<ObjId, FieldGrouping>,
-    arrays_fine: HashMap<ArrId, Vec<VarState>>,
-    arrays_adaptive: HashMap<ArrId, ArrayShadow>,
+    objects: Slab<ObjId, ObjEntry>,
+    arrays_fine: Slab<ArrId, Vec<VarState>>,
+    arrays_adaptive: Slab<ArrId, ArrayShadow>,
+    /// Scratch for proxy-group deduplication in multi-field checks.
+    group_scratch: Vec<u32>,
     out: ShardOutcome,
 }
 
@@ -245,10 +249,10 @@ impl ShardState {
     fn new(engine: ArrayEngine) -> ShardState {
         ShardState {
             engine,
-            objects: HashMap::new(),
-            groupings: HashMap::new(),
-            arrays_fine: HashMap::new(),
-            arrays_adaptive: HashMap::new(),
+            objects: Slab::with_stride(SHARDS as u32),
+            arrays_fine: Slab::with_stride(SHARDS as u32),
+            arrays_adaptive: Slab::with_stride(SHARDS as u32),
+            group_scratch: Vec::new(),
             out: ShardOutcome::default(),
         }
     }
@@ -258,15 +262,22 @@ impl ShardState {
             self.out.items += 1;
             self.apply(item);
         }
+        // Publish this worker thread's FastTrack path tallies.
+        bigfoot_vc::path_stats::flush();
         self.out
     }
 
     fn apply(&mut self, item: &Item) {
         match item {
             Item::AllocObj { obj, grouping } => {
-                self.objects
-                    .insert(*obj, ObjectShadow::new(grouping.groups));
-                self.groupings.insert(*obj, grouping.clone());
+                let shadow = ObjectShadow::new(grouping.groups);
+                self.objects.insert(
+                    *obj,
+                    ObjEntry {
+                        grouping: Arc::clone(grouping),
+                        shadow,
+                    },
+                );
             }
             Item::AllocArr { arr, len } => match self.engine {
                 ArrayEngine::Fine => {
@@ -286,19 +297,34 @@ impl ShardState {
                 t,
                 clock,
             } => {
-                let Some(grouping) = self.groupings.get(obj) else {
+                let Some(entry) = self.objects.get_mut(*obj) else {
                     return; // unseen allocation: serial detector skips too
                 };
-                let mut groups: Vec<u32> = fields.iter().map(|f| grouping.group(*f)).collect();
+                if let [f] = fields.as_slice() {
+                    // Single-field fast path: no dedup scratch needed.
+                    let g = entry.grouping.group(*f);
+                    self.out.shadow_ops += 1;
+                    if let Err(info) = entry.shadow.apply(g, *kind, *t, clock) {
+                        self.out.races.push((
+                            *seq,
+                            0,
+                            Race {
+                                target: RaceTarget::Field(*obj, g),
+                                info,
+                            },
+                        ));
+                    }
+                    return;
+                }
+                let groups = &mut self.group_scratch;
+                groups.clear();
+                groups.extend(fields.iter().map(|f| entry.grouping.group(*f)));
                 groups.sort_unstable();
                 groups.dedup();
-                let Some(shadow) = self.objects.get_mut(obj) else {
-                    return;
-                };
                 let mut idx = 0u32;
-                for g in groups {
+                for &g in groups.iter() {
                     self.out.shadow_ops += 1;
-                    if let Err(info) = shadow.apply(g, *kind, *t, clock) {
+                    if let Err(info) = entry.shadow.apply(g, *kind, *t, clock) {
                         self.out.races.push((
                             *seq,
                             idx,
@@ -319,7 +345,7 @@ impl ShardState {
                 t,
                 clock,
             } => {
-                let Some(states) = self.arrays_fine.get_mut(arr) else {
+                let Some(states) = self.arrays_fine.get_mut(*arr) else {
                     return;
                 };
                 let mut idx = 0u32;
@@ -349,7 +375,7 @@ impl ShardState {
                 t,
                 clock,
             } => {
-                let Some(shadow) = self.arrays_adaptive.get_mut(arr) else {
+                let Some(shadow) = self.arrays_adaptive.get_mut(*arr) else {
                     return;
                 };
                 let outcome = shadow.apply(*range, *kind, *t, clock);
@@ -368,7 +394,7 @@ impl ShardState {
             Item::SpaceProbe => {
                 let mut units: u64 = 0;
                 for o in self.objects.values() {
-                    units += o.space_units() as u64;
+                    units += o.shadow.space_units() as u64;
                 }
                 for a in self.arrays_fine.values() {
                     units += a.iter().map(VarState::space_units).sum::<usize>() as u64;
@@ -390,17 +416,24 @@ struct Annotator {
     engine: ArrayEngine,
     proxies: ProxyTable,
     clocks: SyncClocks,
-    /// Cached `Arc` snapshots of thread clocks, invalidated when a sync
-    /// operation changes the thread's clock.
-    snapshots: HashMap<Tid, Arc<VectorClock>>,
-    /// Mirror of the serial detector's pending footprints (same insertion
-    /// order), so commits drain identical coalesced ranges.
-    footprints: HashMap<Tid, Vec<(ArrId, Footprint)>>,
+    /// Cached `Arc` snapshots of thread clocks (indexed by dense tid),
+    /// invalidated when a sync operation changes the thread's clock.
+    snapshots: Vec<Option<Arc<VectorClock>>>,
+    /// Mirror of the serial detector's pending footprints (dense tid index,
+    /// same insertion order), so commits drain identical coalesced ranges.
+    footprints: Vec<Vec<(ArrId, Footprint)>>,
+    /// Drained footprints recycled across commit spans.
+    fp_pool: Vec<Footprint>,
+    /// Identity groupings shared per field count, as in the serial detector.
+    identity_groupings: FxHashMap<u32, Arc<FieldGrouping>>,
     queues: Vec<Vec<Item>>,
     next_seq: u64,
     /// Footprint-buffer space at each probe point (the shards measure the
     /// shadow maps; the annotator owns the footprints).
     probe_fp_space: Vec<u64>,
+    /// Events processed, flushed to `det.events` at finalization (mirrors
+    /// the serial detector's aggregate-then-flush counting).
+    events: u64,
     stats: Stats,
 }
 
@@ -411,11 +444,14 @@ impl Annotator {
             engine: config.engine,
             proxies: config.proxies.clone(),
             clocks: SyncClocks::new(),
-            snapshots: HashMap::new(),
-            footprints: HashMap::new(),
+            snapshots: Vec::new(),
+            footprints: Vec::new(),
+            fp_pool: Vec::new(),
+            identity_groupings: FxHashMap::default(),
             queues: (0..SHARDS).map(|_| Vec::new()).collect(),
             next_seq: 0,
             probe_fp_space: Vec::new(),
+            events: 0,
             stats: Stats::default(),
         }
     }
@@ -428,16 +464,21 @@ impl Annotator {
 
     /// The acting thread's current clock as a shared snapshot.
     fn snapshot(&mut self, t: Tid) -> Arc<VectorClock> {
-        if let Some(c) = self.snapshots.get(&t) {
+        if let Some(Some(c)) = self.snapshots.get(t.index()) {
             return c.clone();
         }
         let c = Arc::new(self.clocks.clock(t).clone());
-        self.snapshots.insert(t, c.clone());
+        if self.snapshots.len() <= t.index() {
+            self.snapshots.resize(t.index() + 1, None);
+        }
+        self.snapshots[t.index()] = Some(c.clone());
         c
     }
 
     fn invalidate(&mut self, t: Tid) {
-        self.snapshots.remove(&t);
+        if let Some(slot) = self.snapshots.get_mut(t.index()) {
+            *slot = None;
+        }
     }
 
     fn field_check(&mut self, t: Tid, obj: ObjId, fields: &[u32], kind: AccessKind) {
@@ -473,11 +514,15 @@ impl Annotator {
             }
             ArrayEngine::Footprint => {
                 self.stats.footprint_ops += 1;
-                let per_thread = self.footprints.entry(t).or_default();
+                let ti = t.index();
+                if self.footprints.len() <= ti {
+                    self.footprints.resize_with(ti + 1, Vec::new);
+                }
+                let per_thread = &mut self.footprints[ti];
                 match per_thread.iter_mut().find(|(a, _)| *a == arr) {
                     Some((_, fp)) => fp.add(kind, range),
                     None => {
-                        let mut fp = Footprint::new();
+                        let mut fp = self.fp_pool.pop().unwrap_or_default();
                         fp.add(kind, range);
                         per_thread.push((arr, fp));
                     }
@@ -491,33 +536,38 @@ impl Annotator {
     /// writes before reads, ranges in coalesced order. Uses `t`'s clock
     /// *before* the triggering sync op updates it.
     fn commit_footprints(&mut self, t: Tid) {
-        let Some(per_arr) = self.footprints.get_mut(&t) else {
-            return;
-        };
-        if per_arr.is_empty() {
+        if self.footprints.get(t.index()).is_none_or(Vec::is_empty) {
             return;
         }
-        let mut drained: Vec<(ArrId, AccessKind, Vec<ConcreteRange>)> = Vec::new();
+        let clock = self.snapshot(t);
+        let per_arr = &mut self.footprints[t.index()];
         for (arr, fp) in per_arr.iter_mut() {
             if fp.is_empty() {
                 continue;
             }
-            drained.push((*arr, AccessKind::Write, fp.writes.take()));
-            drained.push((*arr, AccessKind::Read, fp.reads.take()));
+            for (kind, ranges) in [
+                (AccessKind::Write, fp.writes.ranges()),
+                (AccessKind::Read, fp.reads.ranges()),
+            ] {
+                for &range in ranges {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.queues[arr_shard(*arr)].push(Item::CommitRange {
+                        seq,
+                        arr: *arr,
+                        range,
+                        kind,
+                        t,
+                        clock: clock.clone(),
+                    });
+                }
+            }
         }
-        per_arr.clear();
-        let clock = self.snapshot(t);
-        for (arr, kind, ranges) in drained {
-            for range in ranges {
-                let seq = self.seq();
-                self.queues[arr_shard(arr)].push(Item::CommitRange {
-                    seq,
-                    arr,
-                    range,
-                    kind,
-                    t,
-                    clock: clock.clone(),
-                });
+        // Drain and recycle exactly as the serial detector does.
+        for (_, mut fp) in per_arr.drain(..) {
+            fp.clear();
+            if self.fp_pool.len() < FP_POOL_MAX {
+                self.fp_pool.push(fp);
             }
         }
     }
@@ -527,7 +577,7 @@ impl Annotator {
     fn probe_space(&mut self) {
         let fp: u64 = self
             .footprints
-            .values()
+            .iter()
             .map(|per_arr| {
                 per_arr
                     .iter()
@@ -588,11 +638,22 @@ impl Annotator {
     }
 
     fn event(&mut self, ev: &Event) {
+        self.events += 1;
         match ev {
             Event::AllocObj {
                 obj, class, fields, ..
             } => {
-                let grouping = self.proxies.grouping(*class, *fields);
+                let grouping = match self.proxies.grouping(*class) {
+                    Some(g) => Arc::clone(g),
+                    None => {
+                        let n = *fields;
+                        Arc::clone(
+                            self.identity_groupings
+                                .entry(n)
+                                .or_insert_with(|| Arc::new(FieldGrouping::identity(n as usize))),
+                        )
+                    }
+                };
                 self.queues[obj_shard(*obj)].push(Item::AllocObj {
                     obj: *obj,
                     grouping,
@@ -641,13 +702,14 @@ impl Annotator {
     /// Final commits (sorted-tid order, matching the serial detector's
     /// finalize) and the final space sample.
     fn finalize(&mut self) {
-        let mut tids: Vec<Tid> = self.footprints.keys().copied().collect();
-        tids.sort_unstable();
-        for t in tids {
-            self.commit_footprints(t);
+        // Ascending dense-tid order is exactly the serial detector's
+        // sorted-tid final-commit order.
+        for ti in 0..self.footprints.len() {
+            self.commit_footprints(Tid(ti as u32));
         }
         self.probe_space();
         self.stats.sync_ops = self.clocks.sync_ops();
+        bigfoot_obs::count_named("det.events", self.events);
     }
 }
 

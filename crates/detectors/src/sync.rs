@@ -2,8 +2,8 @@
 //! clocks updated at lock acquire/release, fork/join, and thread exit.
 
 use bigfoot_bfj::ObjId;
+use bigfoot_obs::fx::FxHashMap;
 use bigfoot_vc::{Tid, VectorClock};
-use std::collections::HashMap;
 
 /// Vector-clock state for threads and locks.
 ///
@@ -14,8 +14,8 @@ use std::collections::HashMap;
 #[derive(Debug, Default, Clone)]
 pub struct SyncClocks {
     threads: Vec<VectorClock>,
-    locks: HashMap<ObjId, VectorClock>,
-    volatiles: HashMap<(ObjId, u32), VectorClock>,
+    locks: FxHashMap<ObjId, VectorClock>,
+    volatiles: FxHashMap<(ObjId, u32), VectorClock>,
     sync_ops: u64,
 }
 
@@ -27,6 +27,7 @@ impl SyncClocks {
         s
     }
 
+    #[inline]
     fn ensure(&mut self, t: Tid) {
         while self.threads.len() <= t.index() {
             let tid = Tid(self.threads.len() as u32);
@@ -39,6 +40,7 @@ impl SyncClocks {
     }
 
     /// The current clock of thread `t`.
+    #[inline]
     pub fn clock(&mut self, t: Tid) -> &VectorClock {
         self.ensure(t);
         &self.threads[t.index()]

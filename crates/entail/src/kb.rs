@@ -81,6 +81,21 @@ pub struct Kb {
     closed: bool,
     /// Cached result of the inconsistency check.
     inconsistent: Option<bool>,
+    /// Fact-set fingerprint: bumped by every public assumption, so caches
+    /// below can tell whether the knowledge base has changed since they
+    /// were filled. Canonicalization is stable within one generation (the
+    /// congruence closure is idempotent between assumptions).
+    generation: u64,
+    /// Memoized [`Kb::proves_nonneg`] verdicts for the current generation,
+    /// keyed by the canonicalized query.
+    memo: HashMap<Lin, bool>,
+    memo_gen: u64,
+    /// Canonicalized inequality rows, rebuilt once per generation instead
+    /// of on every query.
+    canon_rows: Vec<Lin>,
+    canon_gen: Option<u64>,
+    /// Scratch row storage reused across Fourier–Motzkin queries.
+    fm_scratch: Vec<Lin>,
 }
 
 impl Kb {
@@ -93,6 +108,7 @@ impl Kb {
     /// become linear facts; `e % m == 0` becomes a congruence fact;
     /// disjunctions and other unhandled forms are soundly ignored.
     pub fn assume(&mut self, e: &Expr) {
+        self.generation = self.generation.wrapping_add(1);
         match e {
             Expr::Binop(Binop::And, a, b) => {
                 self.assume(a);
@@ -155,6 +171,7 @@ impl Kb {
 
     /// Assumes a heap-alias fact `x = rhs` (recorded on field/array reads).
     pub fn assume_alias(&mut self, x: Sym, rhs: AliasRhs) {
+        self.generation = self.generation.wrapping_add(1);
         self.aliases.push((x, rhs));
         self.closed = false;
     }
@@ -162,6 +179,7 @@ impl Kb {
     /// Assumes `x` and `y` hold the same value (copy or rename). Records
     /// both the numeric equality and the reference equality.
     pub fn assume_var_eq(&mut self, x: Sym, y: Sym) {
+        self.generation = self.generation.wrapping_add(1);
         let lx = Lin::var(x);
         let ly = Lin::var(y);
         self.ineqs.push(lx.sub(&ly));
@@ -263,7 +281,25 @@ impl Kb {
         linearize(e).map(|l| self.canon_lin(&l))
     }
 
+    /// Rebuilds the canonicalized inequality rows if any assumption landed
+    /// since they were last built. Requires the closure to be up to date.
+    fn refresh_canon_rows(&mut self) {
+        if self.canon_gen == Some(self.generation) {
+            return;
+        }
+        let mut rows = std::mem::take(&mut self.canon_rows);
+        rows.clear();
+        rows.extend(self.ineqs.iter().map(|f| self.canon_lin(f)));
+        self.canon_rows = rows;
+        self.canon_gen = Some(self.generation);
+    }
+
     /// Proves `l >= 0` from the assumed facts.
+    ///
+    /// Verdicts are memoized per canonicalized query until the next
+    /// assumption: the placement analysis re-asks the same bounds queries
+    /// for every path flowing through a block, and the fact set only
+    /// changes at assumption points.
     pub fn proves_nonneg(&mut self, l: &Lin) -> bool {
         let _q = crate::obs::QueryGuard::enter();
         self.close();
@@ -274,10 +310,25 @@ impl Kb {
             }
             // Fall through: inconsistent facts entail everything.
         }
+        if self.memo_gen != self.generation {
+            self.memo.clear();
+            self.memo_gen = self.generation;
+        }
+        if let Some(&v) = self.memo.get(&q) {
+            bigfoot_obs::count!("entail.cache.hit");
+            return v;
+        }
+        bigfoot_obs::count!("entail.cache.miss");
+        self.refresh_canon_rows();
         // Refute facts ∧ (q <= -1), i.e. facts ∧ (-q - 1 >= 0).
-        let mut rows: Vec<Lin> = self.ineqs.iter().map(|f| self.canon_lin(f)).collect();
+        let mut rows = std::mem::take(&mut self.fm_scratch);
+        rows.clear();
+        rows.extend_from_slice(&self.canon_rows);
         rows.push(q.scale(-1).offset(-1));
-        fm_infeasible(rows)
+        let v = fm_infeasible(&mut rows);
+        self.fm_scratch = rows;
+        self.memo.insert(q, v);
+        v
     }
 
     /// Proves `a <= b`.
@@ -292,8 +343,12 @@ impl Kb {
             return v;
         }
         self.close();
-        let rows: Vec<Lin> = self.ineqs.iter().map(|f| self.canon_lin(f)).collect();
-        let v = fm_infeasible(rows);
+        self.refresh_canon_rows();
+        let mut rows = std::mem::take(&mut self.fm_scratch);
+        rows.clear();
+        rows.extend_from_slice(&self.canon_rows);
+        let v = fm_infeasible(&mut rows);
+        self.fm_scratch = rows;
         self.inconsistent = Some(v);
         v
     }
@@ -442,10 +497,12 @@ fn negate_cmp(e: &Expr) -> Option<Expr> {
 /// Rational infeasibility implies integer infeasibility, so `true` is
 /// always a sound "contradiction" answer. Exceeding the row/atom caps
 /// returns `false` (feasible / unknown).
-fn fm_infeasible(mut rows: Vec<Lin>) -> bool {
+///
+/// `rows` is left in an unspecified state; the caller keeps the buffer so
+/// its capacity is reused across queries.
+fn fm_infeasible(rows: &mut Vec<Lin>) -> bool {
     // Quick constant check.
-    let has_neg_const = |rows: &[Lin]| rows.iter().any(|r| r.is_const() && r.konst < 0);
-    if has_neg_const(&rows) {
+    if rows.iter().any(|r| r.is_const() && r.konst < 0) {
         return true;
     }
     let mut atoms: Vec<Atom> = {
@@ -457,11 +514,15 @@ fn fm_infeasible(mut rows: Vec<Lin>) -> bool {
     if atoms.len() > FM_MAX_ATOMS {
         return false;
     }
+    // Partition buffers reused across elimination rounds.
+    let mut pos: Vec<(i64, Lin)> = Vec::new(); // c > 0:  c·x + r >= 0  →  x >= -r/c
+    let mut neg: Vec<(i64, Lin)> = Vec::new(); // c < 0 rows
+    let mut rest: Vec<Lin> = Vec::new();
     while let Some(atom) = atoms.pop() {
-        let mut pos = Vec::new(); // c > 0 rows:  c·x + r >= 0  →  x >= -r/c
-        let mut neg = Vec::new(); // c < 0 rows
-        let mut rest = Vec::new();
-        for r in rows {
+        pos.clear();
+        neg.clear();
+        rest.clear();
+        for r in rows.drain(..) {
             match r.terms.get(&atom).copied().unwrap_or(0) {
                 0 => rest.push(r),
                 c if c > 0 => pos.push((c, r)),
@@ -486,7 +547,7 @@ fn fm_infeasible(mut rows: Vec<Lin>) -> bool {
         if rest.len() > FM_MAX_ROWS {
             return false;
         }
-        rows = rest;
+        std::mem::swap(rows, &mut rest);
         // Drop rows mentioning already-eliminated atoms? None remain by
         // construction: we eliminate from the full current set each round.
     }

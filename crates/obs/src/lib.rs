@@ -18,10 +18,11 @@
 //! `bigfoot-bench` holds the <5% detector-throughput overhead bound.
 //!
 //! The crate deliberately has no dependencies (the build environment is
-//! offline), so it also hosts two small pieces of shared plumbing its
+//! offline), so it also hosts a few small pieces of shared plumbing its
 //! consumers would otherwise duplicate: a minimal JSON tree with
-//! serializer and parser ([`json`]) and the CLI argument parser shared by
-//! `bfc` and `repro` ([`cli`]).
+//! serializer and parser ([`json`]), the CLI argument parser shared by
+//! `bfc` and `repro` ([`cli`]), and a fast non-cryptographic hasher for
+//! integer-keyed hot-path maps ([`fx`]).
 //!
 //! # Examples
 //!
@@ -39,6 +40,7 @@
 //! ```
 
 pub mod cli;
+pub mod fx;
 pub mod json;
 mod registry;
 

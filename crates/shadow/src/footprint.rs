@@ -84,6 +84,11 @@ impl RangeSet {
     pub fn take(&mut self) -> Vec<ConcreteRange> {
         std::mem::take(&mut self.ranges)
     }
+
+    /// Empties the set, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
 }
 
 /// Exact union of two concrete ranges, if expressible as one range.
@@ -178,6 +183,12 @@ impl Footprint {
     /// Approximate retained size, in range units (space accounting).
     pub fn space_units(&self) -> usize {
         3 * (self.reads.len() + self.writes.len())
+    }
+
+    /// Empties both range sets, keeping their allocations for reuse.
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
     }
 }
 

@@ -9,7 +9,9 @@
 //! * [`Footprint`]/[`RangeSet`] — per-thread pending-check footprints that
 //!   defer array checks to the next synchronization operation;
 //! * [`ObjectShadow`]/[`FieldGrouping`] — per-object shadow state with
-//!   static field-proxy compression.
+//!   static field-proxy compression;
+//! * [`Slab`] — dense `Vec`-indexed storage for shadow state keyed by the
+//!   interpreter's dense integer ids (the detectors' hot-path store).
 //!
 //! Space accounting (`space_units`) underlies the Table 2 memory-overhead
 //! experiment; operation counting (`ApplyOutcome::shadow_ops`) underlies
@@ -18,7 +20,9 @@
 mod array;
 mod footprint;
 mod object;
+pub mod slab;
 
 pub use array::{ApplyOutcome, ArrayShadow, ReprKind};
 pub use footprint::{Footprint, RangeSet};
 pub use object::{FieldGrouping, ObjectShadow};
+pub use slab::{Slab, SlabKey};

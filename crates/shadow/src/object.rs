@@ -66,6 +66,7 @@ impl ObjectShadow {
     /// # Errors
     ///
     /// Returns the detected race, if any.
+    #[inline]
     pub fn apply(
         &mut self,
         group: u32,

@@ -36,6 +36,7 @@ impl VectorClock {
     }
 
     /// Sets thread `t`'s entry to `value`.
+    #[inline]
     pub fn set(&mut self, t: Tid, value: u32) {
         if self.entries.len() <= t.index() {
             self.entries.resize(t.index() + 1, 0);
@@ -71,6 +72,7 @@ impl VectorClock {
     }
 
     /// Pointwise comparison: true iff `self[t] <= other[t]` for all `t`.
+    #[inline]
     pub fn leq(&self, other: &VectorClock) -> bool {
         self.entries
             .iter()

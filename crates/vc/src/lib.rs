@@ -30,6 +30,7 @@
 
 mod clock;
 mod epoch;
+pub mod path_stats;
 mod state;
 
 pub use clock::VectorClock;

@@ -123,16 +123,17 @@ impl VarState {
     ///
     /// Returns a write-read race if the last write is not ordered before this
     /// read.
+    #[inline]
     pub fn read(&mut self, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
         let here = clock.epoch(t);
         // Same-epoch fast path.
         if let ReadState::Epoch(e) = &self.read {
             if *e == here {
-                bigfoot_obs::count!("vc.read.fast_path");
+                crate::path_stats::read_fast();
                 return Ok(());
             }
         }
-        bigfoot_obs::count!("vc.read.slow_path");
+        crate::path_stats::read_slow();
         if !self.write.leq(clock) {
             return Err(RaceInfo {
                 prior: AccessKind::Write,
@@ -148,7 +149,7 @@ impl VarState {
                     *e = here;
                 } else {
                     // Read-shared: inflate to a vector clock.
-                    bigfoot_obs::count!("vc.read.inflations");
+                    crate::path_stats::read_inflation();
                     let mut vc = VectorClock::new();
                     vc.set(e.tid(), e.clock());
                     vc.set(t, here.clock());
@@ -168,13 +169,14 @@ impl VarState {
     ///
     /// Returns a write-write or read-write race if a prior access is not
     /// ordered before this write.
+    #[inline]
     pub fn write(&mut self, t: Tid, clock: &VectorClock) -> Result<(), RaceInfo> {
         let here = clock.epoch(t);
         if self.write == here {
-            bigfoot_obs::count!("vc.write.fast_path");
+            crate::path_stats::write_fast();
             return Ok(());
         }
-        bigfoot_obs::count!("vc.write.slow_path");
+        crate::path_stats::write_slow();
         if !self.write.leq(clock) {
             return Err(RaceInfo {
                 prior: AccessKind::Write,
