@@ -31,7 +31,10 @@
 //!   wall time, entailment share, and peak shadow space. `--out
 //!   BENCH.json` writes the baseline; `--check BENCH.json` re-measures
 //!   and fails on a >`--tolerance` (default 0.25) throughput regression
-//!   (see `docs/PERFORMANCE.md`).
+//!   (see `docs/PERFORMANCE.md`). `--pipeline` additionally measures
+//!   end-to-end serial vs pipelined (batched-ring) throughput per
+//!   detector configuration and adds an additive `pipeline` section to
+//!   the JSON report.
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
@@ -56,7 +59,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
-                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--json] [--out FILE]"
+                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--pipeline] [--json] \
+                 [--out FILE]"
             );
             ExitCode::from(2)
         }
@@ -76,7 +80,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--check",
             "--tolerance",
         ],
-        &["--json"],
+        &["--json", "--pipeline"],
     )?;
     let what = args.positional(0).unwrap_or("all").to_owned();
     let scale_name = args.one_of("--scale", &["full", "small"])?;
@@ -138,7 +142,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         println!(
             "fuzz: {} case(s) over seeds {}..{} in {:.1}s — all oracles agree \
-             (roundtrip {}, placement {}, replay {})",
+             (roundtrip {}, placement {}, replay {}, pipeline {})",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -146,6 +150,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             report.oracle_runs[0],
             report.oracle_runs[1],
             report.oracle_runs[2],
+            report.oracle_runs[3],
         );
         return Ok(());
     }
@@ -169,7 +174,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 bigfoot_bench::perf::measure_perf(b.name, &b.program, reps)
             })
             .collect();
-        let report = bigfoot_bench::perf::perf_json(&results, scale_name, reps);
+        let pipeline: Option<Vec<bigfoot_bench::perf::PipelineBench>> =
+            args.has("--pipeline").then(|| {
+                eprintln!("pipelined end-to-end throughput (serial vs batched ring hand-off) …");
+                selected
+                    .iter()
+                    .map(|b| {
+                        eprintln!("  {}", b.name);
+                        bigfoot_bench::perf::measure_pipeline(b.name, &b.program, reps)
+                    })
+                    .collect()
+            });
+        let report =
+            bigfoot_bench::perf::perf_json(&results, pipeline.as_deref(), scale_name, reps);
         if let Some(path) = args.value("--check") {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -186,6 +203,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
             return emit(Some(report), &args, true);
         }
         perf_table(&results);
+        if let Some(pipeline) = &pipeline {
+            pipeline_table(pipeline);
+        }
         return Ok(());
     }
 
@@ -473,6 +493,30 @@ fn perf_table(results: &[bigfoot_bench::perf::PerfBench]) {
         );
     }
     println!(" |");
+}
+
+fn pipeline_table(results: &[bigfoot_bench::perf::PipelineBench]) {
+    println!();
+    println!("== pipelined detection: end-to-end speedup (pipelined / serial events/sec) ==");
+    println!(
+        "{:<11} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "program", "FT", "RC", "SS", "SC", "BF"
+    );
+    for r in results {
+        print!("{:<11}", r.name);
+        for d in DETECTORS {
+            print!(" {:>6.2}x", r.run(d).speedup());
+        }
+        println!();
+    }
+    print!("{:<11}", "GeoMean");
+    for d in DETECTORS {
+        print!(
+            " {:>6.2}x",
+            geomean(results.iter().map(|r| r.run(d).speedup()))
+        );
+    }
+    println!();
 }
 
 fn ratio(a: f64, b: f64) -> f64 {

@@ -12,7 +12,10 @@
 use crate::{geomean, StaticObsStats, DETECTORS};
 use bigfoot::{instrument, naive_instrument, redcard_instrument, Instrumented};
 use bigfoot_bfj::{trace::TraceWriter, Event, EventSink, Interp, Program, SchedPolicy};
-use bigfoot_detectors::{Detector, ProxyTable, Stats, TraceReader};
+use bigfoot_detectors::{
+    detect_pipelined, ArrayEngine, CheckSource, Detector, PipelineConfig, ProxyTable, Stats,
+    TraceReader,
+};
 use bigfoot_obs::json::Json;
 use std::time::Instant;
 
@@ -56,6 +59,28 @@ impl PerfBench {
             .iter()
             .find(|r| r.name == name)
             .expect("detector")
+    }
+}
+
+/// Builds the detector for one configuration short name, given the proxy
+/// tables from the RedCard and BigFoot instrumentations.
+fn config_detector(d: &str, rc_proxies: &ProxyTable, bf_proxies: &ProxyTable) -> Detector {
+    match d {
+        "FT" => Detector::new(
+            "FastTrack",
+            CheckSource::CheckEvents,
+            ArrayEngine::Fine,
+            ProxyTable::identity(),
+        ),
+        "RC" => Detector::redcard(rc_proxies.clone()),
+        "SS" => Detector::new(
+            "SlimState",
+            CheckSource::CheckEvents,
+            ArrayEngine::Footprint,
+            ProxyTable::identity(),
+        ),
+        "SC" => Detector::slimcard(rc_proxies.clone()),
+        _ => Detector::bigfoot(bf_proxies.clone()),
     }
 }
 
@@ -134,22 +159,8 @@ pub fn measure_perf(name: &'static str, program: &Program, reps: usize) -> PerfB
             "RC" | "SC" => (rc_events, &rc_trace),
             _ => (bf_events, &bf_trace),
         };
-        let (rate, stats) = throughput(trace, reps, || match d {
-            "FT" => Detector::new(
-                "FastTrack",
-                bigfoot_detectors::CheckSource::CheckEvents,
-                bigfoot_detectors::ArrayEngine::Fine,
-                ProxyTable::identity(),
-            ),
-            "RC" => Detector::redcard(rc_proxies.clone()),
-            "SS" => Detector::new(
-                "SlimState",
-                bigfoot_detectors::CheckSource::CheckEvents,
-                bigfoot_detectors::ArrayEngine::Footprint,
-                ProxyTable::identity(),
-            ),
-            "SC" => Detector::slimcard(rc_proxies.clone()),
-            _ => Detector::bigfoot(inst.proxies.clone()),
+        let (rate, stats) = throughput(trace, reps, || {
+            config_detector(d, &rc_proxies, &inst.proxies)
         });
         detectors.push(DetectorPerf {
             name: d,
@@ -169,8 +180,154 @@ pub fn measure_perf(name: &'static str, program: &Program, reps: usize) -> PerfB
     }
 }
 
-/// The `repro perf --json` report (the `BENCH.json` schema).
-pub fn perf_json(results: &[PerfBench], scale: &str, reps: usize) -> Json {
+/// Serial vs pipelined *end-to-end* throughput (interpreter + detector)
+/// for one detector configuration on one benchmark.
+///
+/// Unlike [`DetectorPerf`], both numbers here include interpretation:
+/// the pipeline's gain comes from overlapping the interpreter with the
+/// detector across the batched ring, which a detector-only loop cannot
+/// show.
+#[derive(Debug, Clone)]
+pub struct PipelineDetectorPerf {
+    /// Short name (FT/RC/SS/SC/BF).
+    pub name: &'static str,
+    /// Events produced by one run of this configuration's program.
+    pub events: u64,
+    /// Median events/second with interpreter and detector on one thread.
+    pub serial_events_per_sec: f64,
+    /// Median events/second with the detector on its own thread, fed
+    /// through the default batched ring.
+    pub pipelined_events_per_sec: f64,
+}
+
+impl PipelineDetectorPerf {
+    /// Pipelined / serial throughput ratio (> 1 means overlap pays).
+    pub fn speedup(&self) -> f64 {
+        if self.serial_events_per_sec > 0.0 {
+            self.pipelined_events_per_sec / self.serial_events_per_sec
+        } else {
+            1.0
+        }
+    }
+}
+
+/// All pipelined-mode measurements for one benchmark.
+#[derive(Debug)]
+pub struct PipelineBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Per-detector serial-vs-pipelined throughput, in [`DETECTORS`]
+    /// order.
+    pub detectors: Vec<PipelineDetectorPerf>,
+}
+
+impl PipelineBench {
+    /// The run for a detector name.
+    pub fn run(&self, name: &str) -> &PipelineDetectorPerf {
+        self.detectors
+            .iter()
+            .find(|r| r.name == name)
+            .expect("detector")
+    }
+}
+
+/// Median end-to-end events/sec over `reps` samples of `run`, where each
+/// sample loops whole runs until [`MIN_SAMPLE_NS`] has elapsed.
+fn end_to_end_rate(events: u64, reps: usize, run: impl Fn()) -> f64 {
+    let t0 = Instant::now();
+    run();
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = (MIN_SAMPLE_NS / once).clamp(1, 10_000) as usize;
+    let mut rates = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        let dt = t0.elapsed().as_secs_f64().max(1e-12);
+        rates.push(events as f64 * iters as f64 / dt);
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rates[rates.len() / 2]
+}
+
+/// Measures serial vs pipelined end-to-end throughput (`repro perf
+/// --pipeline`). Every run re-executes the interpreter, so — unlike
+/// [`measure_perf`] — these numbers move with the interpreter too; they
+/// are reported as an *additive* `pipeline` section, never fed to the
+/// [`check_against_baseline`] drift gate.
+pub fn measure_pipeline(name: &'static str, program: &Program, reps: usize) -> PipelineBench {
+    struct CountSink(u64);
+    impl EventSink for CountSink {
+        fn event(&mut self, _: &Event) {
+            self.0 += 1;
+        }
+    }
+    let count = |p: &Program| {
+        let mut c = CountSink(0);
+        Interp::new(p, SchedPolicy::default())
+            .run(&mut c)
+            .expect("run");
+        c.0
+    };
+
+    let inst: Instrumented = instrument(program);
+    let (rc_prog, rc_proxies) = redcard_instrument(program);
+    let naive = naive_instrument(program);
+    let naive_events = count(&naive);
+    let rc_events = count(&rc_prog);
+    let bf_events = count(&inst.program);
+
+    let obs_was_on = bigfoot_obs::enabled();
+    bigfoot_obs::set_enabled(false);
+    let pipeline = PipelineConfig::default();
+    let mut detectors = Vec::new();
+    for d in DETECTORS {
+        let (events, prog): (u64, &Program) = match d {
+            "FT" | "SS" => (naive_events, &naive),
+            "RC" | "SC" => (rc_events, &rc_prog),
+            _ => (bf_events, &inst.program),
+        };
+        let serial = end_to_end_rate(events, reps, || {
+            let mut det = config_detector(d, &rc_proxies, &inst.proxies);
+            Interp::new(prog, SchedPolicy::default())
+                .run(&mut det)
+                .expect("run");
+            std::hint::black_box(det.finish());
+        });
+        let pipelined = end_to_end_rate(events, reps, || {
+            let (_, stats) = detect_pipelined(
+                &pipeline,
+                |sink| {
+                    Interp::new(prog, SchedPolicy::default())
+                        .run(sink)
+                        .expect("run")
+                },
+                config_detector(d, &rc_proxies, &inst.proxies),
+            );
+            std::hint::black_box(stats);
+        });
+        detectors.push(PipelineDetectorPerf {
+            name: d,
+            events,
+            serial_events_per_sec: serial,
+            pipelined_events_per_sec: pipelined,
+        });
+    }
+    bigfoot_obs::set_enabled(obs_was_on);
+
+    PipelineBench { name, detectors }
+}
+
+/// The `repro perf --json` report (the `BENCH.json` schema). The
+/// `pipeline` section is additive: present only when `--pipeline` ran,
+/// and never read by [`check_against_baseline`].
+pub fn perf_json(
+    results: &[PerfBench],
+    pipeline: Option<&[PipelineBench]>,
+    scale: &str,
+    reps: usize,
+) -> Json {
     let mut env = crate::report::envelope("perf", scale, reps);
     let mut arr = Json::array();
     for r in results {
@@ -226,6 +383,52 @@ pub fn perf_json(results: &[PerfBench], scale: &str, reps: usize) -> Json {
     }
     summary.set("shadow_space_peak_total", space);
     env.set("summary", summary);
+
+    if let Some(pipeline) = pipeline {
+        let mut p = Json::object();
+        p.set(
+            "batch_events",
+            bigfoot_detectors::DEFAULT_BATCH_EVENTS as u64,
+        );
+        p.set("ring_slots", bigfoot_detectors::DEFAULT_RING_SLOTS as u64);
+        let mut arr = Json::array();
+        for r in pipeline {
+            let mut b = Json::object();
+            b.set("name", r.name);
+            let mut dets = Json::object();
+            for d in &r.detectors {
+                let mut o = Json::object();
+                o.set("events", d.events);
+                o.set("serial_events_per_sec", d.serial_events_per_sec);
+                o.set("pipelined_events_per_sec", d.pipelined_events_per_sec);
+                o.set("speedup", d.speedup());
+                dets.set(d.name, o);
+            }
+            b.set("detectors", dets);
+            arr.push(b);
+        }
+        p.set("benchmarks", arr);
+        let mut psummary = Json::object();
+        let mut serial_rates = Json::object();
+        let mut piped_rates = Json::object();
+        let mut speedups = Json::object();
+        for d in DETECTORS {
+            serial_rates.set(
+                d,
+                geomean(pipeline.iter().map(|r| r.run(d).serial_events_per_sec)),
+            );
+            piped_rates.set(
+                d,
+                geomean(pipeline.iter().map(|r| r.run(d).pipelined_events_per_sec)),
+            );
+            speedups.set(d, geomean(pipeline.iter().map(|r| r.run(d).speedup())));
+        }
+        psummary.set("serial_events_per_sec_geomean", serial_rates);
+        psummary.set("pipelined_events_per_sec_geomean", piped_rates);
+        psummary.set("speedup_geomean", speedups);
+        p.set("summary", psummary);
+        env.set("pipeline", p);
+    }
     env
 }
 

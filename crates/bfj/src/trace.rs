@@ -442,7 +442,17 @@ pub fn read_event(bytes: &[u8], pos: &mut usize) -> Result<Option<Event>, TraceE
 #[derive(Debug, Clone)]
 pub struct TraceWriter {
     buf: Vec<u8>,
+    /// Per-event encode scratch, reused across the whole recording so the
+    /// steady-state encode path performs no allocation of its own: the
+    /// event is encoded into `scratch` (whose capacity persists) and then
+    /// copied into `buf` in one `extend_from_slice`.
+    scratch: Vec<u8>,
     events: u64,
+    /// Payload bytes encoded since the last flush to the
+    /// `trace.bytes_written` obs counter (flushed when the writer is
+    /// consumed or dropped — including a drop during unwind from a failed
+    /// run, so partial recordings are accounted too).
+    unflushed_bytes: u64,
 }
 
 impl TraceWriter {
@@ -451,7 +461,12 @@ impl TraceWriter {
         let mut buf = Vec::with_capacity(4096);
         buf.extend_from_slice(&TRACE_MAGIC);
         buf.push(TRACE_VERSION);
-        TraceWriter { buf, events: 0 }
+        TraceWriter {
+            buf,
+            scratch: Vec::with_capacity(64),
+            events: 0,
+            unflushed_bytes: 0,
+        }
     }
 
     /// Number of events recorded so far.
@@ -464,14 +479,29 @@ impl TraceWriter {
         self.buf.len()
     }
 
+    /// Event payload bytes written so far (the trace size minus the
+    /// header). This is exactly what the `trace.bytes_written` counter
+    /// accumulates, so the two can be cross-checked.
+    pub fn bytes_written(&self) -> u64 {
+        (self.buf.len() - TRACE_MAGIC.len() - 1) as u64
+    }
+
     /// True if no event has been recorded.
     pub fn is_empty(&self) -> bool {
         self.events == 0
     }
 
     /// Consumes the writer, returning the serialized trace.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.flush_bytes();
+        std::mem::take(&mut self.buf)
+    }
+
+    fn flush_bytes(&mut self) {
+        if self.unflushed_bytes != 0 {
+            bigfoot_obs::count_named("trace.bytes_written", self.unflushed_bytes);
+            self.unflushed_bytes = 0;
+        }
     }
 }
 
@@ -481,9 +511,18 @@ impl Default for TraceWriter {
     }
 }
 
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        self.flush_bytes();
+    }
+}
+
 impl EventSink for TraceWriter {
     fn event(&mut self, ev: &Event) {
-        encode_event(&mut self.buf, ev);
+        self.scratch.clear();
+        encode_event(&mut self.scratch, ev);
+        self.buf.extend_from_slice(&self.scratch);
+        self.unflushed_bytes += self.scratch.len() as u64;
         self.events += 1;
     }
 }
@@ -662,6 +701,40 @@ mod tests {
             read_event(cut, &mut pos),
             Err(TraceError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_encode_is_byte_identical_to_direct_encode() {
+        // The writer stages each event through a reused scratch buffer;
+        // the resulting trace must match encoding straight into one
+        // buffer, and the byte accounting must match the buffer growth.
+        let p = parse_program(
+            "class C { field x; meth poke(v) { this.x = v; return 0; } }
+             main {
+                 c = new C;
+                 a = new_array(16);
+                 for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+                 fork t1 = c.poke(1);
+                 join(t1);
+             }",
+        )
+        .expect("parse");
+        let mut rec = RecordingSink::default();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut rec)
+            .expect("run");
+        let mut direct = Vec::new();
+        direct.extend_from_slice(&TRACE_MAGIC);
+        direct.push(TRACE_VERSION);
+        for ev in &rec.events {
+            encode_event(&mut direct, ev);
+        }
+        let mut w = TraceWriter::new();
+        for ev in &rec.events {
+            w.event(ev);
+        }
+        assert_eq!(w.bytes_written(), (direct.len() - 5) as u64);
+        assert_eq!(w.into_bytes(), direct);
     }
 
     #[test]

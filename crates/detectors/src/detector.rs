@@ -228,7 +228,7 @@ impl Detector {
     /// space) and returns the statistics.
     pub fn finish(mut self) -> Stats {
         self.finalize();
-        self.stats
+        std::mem::take(&mut self.stats)
     }
 
     fn finalize(&mut self) {
@@ -431,6 +431,24 @@ impl Detector {
         }
         if self.clocks.sync_ops().is_multiple_of(SPACE_SAMPLE_PERIOD) {
             self.sample_space();
+        }
+    }
+}
+
+impl Drop for Detector {
+    /// A detector abandoned before [`Detector::finish`] — an interpreter
+    /// `RuntimeError`, a panic unwinding past the run, a caller that just
+    /// dropped it — still publishes its aggregated `det.events` count and
+    /// the thread-local `bigfoot_vc::path_stats` tallies. Without this,
+    /// a partial run's `bfc profile` report shows zero events and zero
+    /// fast/slow-path hits as if the detector never ran. Shadow-state
+    /// finalization (footprint commits, the final space sample) is *not*
+    /// performed here: it can surface new races, and a drop during unwind
+    /// must stay infallible.
+    fn drop(&mut self) {
+        if !self.finished {
+            bigfoot_obs::count_named("det.events", self.events);
+            bigfoot_vc::path_stats::flush();
         }
     }
 }

@@ -9,6 +9,7 @@
 
 mod detector;
 mod djit;
+mod pipeline;
 mod precision;
 mod replay;
 mod stats;
@@ -16,7 +17,11 @@ mod sync;
 
 pub use detector::{ArrayEngine, CheckSource, Detector, ProxyTable};
 pub use djit::{DjitDetector, DjitState};
+pub use pipeline::{
+    detect_pipelined, run_pipelined, BatchSink, PipelineConfig, DEFAULT_BATCH_EVENTS,
+    DEFAULT_RING_SLOTS,
+};
 pub use precision::{verify_precise_checks, PrecisionError};
-pub use replay::{replay_trace, ReplayConfig, TraceReader, SHARDS};
+pub use replay::{replay_pipelined, replay_trace, ReplayConfig, TraceReader, SHARDS};
 pub use stats::{CoarseTarget, Race, RaceTarget, Stats};
 pub use sync::SyncClocks;

@@ -435,6 +435,7 @@ struct Annotator {
     /// the serial detector's aggregate-then-flush counting).
     events: u64,
     stats: Stats,
+    finished: bool,
 }
 
 impl Annotator {
@@ -453,6 +454,7 @@ impl Annotator {
             probe_fp_space: Vec::new(),
             events: 0,
             stats: Stats::default(),
+            finished: false,
         }
     }
 
@@ -637,7 +639,7 @@ impl Annotator {
         }
     }
 
-    fn event(&mut self, ev: &Event) {
+    fn ingest(&mut self, ev: &Event) {
         self.events += 1;
         match ev {
             Event::AllocObj {
@@ -702,6 +704,10 @@ impl Annotator {
     /// Final commits (sorted-tid order, matching the serial detector's
     /// finalize) and the final space sample.
     fn finalize(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
         // Ascending dense-tid order is exactly the serial detector's
         // sorted-tid final-commit order.
         for ti in 0..self.footprints.len() {
@@ -713,58 +719,21 @@ impl Annotator {
     }
 }
 
-/// Replays a serialized trace through the sharded detection pipeline.
-///
-/// Produces [`Stats`] bit-identical to running the serial
-/// [`Detector`](crate::Detector) with the same configuration over the same
-/// event stream, for any worker count.
-///
-/// # Errors
-///
-/// Returns [`TraceError`] if the trace buffer is malformed.
-///
-/// # Examples
-///
-/// ```
-/// use bigfoot_bfj::{parse_program, trace::TraceWriter, Interp, SchedPolicy};
-/// use bigfoot_detectors::{replay_trace, Detector, ReplayConfig};
-///
-/// let p = parse_program(
-///     "class C { field x; meth poke(v) { this.x = v; return 0; } }
-///      main {
-///          c = new C;
-///          fork t1 = c.poke(1);
-///          fork t2 = c.poke(2);
-///          join(t1); join(t2);
-///      }",
-/// )?;
-/// let mut w = TraceWriter::new();
-/// Interp::new(&p, SchedPolicy::default()).run(&mut w)?;
-/// let bytes = w.into_bytes();
-///
-/// let stats = replay_trace(&bytes, &ReplayConfig::fasttrack(4))?;
-/// assert!(stats.has_races());
-///
-/// // Identical to the serial detector over the same trace:
-/// let mut serial = Detector::fasttrack();
-/// for ev in bigfoot_detectors::TraceReader::new(&bytes)? {
-///     use bigfoot_bfj::EventSink;
-///     serial.event(&ev?);
-/// }
-/// assert_eq!(stats.races, serial.finish().races);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-pub fn replay_trace(bytes: &[u8], config: &ReplayConfig) -> Result<Stats, TraceError> {
-    // Stage 1: serial clock annotation.
-    let mut annotator = Annotator::new(config);
-    {
-        let _span = bigfoot_obs::span!("replay.annotate");
-        let mut pos = read_header(bytes)?;
-        while let Some(ev) = read_event(bytes, &mut pos)? {
-            annotator.event(&ev);
-        }
-        annotator.finalize();
+/// The annotation pass is itself an [`EventSink`], so it can terminate a
+/// pipeline (`run_pipelined`) as well as a decode loop: the interpreter
+/// produces batches on one thread while this serial stage-1 pass consumes
+/// them on another, and the sharded stage 2/3 runs once the stream ends.
+impl bigfoot_bfj::EventSink for Annotator {
+    #[inline]
+    fn event(&mut self, ev: &Event) {
+        self.ingest(ev);
     }
+}
+
+/// Stages 2 and 3, shared by [`replay_trace`] and [`replay_pipelined`]:
+/// parallel sharded detection over the annotator's queues, then the
+/// deterministic seq-ordered merge. The annotator must be finalized.
+fn detect_and_merge(annotator: Annotator, num_workers: usize) -> Stats {
     let Annotator {
         engine,
         queues,
@@ -775,7 +744,7 @@ pub fn replay_trace(bytes: &[u8], config: &ReplayConfig) -> Result<Stats, TraceE
 
     // Stage 2: parallel sharded detection. Worker `w` owns the shards
     // `s % workers == w`; shard streams are identical at any worker count.
-    let workers = config.workers.clamp(1, SHARDS);
+    let workers = num_workers.clamp(1, SHARDS);
     let outcomes: Vec<ShardOutcome> = {
         let _span = bigfoot_obs::span!("replay.detect");
         if workers == 1 {
@@ -835,7 +804,109 @@ pub fn replay_trace(bytes: &[u8], config: &ReplayConfig) -> Result<Stats, TraceE
         stats.observe_space(fp_space + shard_space);
     }
     stats.publish();
-    Ok(stats)
+    stats
+}
+
+/// Replays a serialized trace through the sharded detection pipeline.
+///
+/// Produces [`Stats`] bit-identical to running the serial
+/// [`Detector`](crate::Detector) with the same configuration over the same
+/// event stream, for any worker count.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] if the trace buffer is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::{parse_program, trace::TraceWriter, Interp, SchedPolicy};
+/// use bigfoot_detectors::{replay_trace, Detector, ReplayConfig};
+///
+/// let p = parse_program(
+///     "class C { field x; meth poke(v) { this.x = v; return 0; } }
+///      main {
+///          c = new C;
+///          fork t1 = c.poke(1);
+///          fork t2 = c.poke(2);
+///          join(t1); join(t2);
+///      }",
+/// )?;
+/// let mut w = TraceWriter::new();
+/// Interp::new(&p, SchedPolicy::default()).run(&mut w)?;
+/// let bytes = w.into_bytes();
+///
+/// let stats = replay_trace(&bytes, &ReplayConfig::fasttrack(4))?;
+/// assert!(stats.has_races());
+///
+/// // Identical to the serial detector over the same trace:
+/// let mut serial = Detector::fasttrack();
+/// for ev in bigfoot_detectors::TraceReader::new(&bytes)? {
+///     use bigfoot_bfj::EventSink;
+///     serial.event(&ev?);
+/// }
+/// assert_eq!(stats.races, serial.finish().races);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn replay_trace(bytes: &[u8], config: &ReplayConfig) -> Result<Stats, TraceError> {
+    // Stage 1: serial clock annotation.
+    let mut annotator = Annotator::new(config);
+    {
+        let _span = bigfoot_obs::span!("replay.annotate");
+        let mut pos = read_header(bytes)?;
+        while let Some(ev) = read_event(bytes, &mut pos)? {
+            annotator.ingest(&ev);
+        }
+        annotator.finalize();
+    }
+    Ok(detect_and_merge(annotator, config.workers))
+}
+
+/// Pipelined sharded detection straight from a live event producer — no
+/// intermediate trace buffer. The producer (typically the interpreter)
+/// runs on the calling thread and feeds the batch ring; the stage-1
+/// annotator consumes batches on a second thread; stages 2/3 (the same
+/// sharded detection and deterministic merge as [`replay_trace`]) run
+/// when the stream ends.
+///
+/// Because the annotator sees the producer's exact event order, the
+/// resulting [`Stats`] are bit-identical to [`replay_trace`] over a
+/// recording of the same run — and hence to the serial
+/// [`Detector`](crate::Detector) — at any worker count.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::{parse_program, Interp, SchedPolicy};
+/// use bigfoot_detectors::{replay_pipelined, PipelineConfig, ReplayConfig};
+///
+/// let p = parse_program(
+///     "class C { field x; meth poke(v) { this.x = v; return 0; } }
+///      main {
+///          c = new C;
+///          fork t1 = c.poke(1);
+///          fork t2 = c.poke(2);
+///          join(t1); join(t2);
+///      }",
+/// )?;
+/// let (outcome, stats) = replay_pipelined(
+///     &PipelineConfig::default(),
+///     &ReplayConfig::fasttrack(4),
+///     |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+/// );
+/// outcome?;
+/// assert!(stats.has_races());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn replay_pipelined<T>(
+    pipeline: &crate::pipeline::PipelineConfig,
+    config: &ReplayConfig,
+    producer: impl FnOnce(&mut crate::pipeline::BatchSink<'_>) -> T,
+) -> (T, Stats) {
+    let annotator = Annotator::new(config);
+    let (result, mut annotator) = crate::pipeline::run_pipelined(pipeline, producer, annotator);
+    annotator.finalize();
+    (result, detect_and_merge(annotator, config.workers))
 }
 
 #[cfg(test)]
@@ -985,6 +1056,30 @@ mod tests {
             let stats = replay_trace(&bytes, &config).expect("replay");
             assert_identical(&stats, &reference);
             assert!(stats.has_races(), "b is raced over; a contributes nothing");
+        }
+    }
+
+    #[test]
+    fn pipelined_replay_matches_trace_replay() {
+        use crate::pipeline::PipelineConfig;
+        use bigfoot_bfj::{Interp, SchedPolicy};
+        for src in [RACY, ARRAY_SPLIT, ARRAY_RACY] {
+            let bytes = record(src);
+            let p = parse_program(src).expect("parse");
+            for workers in [1, 4] {
+                let config = ReplayConfig::bigfoot(ProxyTable::identity(), workers);
+                let from_trace = replay_trace(&bytes, &config).expect("replay");
+                let (outcome, from_ring) = replay_pipelined(
+                    &PipelineConfig {
+                        batch_events: 5,
+                        ring_slots: 2,
+                    },
+                    &config,
+                    |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+                );
+                outcome.expect("run");
+                assert_identical(&from_ring, &from_trace);
+            }
         }
     }
 

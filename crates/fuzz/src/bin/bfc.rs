@@ -3,11 +3,11 @@
 //! ```text
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
-//!                      [--seed N] [--schedules N] [--replay-workers N] [--json]
+//!                      [--seed N] [--schedules N] [--replay-workers N] [--pipeline] [--json]
 //! bfc run <file.bfj>
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
-//! bfc profile <file.bfj> [--detector NAME] [--json]
+//! bfc profile <file.bfj> [--detector NAME] [--pipeline] [--json]
 //! bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]
 //! ```
 //!
@@ -16,7 +16,11 @@
 //!   several random schedules) and reports any data races. With
 //!   `--replay-workers N` the run is recorded to an in-memory trace and
 //!   detection replays it through the sharded parallel engine — the
-//!   verdicts are identical to the serial detector's at any `N`.
+//!   verdicts are identical to the serial detector's at any `N`. With
+//!   `--pipeline` the interpreter produces into a batched SPSC ring and
+//!   the detector (or, combined with `--replay-workers`, the replay
+//!   annotator) consumes on its own thread — verdicts again identical,
+//!   byte for byte.
 //! * `run` executes the program uninstrumented and prints `main`'s
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
@@ -38,7 +42,10 @@ use bigfoot::{instrument, naive_instrument, redcard_instrument};
 use bigfoot_bfj::{
     parse_program, pretty, trace::TraceWriter, Interp, NullSink, Program, SchedPolicy, Tid, Value,
 };
-use bigfoot_detectors::{replay_trace, Detector, DjitDetector, ReplayConfig, Stats};
+use bigfoot_detectors::{
+    detect_pipelined, replay_pipelined, replay_trace, run_pipelined, Detector, DjitDetector,
+    PipelineConfig, ReplayConfig, Stats,
+};
 use bigfoot_fuzz::{run_campaign, FuzzOptions};
 use bigfoot_obs::cli::CliArgs;
 use bigfoot_obs::json::Json;
@@ -80,7 +87,7 @@ fn main() -> ExitCode {
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
-                 [--replay-workers N] [--json]"
+                 [--replay-workers N] [--pipeline] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
@@ -132,7 +139,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--budget",
             "--corpus",
         ],
-        &["--json"],
+        &["--json", "--pipeline"],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
     if cmd == "fuzz" {
@@ -189,6 +196,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let seed: u64 = args.parsed("--seed")?.unwrap_or(1);
             let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
+            let pipelined = args.has("--pipeline");
             let mut any_race = false;
             let mut schedule_reports = Json::array();
             for i in 0..schedules {
@@ -200,7 +208,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                         switch_inv: 2,
                     }
                 };
-                let stats = check_once(&program, which, policy, replay_workers)?;
+                let stats = check_once(&program, which, policy, replay_workers, pipelined)?;
                 if stats.has_races() {
                     any_race = true;
                 }
@@ -232,6 +240,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 report.set("schedules", schedules);
                 if let Some(workers) = replay_workers {
                     report.set("replay_workers", workers as u64);
+                }
+                if pipelined {
+                    report.set("pipeline", true);
                 }
                 report.set("any_race", any_race);
                 report.set("runs", schedule_reports);
@@ -355,17 +366,43 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             bigfoot_obs::set_enabled(true);
             bigfoot_obs::reset();
-            let stats = check_once(&program, which, SchedPolicy::default(), replay_workers)?;
+            // A runtime error does not discard the profile: the detector
+            // flushes its aggregated counters on drop, so the snapshot
+            // below still describes the partial run. The report carries
+            // the error and the exit code is non-zero.
+            let (stats, run_error) = match check_once(
+                &program,
+                which,
+                SchedPolicy::default(),
+                replay_workers,
+                args.has("--pipeline"),
+            ) {
+                Ok(stats) => (Some(stats), None),
+                Err(e) => (None, Some(e)),
+            };
             let snap = bigfoot_obs::snapshot();
+            let exit = if run_error.is_some() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
             if json {
                 let mut report = envelope("profile", &file);
                 report.set("detector", which);
-                report.set("stats", stats.to_json());
+                if let Some(stats) = &stats {
+                    report.set("stats", stats.to_json());
+                }
+                if let Some(e) = &run_error {
+                    report.set("error", e.as_str());
+                }
                 report.set("metrics", snap.to_json());
                 outln!("{}", report.to_string_pretty());
-                return Ok(ExitCode::SUCCESS);
+                return Ok(exit);
             }
             outln!("== profile: {file} ({which}) ==");
+            if let Some(e) = &run_error {
+                outln!("!! {e} — profiling the partial run");
+            }
             outln!();
             outln!("-- phases (wall clock) --");
             outln!(
@@ -417,7 +454,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             for c in &snap.counters {
                 outln!("{:<32} {:>12}", c.name, c.value);
             }
-            Ok(ExitCode::SUCCESS)
+            Ok(exit)
         }
         other => Err(format!("unknown command `{other}`")),
     }
@@ -464,7 +501,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
         outln!("{}", out.to_string_pretty());
     } else {
         outln!(
-            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, placement {}, replay {}",
+            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, placement {}, replay {}, pipeline {}",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -477,6 +514,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
             report.oracle_runs[0],
             report.oracle_runs[1],
             report.oracle_runs[2],
+            report.oracle_runs[3],
         );
         for d in &report.divergences {
             outln!();
@@ -505,17 +543,30 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
 /// Runs one schedule under the named detector configuration. With
 /// `replay_workers` set, the schedule is recorded to an in-memory trace and
 /// detection runs through the parallel sharded replay engine instead of
-/// inline — same verdicts, record-once/detect-many.
+/// inline — same verdicts, record-once/detect-many. With `pipelined` set,
+/// the interpreter produces into the batched SPSC ring and the detector
+/// (or the replay annotator) consumes on its own thread — same verdicts,
+/// byte for byte.
 fn check_once(
     program: &Program,
     which: &str,
     policy: SchedPolicy,
     replay_workers: Option<usize>,
+    pipelined: bool,
 ) -> Result<Stats, String> {
     if let Some(workers) = replay_workers {
-        return check_replay(program, which, policy, workers);
+        return check_replay(program, which, policy, workers, pipelined);
     }
     let run_detector = |prog: &Program, mut det: Detector| -> Result<Stats, String> {
+        if pipelined {
+            let (run, stats) = detect_pipelined(
+                &PipelineConfig::default(),
+                |sink| Interp::new(prog, policy).run(sink),
+                det,
+            );
+            run.map_err(|e| format!("runtime error: {e}"))?;
+            return Ok(stats);
+        }
         Interp::new(prog, policy)
             .run(&mut det)
             .map_err(|e| format!("runtime error: {e}"))?;
@@ -537,6 +588,15 @@ fn check_once(
             run_detector(&rc, Detector::slimcard(proxies))
         }
         "djit" => {
+            if pipelined {
+                let (run, det) = run_pipelined(
+                    &PipelineConfig::default(),
+                    |sink| Interp::new(program, policy).run(sink),
+                    DjitDetector::new(),
+                );
+                run.map_err(|e| format!("runtime error: {e}"))?;
+                return Ok(det.finish());
+            }
             let mut det = DjitDetector::new();
             Interp::new(program, policy)
                 .run(&mut det)
@@ -547,12 +607,15 @@ fn check_once(
     }
 }
 
-/// Record-then-replay variant of [`check_once`].
+/// Record-then-replay variant of [`check_once`]. With `pipelined` set,
+/// the trace file is skipped entirely: the interpreter streams into the
+/// replay annotator over the batched ring.
 fn check_replay(
     program: &Program,
     which: &str,
     policy: SchedPolicy,
     workers: usize,
+    pipelined: bool,
 ) -> Result<Stats, String> {
     let record = |prog: &Program| -> Result<Vec<u8>, String> {
         let mut w = TraceWriter::new();
@@ -561,26 +624,33 @@ fn check_replay(
             .map_err(|e| format!("runtime error: {e}"))?;
         Ok(w.into_bytes())
     };
-    let replay = |bytes: Vec<u8>, config: ReplayConfig| -> Result<Stats, String> {
-        replay_trace(&bytes, &config).map_err(|e| format!("replay error: {e}"))
+    let replay = |prog: &Program, config: ReplayConfig| -> Result<Stats, String> {
+        if pipelined {
+            let (run, stats) = replay_pipelined(&PipelineConfig::default(), &config, |sink| {
+                Interp::new(prog, policy).run(sink)
+            });
+            run.map_err(|e| format!("runtime error: {e}"))?;
+            return Ok(stats);
+        }
+        replay_trace(&record(prog)?, &config).map_err(|e| format!("replay error: {e}"))
     };
     match which {
         "bigfoot" => {
             let inst = instrument(program);
             replay(
-                record(&inst.program)?,
+                &inst.program,
                 ReplayConfig::bigfoot(inst.proxies.clone(), workers),
             )
         }
-        "fasttrack" => replay(record(program)?, ReplayConfig::fasttrack(workers)),
-        "slimstate" => replay(record(program)?, ReplayConfig::slimstate(workers)),
+        "fasttrack" => replay(program, ReplayConfig::fasttrack(workers)),
+        "slimstate" => replay(program, ReplayConfig::slimstate(workers)),
         "redcard" => {
             let (rc, proxies) = redcard_instrument(program);
-            replay(record(&rc)?, ReplayConfig::redcard(proxies, workers))
+            replay(&rc, ReplayConfig::redcard(proxies, workers))
         }
         "slimcard" => {
             let (rc, proxies) = redcard_instrument(program);
-            replay(record(&rc)?, ReplayConfig::slimcard(proxies, workers))
+            replay(&rc, ReplayConfig::slimcard(proxies, workers))
         }
         "djit" => Err("--replay-workers is not supported for --detector djit".into()),
         other => Err(format!("unknown detector `{other}`")),

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! Every case runs through three independent cross-checks, each of which
+//! Every case runs through four independent cross-checks, each of which
 //! has a ground truth the others don't:
 //!
 //! * **round-trip** — the binary trace codec must be lossless: decoding
@@ -19,6 +19,12 @@
 //! * **replay** — the sharded parallel replay engine must be bit-identical
 //!   to serial detection at every worker count, for both the unoptimized
 //!   and the optimized placement.
+//! * **pipeline** — handing the same events across the batched SPSC ring
+//!   (producer thread → detector thread) must leave every verdict
+//!   byte-identical, both for direct pipelined detection and for the
+//!   pipelined replay front-end, at every worker count. The oracle uses a
+//!   deliberately tiny batch and ring so batch boundaries and
+//!   backpressure fire on every case.
 //!
 //! All oracles are deterministic functions of `(program, policy)`, which
 //! is what lets the shrinker re-validate determinism at every step.
@@ -28,7 +34,10 @@ use bigfoot_bfj::{
     trace::{read_event, read_header},
     Event, EventSink, Interp, Program, RecordingSink, SchedPolicy, TraceWriter,
 };
-use bigfoot_detectors::{replay_trace, verify_precise_checks, Detector, ReplayConfig, Stats};
+use bigfoot_detectors::{
+    detect_pipelined, replay_pipelined, replay_trace, verify_precise_checks, Detector,
+    PipelineConfig, ReplayConfig, Stats,
+};
 
 /// Step bound for generated programs (they terminate well before this;
 /// the bound turns a generator bug into an error instead of a hang).
@@ -50,6 +59,9 @@ pub enum OracleKind {
     Placement,
     /// Parallel replay verdict differs from serial detection.
     Replay,
+    /// Pipelined (batched ring hand-off) verdict differs from serial
+    /// detection.
+    Pipeline,
 }
 
 impl OracleKind {
@@ -60,6 +72,7 @@ impl OracleKind {
             OracleKind::RoundTrip => "roundtrip",
             OracleKind::Placement => "placement",
             OracleKind::Replay => "replay",
+            OracleKind::Pipeline => "pipeline",
         }
     }
 
@@ -70,6 +83,7 @@ impl OracleKind {
             "roundtrip" => OracleKind::RoundTrip,
             "placement" => OracleKind::Placement,
             "replay" => OracleKind::Replay,
+            "pipeline" => OracleKind::Pipeline,
             _ => return None,
         })
     }
@@ -237,6 +251,19 @@ fn replay_matches(
     None
 }
 
+/// Compares a pipelined verdict against the serial ground truth.
+fn pipelined_matches(label: &str, what: &str, got: &Stats, truth: &Stats) -> Option<Divergence> {
+    let got_json = got.to_json().to_string_compact();
+    let truth_json = truth.to_json().to_string_compact();
+    if got_json != truth_json {
+        return Some(Divergence::new(
+            OracleKind::Pipeline,
+            format!("{label}: {what} diverges from serial: {got_json} vs {truth_json}"),
+        ));
+    }
+    None
+}
+
 /// Runs every oracle over one case. `None` means all cross-checks agree.
 ///
 /// Deterministic in `(program, policy)`: calling this twice on the same
@@ -306,6 +333,71 @@ pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence>
             &bf_bytes,
             &ReplayConfig::bigfoot(inst.proxies.clone(), workers),
             workers,
+            &bf,
+        ) {
+            return Some(d);
+        }
+    }
+
+    // Pipelined hand-off must be invisible too. A three-event batch and a
+    // two-slot ring force batch boundaries, partial final batches, and
+    // producer backpressure even on small generated programs.
+    bigfoot_obs::count!("fuzz.oracle.pipeline");
+    let pcfg = PipelineConfig {
+        batch_events: 3,
+        ring_slots: 2,
+    };
+    let (_, got) = detect_pipelined(
+        &pcfg,
+        |sink| {
+            for ev in &ft_events {
+                sink.event(ev);
+            }
+        },
+        Detector::fasttrack(),
+    );
+    if let Some(d) = pipelined_matches("unoptimized", "pipelined detection", &got, &ft_truth) {
+        return Some(d);
+    }
+    let (_, got) = detect_pipelined(
+        &pcfg,
+        |sink| {
+            for ev in &bf_events {
+                sink.event(ev);
+            }
+        },
+        Detector::bigfoot(inst.proxies.clone()),
+    );
+    if let Some(d) = pipelined_matches("instrumented", "pipelined detection", &got, &bf) {
+        return Some(d);
+    }
+    for workers in REPLAY_WORKERS {
+        let (_, got) = replay_pipelined(&pcfg, &ReplayConfig::fasttrack(workers), |sink| {
+            for ev in &ft_events {
+                sink.event(ev);
+            }
+        });
+        if let Some(d) = pipelined_matches(
+            "unoptimized",
+            &format!("pipelined replay at {workers} worker(s)"),
+            &got,
+            &ft_truth,
+        ) {
+            return Some(d);
+        }
+        let (_, got) = replay_pipelined(
+            &pcfg,
+            &ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+            |sink| {
+                for ev in &bf_events {
+                    sink.event(ev);
+                }
+            },
+        );
+        if let Some(d) = pipelined_matches(
+            "instrumented",
+            &format!("pipelined replay at {workers} worker(s)"),
+            &got,
             &bf,
         ) {
             return Some(d);

@@ -1,9 +1,27 @@
-use crate::{Epoch, Tid};
+use crate::{path_stats, Epoch, Tid};
+
+/// Number of thread entries a clock stores inline before spilling to the
+/// heap.
+///
+/// Every benchmark in the suite forks a handful of worker threads, so the
+/// overwhelmingly common clock fits in a small fixed array. Keeping those
+/// entries in the struct makes `clone` (the release/fork/volatile-write
+/// hot path in `SyncClocks`) and read-state inflation in
+/// [`VarState`](crate::VarState) a plain memcpy with **zero heap
+/// allocation**; only programs that touch a thread id at or above this
+/// bound pay for a `Vec`. Spills are tallied in the `vc.clock.spills`
+/// counter (see [`crate::path_stats`]) so a run can prove the allocation-free
+/// claim for itself.
+pub const INLINE_THREADS: usize = 8;
 
 /// A vector clock: one logical clock entry per thread.
 ///
-/// Entries missing from the underlying vector are implicitly zero, so clocks
-/// stay short in programs where only a few threads interact.
+/// Entries missing from the underlying storage are implicitly zero, so
+/// clocks stay short in programs where only a few threads interact. The
+/// representation is adaptive: up to [`INLINE_THREADS`] entries live
+/// inline in the struct (no heap allocation at all); a clock that records
+/// a thread id past that bound spills to a heap vector, transparently to
+/// every caller.
 ///
 /// # Examples
 ///
@@ -18,9 +36,35 @@ use crate::{Epoch, Tid};
 /// assert!(a.leq(&b));
 /// assert!(!b.leq(&a));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Clone)]
+enum Repr {
+    /// `slots[..len]` are the explicit entries; `slots[len..]` are zero
+    /// (an invariant every growth path preserves, so growing `len` never
+    /// needs to clear anything).
+    Inline {
+        len: u8,
+        slots: [u32; INLINE_THREADS],
+    },
+    /// The explicit entries, exactly as the pre-adaptive representation
+    /// stored them.
+    Spilled(Vec<u32>),
+}
+
+/// See the [module-level examples](VectorClock#examples).
+#[derive(Clone)]
 pub struct VectorClock {
-    entries: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for VectorClock {
+    fn default() -> Self {
+        VectorClock {
+            repr: Repr::Inline {
+                len: 0,
+                slots: [0; INLINE_THREADS],
+            },
+        }
+    }
 }
 
 impl VectorClock {
@@ -29,19 +73,54 @@ impl VectorClock {
         Self::default()
     }
 
+    /// The explicit (possibly zero) entries as a slice.
+    #[inline]
+    fn entries(&self) -> &[u32] {
+        match &self.repr {
+            Repr::Inline { len, slots } => &slots[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Grows the explicit-entry count to at least `n`, spilling to the
+    /// heap when `n` exceeds the inline capacity.
+    #[inline]
+    fn grow(&mut self, n: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                if n <= INLINE_THREADS {
+                    *len = (*len).max(n as u8);
+                } else {
+                    path_stats::clock_spill();
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&slots[..*len as usize]);
+                    v.resize(n, 0);
+                    self.repr = Repr::Spilled(v);
+                }
+            }
+            Repr::Spilled(v) => {
+                if v.len() < n {
+                    v.resize(n, 0);
+                }
+            }
+        }
+    }
+
     /// The clock value for thread `t` (zero if never recorded).
     #[inline]
     pub fn get(&self, t: Tid) -> u32 {
-        self.entries.get(t.index()).copied().unwrap_or(0)
+        self.entries().get(t.index()).copied().unwrap_or(0)
     }
 
     /// Sets thread `t`'s entry to `value`.
     #[inline]
     pub fn set(&mut self, t: Tid, value: u32) {
-        if self.entries.len() <= t.index() {
-            self.entries.resize(t.index() + 1, 0);
+        let i = t.index();
+        self.grow(i + 1);
+        match &mut self.repr {
+            Repr::Inline { slots, .. } => slots[i] = value,
+            Repr::Spilled(v) => v[i] = value,
         }
-        self.entries[t.index()] = value;
     }
 
     /// Increments thread `t`'s entry by one and returns the new value.
@@ -63,10 +142,13 @@ impl VectorClock {
 
     /// Pointwise maximum: `self := self ⊔ other`.
     pub fn join(&mut self, other: &VectorClock) {
-        if self.entries.len() < other.entries.len() {
-            self.entries.resize(other.entries.len(), 0);
-        }
-        for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
+        let theirs = other.entries();
+        self.grow(theirs.len());
+        let mine = match &mut self.repr {
+            Repr::Inline { len, slots } => &mut slots[..*len as usize],
+            Repr::Spilled(v) => v.as_mut_slice(),
+        };
+        for (mine, theirs) in mine.iter_mut().zip(theirs.iter()) {
             *mine = (*mine).max(*theirs);
         }
     }
@@ -74,10 +156,11 @@ impl VectorClock {
     /// Pointwise comparison: true iff `self[t] <= other[t]` for all `t`.
     #[inline]
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.entries
+        let theirs = other.entries();
+        self.entries()
             .iter()
             .enumerate()
-            .all(|(i, &v)| v <= other.entries.get(i).copied().unwrap_or(0))
+            .all(|(i, &v)| v <= theirs.get(i).copied().unwrap_or(0))
     }
 
     /// The epoch `t@self[t]` for thread `t`.
@@ -91,21 +174,49 @@ impl VectorClock {
     /// This is the space-accounting size used by the shadow-memory
     /// benchmarks; an epoch counts as 1 and a clock as `len().max(1)`.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spilled(v) => v.len(),
+        }
     }
 
     /// True if no entry has ever been set.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// True if the entries live inline in the struct (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Iterates over `(Tid, clock)` pairs with nonzero clocks.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, u32)> + '_ {
-        self.entries
+        self.entries()
             .iter()
             .enumerate()
             .filter(|(_, &v)| v != 0)
             .map(|(i, &v)| (Tid(i as u32), v))
+    }
+}
+
+/// Equality is over the explicit entry list, exactly as when the entries
+/// were a plain `Vec<u32>`: same explicit length, same values. The
+/// storage flavor (inline vs spilled) is invisible — it is a deterministic
+/// function of the operations applied, not part of the value.
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl std::fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorClock")
+            .field("entries", &self.entries())
+            .finish()
     }
 }
 
@@ -198,5 +309,61 @@ mod tests {
         let b = VectorClock::new();
         assert!(!a.leq(&b));
         assert!(b.leq(&a));
+    }
+
+    #[test]
+    fn small_clocks_stay_inline() {
+        let mut a = VectorClock::new();
+        for i in 0..INLINE_THREADS {
+            a.tick(Tid(i as u32));
+        }
+        assert!(a.is_inline(), "≤{INLINE_THREADS} threads must not spill");
+        assert_eq!(a.len(), INLINE_THREADS);
+        assert!(a.clone().is_inline(), "clones of inline clocks stay inline");
+    }
+
+    #[test]
+    fn spill_at_boundary_preserves_entries() {
+        let mut a = VectorClock::new();
+        for i in 0..INLINE_THREADS {
+            a.set(Tid(i as u32), (i + 1) as u32);
+        }
+        let inline_copy = a.clone();
+        a.set(Tid(INLINE_THREADS as u32), 99);
+        assert!(!a.is_inline(), "entry {INLINE_THREADS} forces a spill");
+        for i in 0..INLINE_THREADS {
+            assert_eq!(a.get(Tid(i as u32)), (i + 1) as u32);
+        }
+        assert_eq!(a.get(Tid(INLINE_THREADS as u32)), 99);
+        // Equality ignores the storage flavor.
+        let mut b = inline_copy;
+        b.set(Tid(INLINE_THREADS as u32), 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_with_spilled_clock_spills() {
+        let mut wide = VectorClock::new();
+        wide.set(Tid(INLINE_THREADS as u32 + 3), 4);
+        assert!(!wide.is_inline());
+        let mut a = VectorClock::new();
+        a.set(Tid(1), 7);
+        a.join(&wide);
+        assert!(!a.is_inline());
+        assert_eq!(a.get(Tid(1)), 7);
+        assert_eq!(a.get(Tid(INLINE_THREADS as u32 + 3)), 4);
+        assert_eq!(a.len(), wide.len());
+    }
+
+    #[test]
+    fn spilled_equality_with_trailing_zeros_matches_vec_semantics() {
+        // Explicit-length semantics carry over from the Vec representation:
+        // a clock with explicit zero entries differs from one without.
+        let mut a = VectorClock::new();
+        a.set(Tid(INLINE_THREADS as u32), 1);
+        a.set(Tid(INLINE_THREADS as u32), 0); // explicit zero, len keeps
+        let b = VectorClock::new();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), INLINE_THREADS + 1);
     }
 }

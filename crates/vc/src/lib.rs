@@ -33,7 +33,7 @@ mod epoch;
 pub mod path_stats;
 mod state;
 
-pub use clock::VectorClock;
+pub use clock::{VectorClock, INLINE_THREADS};
 pub use epoch::Epoch;
 pub use state::{AccessKind, RaceInfo, VarState};
 

@@ -20,6 +20,7 @@ thread_local! {
     static READ_INFLATIONS: Cell<u64> = const { Cell::new(0) };
     static WRITE_FAST: Cell<u64> = const { Cell::new(0) };
     static WRITE_SLOW: Cell<u64> = const { Cell::new(0) };
+    static CLOCK_SPILLS: Cell<u64> = const { Cell::new(0) };
 }
 
 #[inline(always)]
@@ -52,6 +53,15 @@ pub(crate) fn write_slow() {
     bump(&WRITE_SLOW);
 }
 
+/// A [`VectorClock`](crate::VectorClock) left its inline representation
+/// for a heap vector. `vc.clock.spills == 0` after a run is the proof
+/// that the per-event clock paths (clone, join, read-state inflation)
+/// allocated nothing.
+#[inline(always)]
+pub(crate) fn clock_spill() {
+    bump(&CLOCK_SPILLS);
+}
+
 /// Drains this thread's tallies into the observability registry (no-ops,
 /// but still drains, when collection is disabled).
 pub fn flush() {
@@ -61,6 +71,7 @@ pub fn flush() {
         (&READ_INFLATIONS, "vc.read.inflations"),
         (&WRITE_FAST, "vc.write.fast_path"),
         (&WRITE_SLOW, "vc.write.slow_path"),
+        (&CLOCK_SPILLS, "vc.clock.spills"),
     ] {
         let n = cell.with(Cell::take);
         if n != 0 {

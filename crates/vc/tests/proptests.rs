@@ -1,0 +1,189 @@
+//! Property tests for the adaptive (inline / spilled) [`VectorClock`]
+//! against a plain `Vec<u32>` reference model — the exact representation
+//! the clock had before it became adaptive. Whatever mix of operations a
+//! run applies, and whichever side of the spill boundary the touched
+//! thread ids fall on, the adaptive clock must be observationally
+//! indistinguishable from the reference.
+
+use bigfoot_vc::{Tid, VectorClock, INLINE_THREADS};
+use proptest::prelude::*;
+
+/// The pre-adaptive representation, verbatim: a growable vector of
+/// explicit entries with implicit zeros past the end.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct RefClock {
+    entries: Vec<u32>,
+}
+
+impl RefClock {
+    fn get(&self, t: usize) -> u32 {
+        self.entries.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, value: u32) {
+        if self.entries.len() <= t {
+            self.entries.resize(t + 1, 0);
+        }
+        self.entries[t] = value;
+    }
+
+    fn tick(&mut self, t: usize) -> u32 {
+        let v = self.get(t).saturating_add(1);
+        self.set(t, v);
+        v
+    }
+
+    fn join(&mut self, other: &RefClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (mine, theirs) in self.entries.iter_mut().zip(other.entries.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    fn leq(&self, other: &RefClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+/// One mutation step. Thread ids range over `0..2 * INLINE_THREADS`, so
+/// sequences routinely straddle the spill boundary in both directions.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Set(usize, u32),
+    Tick(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let tid = 0usize..(2 * INLINE_THREADS);
+    prop_oneof![
+        (tid.clone(), 0u32..1000).prop_map(|(t, v)| Op::Set(t, v)),
+        tid.prop_map(Op::Tick),
+    ]
+}
+
+fn apply(ops: &[Op]) -> (VectorClock, RefClock) {
+    let mut vc = VectorClock::new();
+    let mut rc = RefClock::default();
+    for &op in ops {
+        match op {
+            Op::Set(t, v) => {
+                vc.set(Tid(t as u32), v);
+                rc.set(t, v);
+            }
+            Op::Tick(t) => {
+                assert_eq!(vc.tick(Tid(t as u32)), rc.tick(t));
+            }
+        }
+    }
+    (vc, rc)
+}
+
+/// Every observation the clock API offers, compared entry by entry.
+fn assert_observably_equal(vc: &VectorClock, rc: &RefClock) {
+    assert_eq!(vc.len(), rc.entries.len(), "explicit entry count");
+    assert_eq!(vc.is_empty(), rc.entries.is_empty());
+    for t in 0..2 * INLINE_THREADS + 2 {
+        assert_eq!(vc.get(Tid(t as u32)), rc.get(t), "entry {t}");
+        assert_eq!(vc.epoch(Tid(t as u32)).clock(), rc.get(t));
+    }
+    let seen: Vec<(u32, u32)> = vc.iter().map(|(t, v)| (t.0, v)).collect();
+    let expect: Vec<(u32, u32)> = rc
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0)
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+    assert_eq!(seen, expect, "iter() view");
+}
+
+proptest! {
+    /// Arbitrary set/tick sequences are observationally identical to the
+    /// Vec reference, on either side of the spill boundary.
+    #[test]
+    fn ops_match_reference(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (vc, rc) = apply(&ops);
+        assert_observably_equal(&vc, &rc);
+        // Small-id-only prefixes must never have spilled.
+        if ops.iter().all(|op| match op {
+            Op::Set(t, _) | Op::Tick(t) => *t < INLINE_THREADS,
+        }) {
+            prop_assert!(vc.is_inline(), "ids < {} must stay inline", INLINE_THREADS);
+        }
+    }
+
+    /// `join` agrees with the reference pointwise max, including the
+    /// length extension, for every inline/spilled pairing.
+    #[test]
+    fn join_matches_reference(
+        a_ops in prop::collection::vec(op_strategy(), 0..30),
+        b_ops in prop::collection::vec(op_strategy(), 0..30),
+    ) {
+        let (mut vc_a, mut rc_a) = apply(&a_ops);
+        let (vc_b, rc_b) = apply(&b_ops);
+        vc_a.join(&vc_b);
+        rc_a.join(&rc_b);
+        assert_observably_equal(&vc_a, &rc_a);
+    }
+
+    /// Happens-before (`leq`) agrees with the reference in both
+    /// directions, and equality agrees with observational equality.
+    #[test]
+    fn leq_and_eq_match_reference(
+        a_ops in prop::collection::vec(op_strategy(), 0..30),
+        b_ops in prop::collection::vec(op_strategy(), 0..30),
+    ) {
+        let (vc_a, rc_a) = apply(&a_ops);
+        let (vc_b, rc_b) = apply(&b_ops);
+        prop_assert_eq!(vc_a.leq(&vc_b), rc_a.leq(&rc_b));
+        prop_assert_eq!(vc_b.leq(&vc_a), rc_b.leq(&rc_a));
+        prop_assert_eq!(vc_a == vc_b, rc_a == rc_b);
+    }
+
+    /// The exact spill boundary: the same value set at ids
+    /// `INLINE_THREADS - 1`, `INLINE_THREADS`, `INLINE_THREADS + 1`
+    /// behaves identically to the reference, and only the first stays
+    /// inline.
+    #[test]
+    fn spill_boundary(v in 1u32..100, prefix in prop::collection::vec(op_strategy(), 0..10)) {
+        for (t, must_inline) in [
+            (INLINE_THREADS - 1, true),
+            (INLINE_THREADS, false),
+            (INLINE_THREADS + 1, false),
+        ] {
+            let small: Vec<Op> = prefix
+                .iter()
+                .copied()
+                .filter(|op| match op {
+                    Op::Set(t, _) | Op::Tick(t) => *t < INLINE_THREADS,
+                })
+                .collect();
+            let (mut vc, mut rc) = apply(&small);
+            vc.set(Tid(t as u32), v);
+            rc.set(t, v);
+            prop_assert_eq!(vc.is_inline(), must_inline, "boundary id {}", t);
+            assert_observably_equal(&vc, &rc);
+        }
+    }
+
+    /// `tick` saturates at `u32::MAX` exactly like the reference's
+    /// `saturating_add`, inline and spilled alike (the PR 2 overflow
+    /// case).
+    #[test]
+    fn tick_saturates_like_reference(t in 0usize..(2 * INLINE_THREADS)) {
+        let mut vc = VectorClock::new();
+        let mut rc = RefClock::default();
+        vc.set(Tid(t as u32), u32::MAX - 1);
+        rc.set(t, u32::MAX - 1);
+        for _ in 0..3 {
+            prop_assert_eq!(vc.tick(Tid(t as u32)), rc.tick(t));
+        }
+        prop_assert_eq!(vc.get(Tid(t as u32)), u32::MAX);
+        assert_observably_equal(&vc, &rc);
+    }
+}
