@@ -85,6 +85,9 @@ struct Ring {
     /// Set by the producer after its final commit; a consumer seeing
     /// `closed` *and* an empty ring is done.
     closed: AtomicBool,
+    /// Set when the consumer unwinds; a producer seeing `dead` stops
+    /// pushing (nobody will ever drain the ring again).
+    dead: AtomicBool,
 }
 
 // SAFETY: slot `i` is accessed exclusively by the producer while
@@ -104,6 +107,7 @@ impl Ring {
             head: PaddedAtomicUsize(AtomicUsize::new(0)),
             tail: PaddedAtomicUsize(AtomicUsize::new(0)),
             closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -129,10 +133,16 @@ impl Ring {
 
     /// Producer side: blocking with backpressure. `stalls` counts the
     /// episodes (not the spins) where a full ring made the producer wait.
+    /// If the consumer has died, the batch is dropped instead of waiting
+    /// on a ring nobody will drain; the consumer's panic surfaces at
+    /// `join()`.
     fn push(&self, mut batch: Vec<Event>, stalls: &mut u64) {
         let mut waited = false;
         let mut spins = 0u32;
         loop {
+            if self.dead.load(Ordering::Acquire) {
+                return;
+            }
             match self.try_push(batch) {
                 Ok(()) => return,
                 Err(b) => batch = b,
@@ -174,9 +184,12 @@ impl Ring {
                 return Some(batch);
             }
             // Check `closed` only after a failed pop: the producer closes
-            // *after* its final push, so closed + empty is truly done.
-            if self.closed.load(Ordering::Acquire) && self.try_pop().is_none() {
-                return None;
+            // *after* its final push, so once `closed` is observed one
+            // more pop decides — a batch pushed between the failed pop
+            // above and the `closed` load must still be returned, and an
+            // empty ring is truly done.
+            if self.closed.load(Ordering::Acquire) {
+                return self.try_pop();
             }
             if !waited {
                 waited = true;
@@ -335,6 +348,18 @@ where
     let free = Ring::new(config.ring_slots);
     let (result, sink, tallies, empty_stalls) = std::thread::scope(|scope| {
         let consumer = scope.spawn(|| {
+            // Marks the ring dead if this thread unwinds, so the producer
+            // bails out of its push loop instead of spinning forever and
+            // the panic surfaces at `join()` below. Harmless on the
+            // normal-return path: the producer has already closed the
+            // ring by the time the drain loop exits.
+            struct DeadOnUnwind<'r>(&'r Ring);
+            impl Drop for DeadOnUnwind<'_> {
+                fn drop(&mut self) {
+                    self.0.dead.store(true, Ordering::Release);
+                }
+            }
+            let _guard = DeadOnUnwind(&ring);
             let mut empty_stalls = 0u64;
             while let Some(batch) = ring.pop(&mut empty_stalls) {
                 for ev in &batch {
@@ -346,6 +371,11 @@ where
                 // (the producer is far ahead) just let it drop.
                 let _ = free.try_push(drained);
             }
+            // The vc fast/slow-path tallies are thread-local and were
+            // accrued on *this* thread; the detector's finalization runs
+            // on the caller's thread, so drain them here or they die with
+            // the thread and `vc.*` counters read zero under `--pipeline`.
+            bigfoot_vc::path_stats::flush();
             (sink, empty_stalls)
         });
         let mut batches = BatchSink::new(&ring, &free, config.batch_events);
@@ -353,7 +383,10 @@ where
         batches.finish();
         let tallies = batches.tallies;
         drop(batches);
-        let (sink, empty_stalls) = consumer.join().expect("pipeline consumer panicked");
+        let (sink, empty_stalls) = match consumer.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         (result, sink, tallies, empty_stalls)
     });
     if bigfoot_obs::enabled() {
@@ -492,6 +525,97 @@ mod tests {
         );
         outcome.expect("run");
         assert_eq!(piped.events, lockstep.events);
+    }
+
+    #[test]
+    fn close_race_never_drops_the_final_batch() {
+        // Regression: `Ring::pop`'s close check used to call `try_pop` a
+        // second time inside the condition, silently dropping a batch
+        // pushed between the first failed pop and the `closed` load. Race
+        // the producer's final push+close against the consumer's empty
+        // poll many times; every pushed event must come out.
+        let p = parse_program(RACY).expect("parse");
+        let mut events = RecordingSink::default();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut events)
+            .expect("run");
+        let ev = &events.events[0];
+        for round in 0..200 {
+            let ring = Ring::new(2);
+            let batches = 3 + (round % 4);
+            let consumed = std::thread::scope(|scope| {
+                let consumer = scope.spawn(|| {
+                    let mut stalls = 0u64;
+                    let mut total = 0usize;
+                    while let Some(batch) = ring.pop(&mut stalls) {
+                        total += batch.len();
+                    }
+                    total
+                });
+                let mut stalls = 0u64;
+                for _ in 0..batches {
+                    ring.push(vec![ev.clone(); 5], &mut stalls);
+                    std::hint::spin_loop();
+                }
+                ring.close();
+                consumer.join().expect("consumer")
+            });
+            assert_eq!(consumed, batches * 5, "round {round} lost events");
+        }
+    }
+
+    #[test]
+    fn consumer_panic_propagates_instead_of_hanging() {
+        // A panicking consumer must surface its panic through
+        // `run_pipelined` rather than leaving the producer spinning on a
+        // ring nobody drains.
+        #[derive(Debug)]
+        struct PanickySink;
+        impl EventSink for PanickySink {
+            fn event(&mut self, _ev: &Event) {
+                panic!("sink exploded");
+            }
+        }
+        let p = parse_program(ARRAY_RACY).expect("parse");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pipelined(
+                &PipelineConfig {
+                    batch_events: 1,
+                    ring_slots: 2,
+                },
+                |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+                PanickySink,
+            )
+        }));
+        let payload = result.expect_err("consumer panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(msg, "sink exploded");
+    }
+
+    #[test]
+    fn consumer_thread_flushes_vc_path_tallies() {
+        // The vc fast/slow-path tallies accrue in the consumer thread's
+        // TLS; `run_pipelined` must drain them before that thread exits
+        // or `vc.*` (including `vc.clock.spills`) reads zero under
+        // `--pipeline`. Delta-based so parallel obs-enabled tests only
+        // help, never hurt.
+        let _g = bigfoot_obs::EnabledGuard::new();
+        let before = bigfoot_obs::snapshot().counter_total("vc.");
+        let p = parse_program(RACY).expect("parse");
+        let (outcome, _det) = run_pipelined(
+            &PipelineConfig::default(),
+            |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+            Detector::fasttrack(),
+        );
+        outcome.expect("run");
+        let after = bigfoot_obs::snapshot().counter_total("vc.");
+        assert!(
+            after > before,
+            "consumer-thread vc path tallies must be flushed (before={before}, after={after})"
+        );
     }
 
     #[test]
