@@ -9,7 +9,7 @@
 
 use bigfoot::instrument;
 use bigfoot_bfj::{Interp, SchedPolicy};
-use bigfoot_detectors::Detector;
+use bigfoot_detectors::{detect_pipelined, Detector, PipelineConfig};
 use bigfoot_workloads::{benchmark, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -19,6 +19,17 @@ fn detector_pass(program: &bigfoot_bfj::Program, proxies: &bigfoot_detectors::Pr
         .run(&mut det)
         .unwrap();
     det.finish().shadow_ops
+}
+
+fn pipelined_pass(program: &bigfoot_bfj::Program, proxies: &bigfoot_detectors::ProxyTable) -> u64 {
+    let det = Detector::bigfoot(proxies.clone());
+    let (outcome, stats) = detect_pipelined(
+        &PipelineConfig::default(),
+        |sink| Interp::new(program, SchedPolicy::default()).run(sink),
+        det,
+    );
+    outcome.unwrap();
+    stats.shadow_ops
 }
 
 fn bench_obs_overhead(c: &mut Criterion) {
@@ -40,6 +51,24 @@ fn bench_obs_overhead(c: &mut Criterion) {
         bench.iter(|| detector_pass(&inst.program, &inst.proxies))
     });
 
+    // The flight recorder's sites (pipeline wait spans, batch instants,
+    // counter tracks) are hottest on the pipelined path; the guarantee is
+    // that with tracing compiled in but *disabled* — one relaxed load per
+    // site — pipelined throughput holds within a few percent of itself.
+    bigfoot_obs::set_enabled(false);
+    bigfoot_obs::trace::set_enabled(false);
+    c.bench_function("trace/disabled", |bench| {
+        bench.iter(|| pipelined_pass(&inst.program, &inst.proxies))
+    });
+    bigfoot_obs::trace::set_enabled(true);
+    c.bench_function("trace/enabled", |bench| {
+        bench.iter(|| pipelined_pass(&inst.program, &inst.proxies))
+    });
+    bigfoot_obs::trace::set_enabled(false);
+    c.bench_function("trace/disabled-again", |bench| {
+        bench.iter(|| pipelined_pass(&inst.program, &inst.proxies))
+    });
+
     let median = |id: &str| -> f64 {
         c.samples
             .iter()
@@ -55,6 +84,16 @@ fn bench_obs_overhead(c: &mut Criterion) {
             enabled / disabled,
             median("obs/disabled"),
             median("obs/disabled-again"),
+        );
+    }
+    let trace_disabled = median("trace/disabled").min(median("trace/disabled-again"));
+    let trace_enabled = median("trace/enabled");
+    if trace_disabled > 0.0 {
+        println!(
+            "trace overhead: enabled/disabled = {:.3}x (disabled medians {:.0} ns / {:.0} ns)",
+            trace_enabled / trace_disabled,
+            median("trace/disabled"),
+            median("trace/disabled-again"),
         );
     }
 }

@@ -59,8 +59,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
-                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--pipeline] [--json] \
-                 [--out FILE]"
+                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--pipeline] \
+                 [--trace-out FILE] [--metrics-out FILE] [--json] [--out FILE]"
             );
             ExitCode::from(2)
         }
@@ -79,9 +79,37 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--budget",
             "--check",
             "--tolerance",
+            "--trace-out",
+            "--metrics-out",
         ],
         &["--json", "--pipeline"],
     )?;
+    // The flight recorder spans the whole command (`repro perf
+    // --pipeline --trace-out t.json` shows the interpreter/detector
+    // overlap per rep); the guard's drop path also writes the trace when
+    // a command errors out or panics mid-run.
+    let trace_guard = args
+        .value("--trace-out")
+        .map(bigfoot_obs::TraceOutGuard::new);
+    let result = run_cmd(&args);
+    if result.is_ok() {
+        if let Some(path) = args.value("--metrics-out") {
+            bigfoot_obs::trace::publish_counters();
+            std::fs::write(path, bigfoot_obs::prometheus_text())
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+        }
+    }
+    if let Some(guard) = trace_guard {
+        let path = guard.path().display().to_string();
+        let finished = guard.finish();
+        if result.is_ok() {
+            finished.map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        }
+    }
+    result
+}
+
+fn run_cmd(args: &CliArgs) -> Result<(), String> {
     let what = args.positional(0).unwrap_or("all").to_owned();
     let scale_name = args.one_of("--scale", &["full", "small"])?;
     let scale = match scale_name {
@@ -97,7 +125,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     if what == "ablation" {
         let out = ablation(scale, reps, json);
-        return emit(out, &args, json);
+        return emit(out, args, json);
     }
 
     if what == "fuzz" {
@@ -134,11 +162,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         if json {
             let mut out = Json::object();
-            out.set("schema_version", 1u64);
+            out.set("schema_version", report::SCHEMA_VERSION);
             out.set("tool", "repro");
             out.set("command", "fuzz");
             out.set("report", report.to_json());
-            return emit(Some(out), &args, true);
+            return emit(Some(out), args, true);
         }
         println!(
             "fuzz: {} case(s) over seeds {}..{} in {:.1}s — all oracles agree \
@@ -200,7 +228,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             eprintln!("perf within {:.0}% of {path}", tolerance * 100.0);
         }
         if json {
-            return emit(Some(report), &args, true);
+            return emit(Some(report), args, true);
         }
         perf_table(&results);
         if let Some(pipeline) = &pipeline {
@@ -238,7 +266,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         if json {
             return emit(
                 Some(report::replay_json(&results, scale_name, reps)),
-                &args,
+                args,
                 true,
             );
         }
@@ -274,7 +302,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             other => return Err(format!("unknown command `{other}`")),
         };
-        return emit(Some(report), &args, true);
+        return emit(Some(report), args, true);
     }
     match what.as_str() {
         "table1" => table1(&results),

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "tool": "repro",
 //!   "command": "table1",
 //!   "scale": "small",
@@ -25,7 +25,10 @@ use bigfoot_detectors::Stats;
 use bigfoot_obs::json::Json;
 
 /// Schema version stamped into every report; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: kept in lockstep with `bfc`'s report schema, whose snapshot
+/// timers gained `p50`/`p90`/`p99` percentile fields and a `gauges`
+/// section in the same release.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The common envelope of every `repro` report.
 pub fn envelope(command: &str, scale: &str, reps: usize) -> Json {

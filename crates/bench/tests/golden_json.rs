@@ -26,7 +26,7 @@ fn parse_stdout(out: &Output) -> Json {
 }
 
 fn check_envelope(report: &Json, command: &str) {
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(report.get("tool").and_then(Json::as_str), Some("repro"));
     assert_eq!(report.get("command").and_then(Json::as_str), Some(command));
     assert_eq!(report.get("scale").and_then(Json::as_str), Some("small"));

@@ -458,6 +458,9 @@ impl<'p> Interp<'p> {
     /// [`RuntimeError::Deadlock`] if all live threads block, or
     /// [`RuntimeError::StepLimitExceeded`].
     pub fn run<S: EventSink>(&mut self, sink: &mut S) -> Result<RunOutcome, RuntimeError> {
+        // Top-level span on the interpreter's flight-recorder timeline;
+        // scheduling decisions appear as instant ticks inside it.
+        let _trace = bigfoot_obs::trace_span!("interp.run");
         let mut current = 0usize;
         let mut quantum_left = self.quantum();
         // Scheduling counters stay plain locals on the hot loop and are
@@ -476,6 +479,7 @@ impl<'p> Interp<'p> {
                 };
                 if next != current {
                     context_switches += 1;
+                    bigfoot_obs::trace_instant!("interp.switch");
                 }
                 current = next;
                 quantum_left = self.quantum();

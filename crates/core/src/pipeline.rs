@@ -157,6 +157,9 @@ pub fn instrument_with(p: &Program, options: InstrumentOptions) -> Instrumented 
             );
             stats.per_method.push((name, dt));
             stats.methods += 1;
+            // Progress counter track in the flight recorder: in Perfetto
+            // this renders analysis throughput over the method loop.
+            bigfoot_obs::trace_counter!("static.methods_done", stats.methods);
         }
     }
     let body = std::mem::take(&mut out.main);

@@ -137,19 +137,37 @@ impl Ring {
     /// on a ring nobody will drain; the consumer's panic surfaces at
     /// `join()`.
     fn push(&self, mut batch: Vec<Event>, stalls: &mut u64) {
+        // Flight-recorder span bracketing one backpressure episode on
+        // the producer's timeline; `traced` remembers the begin so the
+        // pair survives tracing being toggled mid-wait.
+        static PUSH_WAIT: bigfoot_obs::trace::LazyTraceName =
+            bigfoot_obs::trace::LazyTraceName::new("pipeline.push_wait");
         let mut waited = false;
+        let mut traced = false;
         let mut spins = 0u32;
         loop {
             if self.dead.load(Ordering::Acquire) {
+                if traced {
+                    bigfoot_obs::trace::end(&PUSH_WAIT);
+                }
                 return;
             }
             match self.try_push(batch) {
-                Ok(()) => return,
+                Ok(()) => {
+                    if traced {
+                        bigfoot_obs::trace::end(&PUSH_WAIT);
+                    }
+                    return;
+                }
                 Err(b) => batch = b,
             }
             if !waited {
                 waited = true;
                 *stalls += 1;
+                if bigfoot_obs::trace::enabled() {
+                    traced = true;
+                    bigfoot_obs::trace::begin(&PUSH_WAIT);
+                }
             }
             spins += 1;
             if spins < 64 {
@@ -177,10 +195,20 @@ impl Ring {
     /// Consumer side: blocking. `None` means the producer closed the ring
     /// and everything has been drained. `stalls` counts empty-ring waits.
     fn pop(&self, stalls: &mut u64) -> Option<Vec<Event>> {
+        // Mirror of `push`'s wait span, on the consumer's timeline.
+        static POP_WAIT: bigfoot_obs::trace::LazyTraceName =
+            bigfoot_obs::trace::LazyTraceName::new("pipeline.pop_wait");
         let mut waited = false;
+        let mut traced = false;
         let mut spins = 0u32;
+        let end_wait = |traced: bool| {
+            if traced {
+                bigfoot_obs::trace::end(&POP_WAIT);
+            }
+        };
         loop {
             if let Some(batch) = self.try_pop() {
+                end_wait(traced);
                 return Some(batch);
             }
             // Check `closed` only after a failed pop: the producer closes
@@ -189,11 +217,16 @@ impl Ring {
             // above and the `closed` load must still be returned, and an
             // empty ring is truly done.
             if self.closed.load(Ordering::Acquire) {
+                end_wait(traced);
                 return self.try_pop();
             }
             if !waited {
                 waited = true;
                 *stalls += 1;
+                if bigfoot_obs::trace::enabled() {
+                    traced = true;
+                    bigfoot_obs::trace::begin(&POP_WAIT);
+                }
             }
             spins += 1;
             if spins < 64 {
@@ -268,9 +301,17 @@ impl<'r> BatchSink<'r> {
         };
         let full = std::mem::replace(&mut self.batch, next);
         self.tallies.batches += 1;
-        self.tallies.events += full.len() as u64;
+        let occupancy = full.len() as u64;
+        self.tallies.events += occupancy;
         self.ring.push(full, &mut self.tallies.full_stalls);
-        self.tallies.depth_max = self.tallies.depth_max.max(self.ring.depth() as u64);
+        let depth = self.ring.depth() as u64;
+        self.tallies.depth_max = self.tallies.depth_max.max(depth);
+        // Batch lifecycle on the producer's timeline: one instant per
+        // handoff plus sampled counter tracks (ring depth right after
+        // the push, and how full the committed batch was).
+        bigfoot_obs::trace_instant!("pipeline.batch_commit");
+        bigfoot_obs::trace_counter!("pipeline.ring_depth", depth);
+        bigfoot_obs::trace_counter!("pipeline.batch_occupancy", occupancy);
     }
 
     /// Flushes the partial batch and closes the ring.
@@ -360,8 +401,14 @@ where
                 }
             }
             let _guard = DeadOnUnwind(&ring);
+            if bigfoot_obs::trace::enabled() {
+                bigfoot_obs::trace::set_thread_name("detector (consumer)");
+            }
             let mut empty_stalls = 0u64;
             while let Some(batch) = ring.pop(&mut empty_stalls) {
+                // One span per drained batch: in Perfetto this is the
+                // consumer's duty cycle, interleaved with pop_wait idle.
+                let _batch_span = bigfoot_obs::trace_span!("pipeline.batch");
                 for ev in &batch {
                     sink.event(ev);
                 }
@@ -378,6 +425,9 @@ where
             bigfoot_vc::path_stats::flush();
             (sink, empty_stalls)
         });
+        if bigfoot_obs::trace::enabled() {
+            bigfoot_obs::trace::set_thread_name("interpreter (producer)");
+        }
         let mut batches = BatchSink::new(&ring, &free, config.batch_events);
         let result = producer(&mut batches);
         batches.finish();
@@ -395,7 +445,9 @@ where
         bigfoot_obs::count_named("pipeline.batches_recycled", tallies.recycled);
         bigfoot_obs::count_named("pipeline.stall.ring_full", tallies.full_stalls);
         bigfoot_obs::count_named("pipeline.stall.ring_empty", empty_stalls);
-        bigfoot_obs::count_named("pipeline.depth_max", tallies.depth_max);
+        // A high-water mark: flushed as a max-gauge so back-to-back runs
+        // report the max, where the old counter summed them.
+        bigfoot_obs::gauge_max_named("pipeline.depth_max", tallies.depth_max);
     }
     (result, sink)
 }
@@ -588,10 +640,7 @@ mod tests {
             )
         }));
         let payload = result.expect_err("consumer panic must propagate");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .unwrap_or_default();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "sink exploded");
     }
 

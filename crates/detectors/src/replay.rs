@@ -759,9 +759,18 @@ fn detect_and_merge(annotator: Annotator, num_workers: usize) -> Stats {
                 for w in 0..workers {
                     let queues = &queues;
                     handles.push(scope.spawn(move || {
+                        if bigfoot_obs::trace::enabled() {
+                            bigfoot_obs::trace::set_thread_name(&format!("replay worker {w}"));
+                        }
                         let mut owned = Vec::new();
                         let mut s = w;
                         while s < SHARDS {
+                            // One span per non-empty shard: the worker's
+                            // timeline shows which shards carried the
+                            // work and where it idled.
+                            let traced = bigfoot_obs::trace::enabled() && !queues[s].is_empty();
+                            let _shard_span =
+                                traced.then(|| bigfoot_obs::trace_span!("replay.shard"));
                             owned.push((s, ShardState::new(engine).run(&queues[s])));
                             s += workers;
                         }

@@ -1,0 +1,69 @@
+//! Regression for the `pipeline.depth_max` wart: it is a high-water
+//! mark, and it used to be flushed through `count_named`, which *sums* —
+//! so two pipelined runs reported a "max" up to twice the ring capacity.
+//! Now flushed via `gauge_max_named`, repeated flushes keep the max.
+//!
+//! Lives in its own integration binary (one test, own process) because
+//! it asserts on the absolute value of a globally named gauge, which
+//! in-crate unit tests running in parallel would also touch.
+
+use bigfoot_bfj::{parse_program, Event, EventSink, Interp, SchedPolicy};
+use bigfoot_detectors::{run_pipelined, PipelineConfig};
+
+/// Drains slowly so the producer keeps the tiny ring full and every run
+/// is guaranteed to hit the maximum possible depth.
+#[derive(Default)]
+struct SlowSink {
+    events: u64,
+}
+
+impl EventSink for SlowSink {
+    fn event(&mut self, _ev: &Event) {
+        self.events += 1;
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+}
+
+#[test]
+fn depth_max_reports_the_max_across_runs_not_the_sum() {
+    let _g = bigfoot_obs::EnabledGuard::new();
+    let src = "
+        class C { field x; meth poke(v) { this.x = v; return 0; } }
+        main {
+            c = new C;
+            fork t1 = c.poke(1);
+            fork t2 = c.poke(2);
+            join(t1); join(t2);
+        }";
+    let p = parse_program(src).expect("parse");
+    // Two slots, one-event batches: a full ring means depth 2, and the
+    // slow consumer guarantees every run gets there.
+    let config = PipelineConfig {
+        batch_events: 1,
+        ring_slots: 2,
+    };
+    let capacity = 2u64;
+    for run in 0..2 {
+        let (outcome, sink) = run_pipelined(
+            &config,
+            |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+            SlowSink::default(),
+        );
+        outcome.expect("run");
+        assert!(
+            sink.events > u64::from(capacity as u32),
+            "run {run} too short"
+        );
+        let depth_max = bigfoot_obs::snapshot().gauge("pipeline.depth_max");
+        assert!(
+            (1..=capacity).contains(&depth_max),
+            "after run {run}: depth_max = {depth_max}, must stay within ring \
+             capacity {capacity} (a summed flush would exceed it)"
+        );
+    }
+    assert_eq!(
+        bigfoot_obs::snapshot().gauge("pipeline.depth_max"),
+        capacity,
+        "the slow consumer keeps the ring full, so the high-water mark is the capacity"
+    );
+}

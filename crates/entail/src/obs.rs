@@ -8,6 +8,11 @@
 //! into the shared `entail.query` timer; per-entry-point counters still
 //! count every call. The timer total is what `repro static --json`
 //! reports as the entailment engine's share of StaticBF wall time.
+//!
+//! When flight-recorder tracing is on, the same outermost queries also
+//! bracket `entail.query` spans on the analysis thread's timeline, so a
+//! `--trace-out` run of StaticBF shows solver time nested inside the
+//! phase spans.
 
 use std::cell::Cell;
 use std::time::Instant;
@@ -17,22 +22,28 @@ thread_local! {
 }
 
 static QUERY_TIMER: bigfoot_obs::LazyTimer = bigfoot_obs::LazyTimer::new("entail.query");
+static QUERY_TNAME: bigfoot_obs::trace::LazyTraceName =
+    bigfoot_obs::trace::LazyTraceName::new("entail.query");
 
 /// RAII guard timing the enclosing query iff it is the outermost one on
-/// this thread and collection is enabled. When collection is off the
-/// guard does nothing at all (not even depth bookkeeping).
+/// this thread and collection (or tracing) is enabled. When both are off
+/// the guard does nothing at all (not even depth bookkeeping).
 pub(crate) struct QueryGuard {
     start: Option<Instant>,
     counted: bool,
+    traced: bool,
 }
 
 impl QueryGuard {
     #[inline]
     pub(crate) fn enter() -> QueryGuard {
-        if !bigfoot_obs::enabled() {
+        let metrics = bigfoot_obs::enabled();
+        let tracing = bigfoot_obs::trace::enabled();
+        if !metrics && !tracing {
             return QueryGuard {
                 start: None,
                 counted: false,
+                traced: false,
             };
         }
         let outermost = DEPTH.with(|d| {
@@ -40,9 +51,14 @@ impl QueryGuard {
             d.set(v + 1);
             v == 0
         });
+        let traced = outermost && tracing;
+        if traced {
+            bigfoot_obs::trace::begin(&QUERY_TNAME);
+        }
         QueryGuard {
-            start: outermost.then(Instant::now),
+            start: (outermost && metrics).then(Instant::now),
             counted: true,
+            traced,
         }
     }
 }
@@ -54,6 +70,9 @@ impl Drop for QueryGuard {
         }
         if let Some(start) = self.start {
             QUERY_TIMER.record(start.elapsed().as_nanos() as u64);
+        }
+        if self.traced {
+            bigfoot_obs::trace::end(&QUERY_TNAME);
         }
     }
 }

@@ -74,7 +74,10 @@ macro_rules! outp {
 }
 
 /// Schema version stamped into every `bfc --json` report.
-const SCHEMA_VERSION: u64 = 1;
+/// v2: `metrics.timers.*` carry `p50`/`p90`/`p99` percentile fields and
+/// the snapshot gained a `gauges` section (`pipeline.depth_max` moved
+/// there from `counters`).
+const SCHEMA_VERSION: u64 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,12 +90,12 @@ fn main() -> ExitCode {
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
-                 [--replay-workers N] [--pipeline] [--json]"
+                 [--replay-workers N] [--pipeline] [--trace-out FILE] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
-            eprintln!("  bfc profile <file.bfj> [--detector NAME] [--json]");
+            eprintln!("  bfc profile <file.bfj> [--detector NAME] [--trace-out FILE] [--json]");
             eprintln!("  bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]");
             ExitCode::from(2)
         }
@@ -138,6 +141,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--seed-range",
             "--budget",
             "--corpus",
+            "--trace-out",
         ],
         &["--json", "--pipeline"],
     )?;
@@ -197,6 +201,12 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             let pipelined = args.has("--pipeline");
+            // Enables the flight recorder for the whole run; the guard
+            // writes the Chrome trace on drop too, so a panicking
+            // detector still leaves a partial trace on disk.
+            let trace_guard = args
+                .value("--trace-out")
+                .map(bigfoot_obs::TraceOutGuard::new);
             let mut any_race = false;
             let mut schedule_reports = Json::array();
             for i in 0..schedules {
@@ -247,6 +257,12 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 report.set("any_race", any_race);
                 report.set("runs", schedule_reports);
                 outln!("{}", report.to_string_pretty());
+            }
+            if let Some(guard) = trace_guard {
+                let path = guard.path().display().to_string();
+                guard
+                    .finish()
+                    .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
             }
             Ok(if any_race {
                 ExitCode::FAILURE
@@ -364,6 +380,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 ],
             )?;
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
+            let trace_guard = args
+                .value("--trace-out")
+                .map(bigfoot_obs::TraceOutGuard::new);
             bigfoot_obs::set_enabled(true);
             bigfoot_obs::reset();
             // A runtime error does not discard the profile: the detector
@@ -380,7 +399,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 Ok(stats) => (Some(stats), None),
                 Err(e) => (None, Some(e)),
             };
+            // Fold recorder totals (`trace.events`/`trace.dropped`) into
+            // the snapshot the report is built from.
+            bigfoot_obs::trace::publish_counters();
             let snap = bigfoot_obs::snapshot();
+            if let Some(guard) = trace_guard {
+                let path = guard.path().display().to_string();
+                guard
+                    .finish()
+                    .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+            }
             let exit = if run_error.is_some() {
                 ExitCode::FAILURE
             } else {
@@ -406,11 +434,13 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             outln!();
             outln!("-- phases (wall clock) --");
             outln!(
-                "{:<32} {:>8} {:>12} {:>12}",
+                "{:<32} {:>8} {:>12} {:>12} {:>10} {:>10}",
                 "span",
                 "count",
                 "total ms",
-                "mean µs"
+                "mean µs",
+                "p50 µs",
+                "p99 µs"
             );
             for t in &snap.timers {
                 // `observe!` histograms are unit-less; keep them separate.
@@ -418,11 +448,13 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                     continue;
                 }
                 outln!(
-                    "{:<32} {:>8} {:>12.3} {:>12.2}",
+                    "{:<32} {:>8} {:>12.3} {:>12.2} {:>10.2} {:>10.2}",
                     t.name,
                     t.count,
                     t.total as f64 / 1e6,
-                    t.mean() / 1e3
+                    t.mean() / 1e3,
+                    t.percentile(0.50) / 1e3,
+                    t.percentile(0.99) / 1e3
                 );
             }
             let analysis = snap.timer_total("static.instrument");
@@ -453,6 +485,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             outln!("{:<32} {:>12}", "counter", "value");
             for c in &snap.counters {
                 outln!("{:<32} {:>12}", c.name, c.value);
+            }
+            if !snap.gauges.is_empty() {
+                outln!();
+                outln!("-- gauges --");
+                outln!("{:<32} {:>12}", "gauge", "value");
+                for g in &snap.gauges {
+                    outln!("{:<32} {:>12}", g.name, g.value);
+                }
             }
             Ok(exit)
         }

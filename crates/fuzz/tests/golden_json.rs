@@ -66,7 +66,7 @@ fn check_json_schema_and_exit_codes() {
         "racy program still exits 1 under --json"
     );
     let report = parse_stdout(&out);
-    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(report.get("schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(report.get("tool").and_then(Json::as_str), Some("bfc"));
     assert_eq!(report.get("command").and_then(Json::as_str), Some("check"));
     assert_eq!(
@@ -160,6 +160,19 @@ fn profile_json_exposes_spans_and_counters() {
             t.get("total").and_then(Json::as_u64).unwrap() > 0,
             "{span} total is zero"
         );
+        // Schema v2: every timer carries interpolated percentiles, and
+        // they respect the obvious ordering.
+        let pct = |key: &str| {
+            t.get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{span} missing {key}"))
+        };
+        let (p50, p90, p99) = (pct("p50"), pct("p90"), pct("p99"));
+        assert!(p50 > 0.0, "{span} p50 is zero");
+        assert!(
+            p50 <= p90 && p90 <= p99,
+            "{span} percentiles out of order: {p50} {p90} {p99}"
+        );
     }
     // Solver time is a strict subset of analysis time.
     let total = |name: &str| {
@@ -171,6 +184,9 @@ fn profile_json_exposes_spans_and_counters() {
             .unwrap()
     };
     assert!(total("entail.query") <= total("static.instrument"));
+    // Schema v2: a `gauges` section always exists (it only has entries
+    // when a gauge fired, e.g. `pipeline.depth_max` under `--pipeline`).
+    assert!(metrics.get("gauges").is_some(), "missing gauges section");
     let counters = metrics.get("counters").unwrap();
     assert!(counters.get("interp.steps").and_then(Json::as_u64).unwrap() > 0);
     assert!(

@@ -42,12 +42,16 @@
 pub mod cli;
 pub mod fx;
 pub mod json;
+pub mod prometheus;
 mod registry;
+pub mod trace;
 
+pub use prometheus::prometheus_text;
 pub use registry::{
-    count_named, reset, snapshot, CounterSnap, LazyCounter, LazyTimer, Snapshot, SpanGuard,
-    TimerSnap,
+    count_named, gauge_max_named, reset, snapshot, CounterSnap, GaugeSnap, LazyCounter, LazyTimer,
+    Snapshot, SpanGuard, TimerSnap,
 };
+pub use trace::TraceOutGuard;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -119,6 +123,10 @@ macro_rules! observe {
 
 /// Opens a wall-clock span, closed when the returned guard drops.
 ///
+/// When flight-recorder tracing is on ([`trace::set_enabled`]) the same
+/// guard also brackets a begin/end pair on the calling thread's
+/// timeline, so every `span!` site doubles as a trace span for free.
+///
 /// ```
 /// # bigfoot_obs::set_enabled(true);
 /// let _guard = bigfoot_obs::span!("phase.name");
@@ -128,8 +136,44 @@ macro_rules! observe {
 macro_rules! span {
     ($name:literal) => {{
         static CELL: $crate::LazyTimer = $crate::LazyTimer::new($name);
-        $crate::SpanGuard::enter(&CELL)
+        static TNAME: $crate::trace::LazyTraceName = $crate::trace::LazyTraceName::new($name);
+        $crate::SpanGuard::enter_traced(&CELL, &TNAME)
     }};
+}
+
+/// Opens a flight-recorder-only span (no metric timer), closed when the
+/// returned guard drops. Records nothing while tracing is disabled.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:literal) => {{
+        static TNAME: $crate::trace::LazyTraceName = $crate::trace::LazyTraceName::new($name);
+        $crate::trace::TraceSpanGuard::enter(&TNAME)
+    }};
+}
+
+/// Records an instant marker on the calling thread's timeline (a single
+/// tick in the exported trace). No-op while tracing is disabled.
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:literal) => {
+        if $crate::trace::enabled() {
+            static TNAME: $crate::trace::LazyTraceName = $crate::trace::LazyTraceName::new($name);
+            $crate::trace::instant(&TNAME);
+        }
+    };
+}
+
+/// Records one sample of a counter track on the calling thread's
+/// timeline (rendered as a stepped graph in Perfetto). No-op while
+/// tracing is disabled.
+#[macro_export]
+macro_rules! trace_counter {
+    ($name:literal, $value:expr) => {
+        if $crate::trace::enabled() {
+            static TNAME: $crate::trace::LazyTraceName = $crate::trace::LazyTraceName::new($name);
+            $crate::trace::counter(&TNAME, $value as u64);
+        }
+    };
 }
 
 #[cfg(test)]
@@ -146,6 +190,11 @@ mod tests {
         count!("test.hits");
         count!("test.hits", 4);
         observe!("test.sizes", 9);
+        // A max-gauge flushed twice reports the max, not the sum — the
+        // `pipeline.depth_max` regression that motivated the primitive.
+        gauge_max_named("test.depth_max", 7);
+        gauge_max_named("test.depth_max", 7);
+        gauge_max_named("test.depth_max", 3);
         {
             let _s = span!("test.span");
             std::hint::black_box(0);
@@ -153,6 +202,12 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap.counter("test.hits"), 5);
         assert_eq!(snap.counter("test.unknown"), 0);
+        assert_eq!(
+            snap.gauge("test.depth_max"),
+            7,
+            "gauge_max must keep the max across repeated flushes"
+        );
+        assert_eq!(snap.gauge("test.unknown"), 0);
         let t = snap.timer("test.span").expect("span recorded");
         assert_eq!(t.count, 1);
         let sizes = snap.timer("test.sizes").expect("observation recorded");
@@ -164,6 +219,7 @@ mod tests {
         reset();
         let snap = snapshot();
         assert_eq!(snap.counter("test.hits"), 0);
+        assert_eq!(snap.gauge("test.depth_max"), 0);
         assert!(snap.timer("test.span").map(|t| t.count).unwrap_or(0) == 0);
 
         set_enabled(false);

@@ -15,6 +15,14 @@ struct CounterCell {
     value: AtomicU64,
 }
 
+/// A max-gauge cell: holds the largest value ever reported, so repeated
+/// flushes of a high-water mark are idempotent (unlike a counter, which
+/// would sum them).
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicU64,
+}
+
 /// A timer/histogram cell: observation count, summed value (nanoseconds
 /// for spans, arbitrary units for `observe!`), and log2 buckets.
 struct TimerCell {
@@ -46,6 +54,7 @@ impl TimerCell {
 #[derive(Default)]
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static CounterCell>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static GaugeCell>>,
     timers: Mutex<BTreeMap<&'static str, &'static TimerCell>>,
 }
 
@@ -143,21 +152,65 @@ pub fn count_named(name: &str, n: u64) {
     cell.value.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Raises a named max-gauge to at least `value` (`fetch_max`), interning
+/// the name like [`count_named`]. Use for high-water marks that are
+/// flushed per run — flushing twice reports the max, not the sum (the
+/// `pipeline.depth_max` regression [`count_named`] could not express).
+pub fn gauge_max_named(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut map = registry().gauges.lock().unwrap();
+    let cell = match map.get(name) {
+        Some(cell) => *cell,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            let cell: &'static GaugeCell = Box::leak(Box::new(GaugeCell::default()));
+            map.insert(leaked, cell);
+            cell
+        }
+    };
+    cell.value.fetch_max(value, Ordering::Relaxed);
+}
+
 /// RAII guard timing one span; records elapsed nanoseconds on drop.
 /// When collection is disabled at entry the guard holds no start time and
-/// drop does nothing.
+/// drop does nothing. When trace recording is enabled at entry the guard
+/// also brackets a flight-recorder span on the calling thread's timeline
+/// (see [`crate::trace`]); the paired end fires on drop even if tracing
+/// is disabled mid-span.
 pub struct SpanGuard {
     start: Option<Instant>,
     timer: &'static LazyTimer,
+    trace: Option<&'static crate::trace::LazyTraceName>,
 }
 
 impl SpanGuard {
-    /// Opens a span against a timer handle (used via the `span!` macro).
+    /// Opens a span against a timer handle.
     #[inline]
     pub fn enter(timer: &'static LazyTimer) -> SpanGuard {
         SpanGuard {
             start: crate::enabled().then(Instant::now),
             timer,
+            trace: None,
+        }
+    }
+
+    /// Opens a span that also records into the flight recorder when
+    /// tracing is on (the `span!` macro expands to this).
+    #[inline]
+    pub fn enter_traced(
+        timer: &'static LazyTimer,
+        tname: &'static crate::trace::LazyTraceName,
+    ) -> SpanGuard {
+        let trace = crate::trace::enabled().then(|| {
+            crate::trace::begin(tname);
+            tname
+        });
+        SpanGuard {
+            start: crate::enabled().then(Instant::now),
+            timer,
+            trace,
         }
     }
 }
@@ -166,6 +219,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             self.timer.record(start.elapsed().as_nanos() as u64);
+        }
+        if let Some(tname) = self.trace {
+            crate::trace::end(tname);
         }
     }
 }
@@ -201,6 +257,39 @@ impl TimerSnap {
             self.total as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) estimated from the log2
+    /// histogram: walk the cumulative bucket counts to the target rank,
+    /// then interpolate linearly within the bucket's `[2^b, 2^(b+1))`
+    /// value range. Exact to within one octave, which is all a p50/p99
+    /// over nanosecond spans needs.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(b, n) in &self.buckets {
+            if seen + n >= target {
+                let lo = 2f64.powi(b as i32);
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * lo;
+            }
+            seen += n;
+        }
+        // Histogram under-counts `total` only if buckets were reset
+        // mid-snapshot; fall back to the top recorded bucket.
+        2f64.powi(self.buckets.last().map(|&(b, _)| b as i32).unwrap_or(0))
+    }
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value (the max ever reported for max-gauges).
+    pub value: u64,
 }
 
 /// A consistent view of every registered metric.
@@ -208,6 +297,8 @@ impl TimerSnap {
 pub struct Snapshot {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnap>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnap>,
     /// All timers, sorted by name.
     pub timers: Vec<TimerSnap>,
 }
@@ -219,6 +310,15 @@ impl Snapshot {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// The value of a gauge (0 if never registered).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.value)
             .unwrap_or(0)
     }
 
@@ -257,12 +357,17 @@ impl Snapshot {
     }
 
     /// Serializes the snapshot as a JSON object with stable key order:
-    /// `{"counters": {...}, "timers": {name: {count, total, mean, buckets}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "timers": {name: {count,
+    /// total, mean, p50, p90, p99, buckets}}}`.
     pub fn to_json(&self) -> crate::json::Json {
         use crate::json::Json;
         let mut counters = Json::object();
         for c in &self.counters {
             counters.set(&c.name, c.value);
+        }
+        let mut gauges = Json::object();
+        for g in &self.gauges {
+            gauges.set(&g.name, g.value);
         }
         let mut timers = Json::object();
         for t in &self.timers {
@@ -270,6 +375,9 @@ impl Snapshot {
             entry.set("count", t.count);
             entry.set("total", t.total);
             entry.set("mean", t.mean());
+            entry.set("p50", t.percentile(0.50));
+            entry.set("p90", t.percentile(0.90));
+            entry.set("p99", t.percentile(0.99));
             let mut buckets = Json::object();
             for (b, n) in &t.buckets {
                 buckets.set(&b.to_string(), *n);
@@ -279,6 +387,7 @@ impl Snapshot {
         }
         let mut out = Json::object();
         out.set("counters", counters);
+        out.set("gauges", gauges);
         out.set("timers", timers);
         out
     }
@@ -290,6 +399,12 @@ pub fn snapshot() -> Snapshot {
     let mut snap = Snapshot::default();
     for (name, cell) in registry().counters.lock().unwrap().iter() {
         snap.counters.push(CounterSnap {
+            name: (*name).to_owned(),
+            value: cell.value.load(Ordering::Relaxed),
+        });
+    }
+    for (name, cell) in registry().gauges.lock().unwrap().iter() {
+        snap.gauges.push(GaugeSnap {
             name: (*name).to_owned(),
             value: cell.value.load(Ordering::Relaxed),
         });
@@ -320,11 +435,58 @@ pub fn reset() {
     for cell in registry().counters.lock().unwrap().values() {
         cell.value.store(0, Ordering::Relaxed);
     }
+    for cell in registry().gauges.lock().unwrap().values() {
+        cell.value.store(0, Ordering::Relaxed);
+    }
     for cell in registry().timers.lock().unwrap().values() {
         cell.count.store(0, Ordering::Relaxed);
         cell.total.store(0, Ordering::Relaxed);
         for b in &cell.buckets {
             b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pure computation over hand-built snapshots — never touches the
+    // global registry, so it is safe alongside the lib.rs reset test.
+    #[test]
+    fn percentiles_interpolate_within_log2_buckets() {
+        let t = TimerSnap {
+            name: "t".into(),
+            count: 100,
+            total: 0,
+            buckets: vec![(4, 50), (6, 50)],
+        };
+        // Rank 50 lands at the top of the [16, 32) bucket.
+        assert_eq!(t.percentile(0.50), 32.0);
+        // Rank 90 is 40/50 of the way through the [64, 128) bucket.
+        assert!((t.percentile(0.90) - 115.2).abs() < 1e-9);
+        assert!((t.percentile(0.99) - 126.72).abs() < 1e-9);
+        // Quantiles are monotone and inside the recorded value range.
+        assert!(t.percentile(0.50) <= t.percentile(0.90));
+        assert!(t.percentile(0.99) <= 128.0);
+
+        let empty = TimerSnap {
+            name: "e".into(),
+            count: 0,
+            total: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.percentile(0.99), 0.0);
+
+        let single = TimerSnap {
+            name: "s".into(),
+            count: 1,
+            total: 9,
+            buckets: vec![(3, 1)],
+        };
+        for q in [0.5, 0.9, 0.99] {
+            let p = single.percentile(q);
+            assert!((8.0..=16.0).contains(&p), "p{q} = {p} outside its octave");
         }
     }
 }

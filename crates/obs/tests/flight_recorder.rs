@@ -1,0 +1,205 @@
+//! Flight-recorder integration tests: concurrent recording from
+//! producer + consumer threads, exact drop-oldest accounting, export
+//! balance sanitization, and the panic-unwind trace flush.
+//!
+//! Trace state (rings, the enable flag, the name table) is global to the
+//! process, so every test serializes on one mutex and asserts only on
+//! thread tracks it created with unique names.
+
+use bigfoot_obs::json::Json;
+use bigfoot_obs::trace;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `(tid, B-count, E-count, instants, counters)` for the named track in
+/// a Chrome trace JSON tree, asserting stack-disciplined B/E pairing.
+fn track_summary(json: &Json, track: &str) -> (u64, u64, u64, u64, u64) {
+    let events = json.get("traceEvents").expect("traceEvents").items();
+    let tid = events
+        .iter()
+        .find(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("M")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some(track)
+        })
+        .and_then(|e| e.get("tid"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no thread_name metadata for track {track}"));
+    let (mut b, mut e, mut i, mut c) = (0u64, 0u64, 0u64, 0u64);
+    let mut depth = 0i64;
+    for ev in events {
+        if ev.get("tid").and_then(Json::as_u64) != Some(tid) {
+            continue;
+        }
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("B") => {
+                b += 1;
+                depth += 1;
+            }
+            Some("E") => {
+                e += 1;
+                depth -= 1;
+                assert!(depth >= 0, "track {track}: E without a preceding B");
+            }
+            Some("i") => i += 1,
+            Some("C") => c += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "track {track}: {b} begins vs {e} ends");
+    (tid, b, e, i, c)
+}
+
+#[test]
+fn concurrent_producer_consumer_recording_balances_and_accounts_drops() {
+    let _l = lock();
+    let _obs = bigfoot_obs::EnabledGuard::new();
+
+    const CAP: u64 = 1024;
+    const PROD_SPANS: u64 = 600; // 1200 events > CAP: forces overflow
+    const CONS_SPANS: u64 = 500;
+    const CONS_INSTANTS: u64 = 300; // 1300 events > CAP
+
+    trace::set_capacity(CAP as usize);
+    trace::set_enabled(true);
+    // Sync the delta baseline, then measure this test's drops exactly.
+    trace::publish_counters();
+    let dropped_before = bigfoot_obs::snapshot().counter("trace.dropped");
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            trace::set_thread_name("fr-producer");
+            for _ in 0..PROD_SPANS {
+                let _s = bigfoot_obs::trace_span!("fr.produce");
+                std::hint::black_box(0);
+            }
+        });
+        scope.spawn(|| {
+            trace::set_thread_name("fr-consumer");
+            for k in 0..CONS_SPANS.max(CONS_INSTANTS) {
+                if k < CONS_SPANS {
+                    let _s = bigfoot_obs::trace_span!("fr.consume");
+                    std::hint::black_box(0);
+                }
+                if k < CONS_INSTANTS {
+                    bigfoot_obs::trace_instant!("fr.tick");
+                }
+            }
+        });
+    });
+    trace::set_enabled(false);
+    trace::publish_counters();
+
+    // Exact per-ring accounting: every recorded event is counted and
+    // drop-oldest lost exactly (written - capacity) of them.
+    let stats = trace::thread_stats();
+    let find = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("no ring named {name}"))
+    };
+    let (_, prod_events, prod_dropped) = find("fr-producer");
+    let (_, cons_events, cons_dropped) = find("fr-consumer");
+    assert_eq!(*prod_events, 2 * PROD_SPANS);
+    assert_eq!(*prod_dropped, 2 * PROD_SPANS - CAP);
+    assert_eq!(*cons_events, 2 * CONS_SPANS + CONS_INSTANTS);
+    assert_eq!(*cons_dropped, 2 * CONS_SPANS + CONS_INSTANTS - CAP);
+
+    // The published obs counter carries the same totals (delta-exact:
+    // nothing else recorded between the two publishes).
+    let dropped_after = bigfoot_obs::snapshot().counter("trace.dropped");
+    assert_eq!(
+        dropped_after - dropped_before,
+        *prod_dropped + *cons_dropped,
+        "trace.dropped must account exactly for ring overflow"
+    );
+
+    // No lost begin/end pairing in the export, even though both rings
+    // overflowed mid-span: orphaned ends are dropped at export.
+    let json = trace::chrome_trace_json();
+    let (_, b, e, _, _) = track_summary(&json, "fr-producer");
+    assert!(b > 0 && b == e);
+    let (_, b, e, i, _) = track_summary(&json, "fr-consumer");
+    assert!(b > 0 && b == e);
+    assert!(i > 0, "instants survive in the retained window");
+}
+
+#[test]
+fn mid_run_export_closes_open_spans_and_emits_counters() {
+    let _l = lock();
+    trace::set_capacity(trace::DEFAULT_RING_EVENTS);
+    trace::set_enabled(true);
+
+    let json = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                trace::set_thread_name("fr-midrun");
+                let _open = bigfoot_obs::trace_span!("fr.open_span");
+                bigfoot_obs::trace_counter!("fr.depth", 3);
+                bigfoot_obs::trace_counter!("fr.depth", 5);
+                // Export while the span is still open — the mid-run
+                // (panic-path) shape of the trace.
+                trace::chrome_trace_json()
+            })
+            .join()
+            .expect("recorder thread")
+    });
+    trace::set_enabled(false);
+
+    let (_, b, e, _, c) = track_summary(&json, "fr-midrun");
+    assert_eq!(b, 1, "the open span's begin is present");
+    assert_eq!(e, 1, "export closes the still-open span");
+    assert_eq!(c, 2, "both counter samples exported");
+    let events = json.get("traceEvents").expect("traceEvents").items();
+    let sample = events
+        .iter()
+        .find(|ev| ev.get("ph").and_then(Json::as_str) == Some("C"))
+        .expect("a counter event");
+    assert_eq!(sample.get("name").and_then(Json::as_str), Some("fr.depth"));
+    assert!(sample
+        .get("args")
+        .and_then(|a| a.get("value"))
+        .and_then(Json::as_u64)
+        .is_some());
+}
+
+#[test]
+fn trace_out_guard_writes_a_parseable_trace_on_panic_unwind() {
+    let _l = lock();
+    trace::set_capacity(trace::DEFAULT_RING_EVENTS);
+    let path = std::env::temp_dir().join(format!("bigfoot_fr_panic_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let result = std::panic::catch_unwind({
+        let path = path.clone();
+        move || {
+            let _guard = bigfoot_obs::TraceOutGuard::new(&path);
+            let _s = bigfoot_obs::trace_span!("fr.crashing_phase");
+            panic!("simulated crash");
+        }
+    });
+    assert!(result.is_err(), "the panic must propagate");
+    assert!(!trace::enabled(), "guard drop disables tracing");
+
+    let text = std::fs::read_to_string(&path).expect("partial trace written on unwind");
+    let json = bigfoot_obs::json::parse(&text).expect("well-formed Chrome trace JSON");
+    let events = json.get("traceEvents").expect("traceEvents").items();
+    let crash_events: Vec<&str> = events
+        .iter()
+        .filter(|ev| ev.get("name").and_then(Json::as_str) == Some("fr.crashing_phase"))
+        .filter_map(|ev| ev.get("ph").and_then(Json::as_str))
+        .collect();
+    assert!(
+        crash_events.contains(&"B") && crash_events.contains(&"E"),
+        "the interrupted span survives, closed at export: {crash_events:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
