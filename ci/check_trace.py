@@ -2,6 +2,7 @@
 """Validate a Chrome trace-event JSON file emitted by the flight recorder.
 
 Usage: check_trace.py TRACE.json [--min-threads N] [--require-counter NAME]
+                                 [--require-thread NAME]
 
 Checks (all must pass):
   * the file is well-formed JSON with a `traceEvents` array;
@@ -9,10 +10,14 @@ Checks (all must pass):
   * at least N `thread_name` metadata tracks exist (default 2), with
     distinct tids — one per recorded thread;
   * per tid, B/E events are balanced and stack-disciplined (depth never
-    goes negative, ends at zero);
+    goes negative, ends at zero) — this covers every worker track in a
+    multi-ring sharded run, not just the producer/consumer pair;
   * timestamps are non-negative and B/E pairs are non-inverted;
   * each `--require-counter NAME` appears as a C event with a numeric
-    `args.value`.
+    `args.value`;
+  * each `--require-thread NAME` appears as a `thread_name` metadata
+    track (e.g. `--require-thread "detect worker 0"` pins the sharded
+    pipeline's per-worker tracks).
 
 Exit code 0 on success; 1 with a diagnostic on the first failure.
 """
@@ -32,6 +37,7 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("--min-threads", type=int, default=2)
     ap.add_argument("--require-counter", action="append", default=[])
+    ap.add_argument("--require-thread", action="append", default=[])
     args = ap.parse_args()
 
     try:
@@ -103,6 +109,13 @@ def main():
     for name in args.require_counter:
         if name not in counters_seen:
             fail(f"required counter track `{name}` absent (saw {sorted(counters_seen)})")
+
+    for name in args.require_thread:
+        if name not in thread_names.values():
+            fail(
+                f"required thread track `{name}` absent "
+                f"(saw {sorted(thread_names.values())})"
+            )
 
     spans = sum(1 for ev in events if ev.get("ph") == "B")
     print(

@@ -6,14 +6,14 @@ Usage: strip_mode_keys.py <a.json> <b.json> [label]
 The pipeline-smoke CI job runs the same program serially and through the
 batched ring and requires the reports to be identical except for the
 keys that merely describe *how* detection ran (`pipeline`,
-`replay_workers`) — races, counters, and space accounting must match
-byte for byte.
+`replay_workers`, `detect_workers`) — races, counters, and space
+accounting must match byte for byte.
 """
 
 import json
 import sys
 
-MODE_KEYS = {"pipeline", "replay_workers"}
+MODE_KEYS = {"pipeline", "replay_workers", "detect_workers"}
 
 
 def strip(node):

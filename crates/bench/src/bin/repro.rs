@@ -34,7 +34,9 @@
 //!   (see `docs/PERFORMANCE.md`). `--pipeline` additionally measures
 //!   end-to-end serial vs pipelined (batched-ring) throughput per
 //!   detector configuration and adds an additive `pipeline` section to
-//!   the JSON report.
+//!   the JSON report; `--pipeline --detect-workers N` also measures the
+//!   sharded multi-worker fan-out (FastTrack and DJIT+, serial vs `N`
+//!   detection workers) and adds an additive `pipeline_sharded` section.
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
@@ -59,7 +61,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
-                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] [--pipeline] \
+                 [--budget SECS] [--check BENCH.json] [--tolerance FRAC] \
+                 [--pipeline [--detect-workers N]] \
                  [--trace-out FILE] [--metrics-out FILE] [--json] [--out FILE]"
             );
             ExitCode::from(2)
@@ -76,6 +79,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--bench",
             "--out",
             "--replay-workers",
+            "--detect-workers",
             "--budget",
             "--check",
             "--tolerance",
@@ -202,19 +206,41 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
                 bigfoot_bench::perf::measure_perf(b.name, &b.program, reps)
             })
             .collect();
-        let pipeline: Option<Vec<bigfoot_bench::perf::PipelineBench>> =
-            args.has("--pipeline").then(|| {
-                eprintln!("pipelined end-to-end throughput (serial vs batched ring hand-off) …");
+        let pipelined = args.has("--pipeline");
+        let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
+        if detect_workers.is_some() && !pipelined {
+            return Err("--detect-workers requires --pipeline".into());
+        }
+        let pipeline: Option<Vec<bigfoot_bench::perf::PipelineBench>> = pipelined.then(|| {
+            eprintln!("pipelined end-to-end throughput (serial vs batched ring hand-off) …");
+            selected
+                .iter()
+                .map(|b| {
+                    eprintln!("  {}", b.name);
+                    bigfoot_bench::perf::measure_pipeline(b.name, &b.program, reps)
+                })
+                .collect()
+        });
+        let sharded: Option<Vec<bigfoot_bench::perf::ShardedBench>> =
+            detect_workers.map(|workers| {
+                eprintln!(
+                    "sharded end-to-end throughput (serial vs {workers} detection worker(s)) …"
+                );
                 selected
                     .iter()
                     .map(|b| {
                         eprintln!("  {}", b.name);
-                        bigfoot_bench::perf::measure_pipeline(b.name, &b.program, reps)
+                        bigfoot_bench::perf::measure_sharded(b.name, &b.program, reps, workers)
                     })
                     .collect()
             });
-        let report =
-            bigfoot_bench::perf::perf_json(&results, pipeline.as_deref(), scale_name, reps);
+        let report = bigfoot_bench::perf::perf_json(
+            &results,
+            pipeline.as_deref(),
+            sharded.as_deref(),
+            scale_name,
+            reps,
+        );
         if let Some(path) = args.value("--check") {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
@@ -233,6 +259,9 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
         perf_table(&results);
         if let Some(pipeline) = &pipeline {
             pipeline_table(pipeline);
+        }
+        if let Some(sharded) = &sharded {
+            sharded_table(sharded);
         }
         return Ok(());
     }
@@ -539,6 +568,31 @@ fn pipeline_table(results: &[bigfoot_bench::perf::PipelineBench]) {
     }
     print!("{:<11}", "GeoMean");
     for d in DETECTORS {
+        print!(
+            " {:>6.2}x",
+            geomean(results.iter().map(|r| r.run(d).speedup()))
+        );
+    }
+    println!();
+}
+
+fn sharded_table(results: &[bigfoot_bench::perf::ShardedBench]) {
+    let workers = results.first().map_or(0, |r| r.workers);
+    println!();
+    println!(
+        "== sharded detection: end-to-end speedup at {workers} worker(s) \
+         (sharded / serial events/sec) =="
+    );
+    println!("{:<11} {:>7} {:>7}", "program", "FT", "DJIT");
+    for r in results {
+        print!("{:<11}", r.name);
+        for d in bigfoot_bench::perf::SHARDED_DETECTORS {
+            print!(" {:>6.2}x", r.run(d).speedup());
+        }
+        println!();
+    }
+    print!("{:<11}", "GeoMean");
+    for d in bigfoot_bench::perf::SHARDED_DETECTORS {
         print!(
             " {:>6.2}x",
             geomean(results.iter().map(|r| r.run(d).speedup()))

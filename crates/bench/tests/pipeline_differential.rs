@@ -7,14 +7,16 @@
 //!
 //! Coverage: every suite benchmark (small scale) under all five detector
 //! configurations (FT/RC/SS/SC/BF), pipelined replay at 1 and 4 workers,
-//! and 60 seeded random programs — racy and race-free — under randomized
-//! schedules. Batch and ring sizes are swept so batch boundaries, partial
-//! final batches, and producer backpressure all fire.
+//! sharded multi-worker pipelined detection (including DJIT+) across
+//! worker counts, and 60 seeded random programs — racy and race-free —
+//! under randomized schedules. Batch and ring sizes are swept so batch
+//! boundaries, partial final batches, and producer backpressure all fire.
 
 use bigfoot::instrument;
 use bigfoot_bfj::{parse_program, EventSink, Interp, Program, RecordingSink, SchedPolicy};
 use bigfoot_detectors::{
-    detect_pipelined, replay_pipelined, Detector, PipelineConfig, ProxyTable, ReplayConfig, Stats,
+    detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, Detector, DjitDetector,
+    PipelineConfig, ProxyTable, ReplayConfig, Stats,
 };
 use bigfoot_workloads::{benchmarks, random_program, RandomConfig, Scale};
 
@@ -195,6 +197,68 @@ fn random_programs_pipeline_identically() {
         races_seen > 0,
         "the racy generator configurations should race at least once"
     );
+}
+
+#[test]
+fn suite_benchmarks_sharded_detection_identical_across_worker_counts() {
+    // Sharded multi-worker pipelined detection must be byte-identical to
+    // serial at every worker count — the tentpole determinism contract of
+    // PR 7 — on real suite benchmarks, with the hostile small-batch
+    // geometry so the router→worker rings see backpressure.
+    let tiny = PipelineConfig {
+        batch_events: 7,
+        ring_slots: 2,
+    };
+    for b in benchmarks(Scale::Small).into_iter().take(6) {
+        let inst = instrument(&b.program);
+        let raw = record(&b.program, SchedPolicy::default());
+        let checked = record(&inst.program, SchedPolicy::default());
+
+        let ft_reference = serial(&raw, Detector::fasttrack());
+        let bf_reference = serial(&checked, Detector::bigfoot(inst.proxies.clone()));
+        let mut djit = DjitDetector::new();
+        for ev in &raw.events {
+            djit.event(ev);
+        }
+        let djit_reference = djit.finish();
+
+        for workers in [1usize, 2, 4] {
+            let (_, stats) = replay_sharded(&tiny, &ReplayConfig::fasttrack(workers), |sink| {
+                for ev in &raw.events {
+                    sink.event(ev);
+                }
+            });
+            assert_identical(
+                &format!("{} [ft sharded] {workers} worker(s)", b.name),
+                &stats,
+                &ft_reference,
+            );
+            let (_, stats) = replay_sharded(
+                &tiny,
+                &ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+                |sink| {
+                    for ev in &checked.events {
+                        sink.event(ev);
+                    }
+                },
+            );
+            assert_identical(
+                &format!("{} [bf sharded] {workers} worker(s)", b.name),
+                &stats,
+                &bf_reference,
+            );
+            let (_, stats) = djit_sharded(&tiny, workers, |sink| {
+                for ev in &raw.events {
+                    sink.event(ev);
+                }
+            });
+            assert_identical(
+                &format!("{} [djit sharded] {workers} worker(s)", b.name),
+                &stats,
+                &djit_reference,
+            );
+        }
+    }
 }
 
 #[test]

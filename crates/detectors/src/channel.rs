@@ -1,0 +1,323 @@
+//! Bounded single-producer / single-consumer channel: the batch ring
+//! that PR 5's pipeline hard-coded for `Vec<Event>`, generalized so one
+//! ring implementation serves every pipelined consumer — the serial
+//! detector pipeline, the streaming replay annotator, and the sharded
+//! multi-worker fan-out (`crates/detectors/src/sharded.rs`), which wires
+//! N of these rings side by side.
+//!
+//! Ring discipline (a Lamport queue):
+//!
+//! * `tail` is written only by the producer, `head` only by the
+//!   consumer; both are cache-line-padded so the two sides never
+//!   false-share.
+//! * The producer may write slot `i` iff `i - head < capacity` (ring
+//!   not full); it publishes with a `Release` store of `tail + 1`.
+//! * The consumer may read slot `i` iff `i < tail` (ring not empty); it
+//!   publishes with a `Release` store of `head + 1`.
+//! * A side that cannot progress spins briefly, then yields; stall
+//!   episodes are tallied by the caller and bracketed by
+//!   `pipeline.push_wait` / `pipeline.pop_wait` flight-recorder spans.
+//!
+//! End-of-stream protocol:
+//!
+//! * [`Ring::close`] — producer is done. A consumer seeing `closed`
+//!   *and* an empty ring gets `None` from [`Ring::pop`].
+//! * [`Ring::mark_dead`] — consumer unwound. A producer seeing `dead`
+//!   drops the item instead of waiting on a ring nobody will ever
+//!   drain; [`Ring::push`] reports the drop so accounting stays honest
+//!   ([`DeadOnUnwind`] arms this from the consumer's stack frame).
+
+use bigfoot_obs::trace::{self, LazyTraceName};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// An `AtomicUsize` alone on its cache line, so the producer's `tail`
+/// writes never invalidate the line the consumer polls `head` on (and
+/// vice versa).
+#[repr(align(64))]
+struct PaddedAtomicUsize(AtomicUsize);
+
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+/// Bounded SPSC ring of `T` (event batches, routed item batches, …).
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: PaddedAtomicUsize,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: PaddedAtomicUsize,
+    /// Set by the producer after its final push; a consumer seeing
+    /// `closed` *and* an empty ring is done.
+    closed: AtomicBool,
+    /// Set when the consumer unwinds; a producer seeing `dead` stops
+    /// pushing (nobody will ever drain the ring again).
+    dead: AtomicBool,
+}
+
+// SAFETY: slot `i` is accessed exclusively by the producer while
+// `head <= i < head + capacity` and `i >= tail` (it has not been
+// published), and exclusively by the consumer while `head <= i < tail`
+// (published, not yet consumed). The Release store publishing an index
+// happens-before the Acquire load that lets the other side cross it, so
+// the two sides never hold a reference to the same slot concurrently.
+// `T: Send` because items move across the producer→consumer thread
+// boundary (and back, for recycle rings).
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+static PUSH_WAIT: LazyTraceName = LazyTraceName::new("pipeline.push_wait");
+static POP_WAIT: LazyTraceName = LazyTraceName::new("pipeline.pop_wait");
+
+/// How many times a stalled side spins before yielding. On a
+/// single-core host the other side cannot make progress while we spin,
+/// so spinning only delays the yield that lets it run — yield at once.
+fn spin_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 64,
+        _ => 0,
+    })
+}
+
+/// RAII bracket for one backpressure episode: `begin` fires iff tracing
+/// was enabled when the wait started, and the paired `end` is emitted
+/// from `Drop` on *every* exit path — early dead-ring bail-out, success,
+/// or an unwind through the wait loop — so B/E spans stay balanced per
+/// track no matter when the recorder is toggled (`trace::end` records
+/// unconditionally by design; the guard remembers whether it began).
+struct WaitSpan {
+    name: &'static LazyTraceName,
+    traced: bool,
+}
+
+impl WaitSpan {
+    fn begin(name: &'static LazyTraceName) -> WaitSpan {
+        let traced = trace::enabled();
+        if traced {
+            trace::begin(name);
+        }
+        WaitSpan { name, traced }
+    }
+}
+
+impl Drop for WaitSpan {
+    fn drop(&mut self) {
+        if self.traced {
+            trace::end(self.name);
+        }
+    }
+}
+
+impl<T> Ring<T> {
+    /// A ring with `slots` capacity, rounded up to a power of two,
+    /// minimum 2.
+    pub fn new(slots: usize) -> Ring<T> {
+        let cap = slots.max(2).next_power_of_two();
+        Ring {
+            slots: (0..cap).map(|_| Slot(UnsafeCell::new(None))).collect(),
+            mask: cap - 1,
+            head: PaddedAtomicUsize(AtomicUsize::new(0)),
+            tail: PaddedAtomicUsize(AtomicUsize::new(0)),
+            closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: non-blocking. Returns the item back on a full ring.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail - head == self.capacity() {
+            return Err(item);
+        }
+        // SAFETY: `tail - head < capacity`, so this slot is unpublished
+        // and owned by the producer (see the `Sync` impl).
+        unsafe {
+            *self.slots[tail & self.mask].0.get() = Some(item);
+        }
+        self.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Producer side: blocking with backpressure. `stalls` counts the
+    /// episodes (not the spins) where a full ring made the producer
+    /// wait. Returns `true` iff the ring accepted the item: if the
+    /// consumer has died the item is dropped instead of waiting on a
+    /// ring nobody will drain, and the caller must tally the drop
+    /// rather than the handoff (the consumer's panic surfaces at
+    /// `join()`).
+    #[must_use = "a false return means the item was dropped on a dead ring"]
+    pub fn push(&self, mut item: T, stalls: &mut u64) -> bool {
+        let mut wait: Option<WaitSpan> = None;
+        let mut spins = 0u32;
+        loop {
+            if self.dead.load(Ordering::Acquire) {
+                return false;
+            }
+            match self.try_push(item) {
+                Ok(()) => return true,
+                Err(i) => item = i,
+            }
+            if wait.is_none() {
+                *stalls += 1;
+                wait = Some(WaitSpan::begin(&PUSH_WAIT));
+            }
+            spins += 1;
+            if spins < spin_limit() {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Consumer side: non-blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail`, so this slot is published and owned by
+        // the consumer (see the `Sync` impl).
+        let item = unsafe { (*self.slots[head & self.mask].0.get()).take() };
+        self.head.0.store(head + 1, Ordering::Release);
+        Some(item.expect("published slot holds an item"))
+    }
+
+    /// Consumer side: blocking. `None` means the producer closed the
+    /// ring and everything has been drained. `stalls` counts empty-ring
+    /// waits.
+    pub fn pop(&self, stalls: &mut u64) -> Option<T> {
+        let mut wait: Option<WaitSpan> = None;
+        let mut spins = 0u32;
+        loop {
+            if let Some(item) = self.try_pop() {
+                return Some(item);
+            }
+            // Check `closed` only after a failed pop: the producer
+            // closes *after* its final push, so once `closed` is
+            // observed one more pop decides — an item pushed between
+            // the failed pop above and the `closed` load must still be
+            // returned, and an empty ring is truly done.
+            if self.closed.load(Ordering::Acquire) {
+                return self.try_pop();
+            }
+            if wait.is_none() {
+                *stalls += 1;
+                wait = Some(WaitSpan::begin(&POP_WAIT));
+            }
+            spins += 1;
+            if spins < spin_limit() {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Producer is done; pending items remain poppable.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Consumer will never drain again; future pushes drop.
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Items currently in flight (approximate; for depth telemetry).
+    pub fn depth(&self) -> usize {
+        self.tail
+            .0
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.head.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Marks the ring dead if the holding (consumer) thread unwinds, so the
+/// producer bails out of its push loop instead of spinning forever and
+/// the panic surfaces at `join()`. Harmless on the normal-return path:
+/// the producer has already closed the ring by the time the consumer's
+/// drain loop exits, so nothing is pushed after the drop.
+pub struct DeadOnUnwind<'r, T>(pub &'r Ring<T>);
+
+impl<T> Drop for DeadOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        self.0.dead.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_rounding() {
+        let ring: Ring<u64> = Ring::new(3);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4u64 {
+            ring.try_push(i).expect("room");
+        }
+        assert!(ring.try_push(99).is_err(), "full ring rejects");
+        for i in 0..4u64 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+    }
+
+    #[test]
+    fn pop_drains_pending_items_after_close() {
+        let ring: Ring<u32> = Ring::new(2);
+        let mut stalls = 0;
+        assert!(ring.push(7, &mut stalls));
+        ring.close();
+        assert_eq!(ring.pop(&mut stalls), Some(7));
+        assert_eq!(ring.pop(&mut stalls), None);
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn push_reports_drops_on_a_dead_ring() {
+        // The producer must learn the item was dropped — PR 7's
+        // accounting fix counts only accepted handoffs.
+        let ring: Ring<String> = Ring::new(2);
+        ring.mark_dead();
+        let mut stalls = 0;
+        assert!(!ring.push("lost".into(), &mut stalls));
+        assert_eq!(stalls, 0, "a dead ring fails fast, it does not stall");
+        assert_eq!(ring.try_pop(), None, "dropped items are never published");
+    }
+
+    #[test]
+    fn generic_close_race_never_drops_the_final_item() {
+        // Same close-race discipline the event pipeline pins, exercised
+        // through the generic ring with a non-event payload.
+        for round in 0..100 {
+            let ring: Ring<Vec<usize>> = Ring::new(2);
+            let items = 3 + (round % 4);
+            let consumed = std::thread::scope(|scope| {
+                let consumer = scope.spawn(|| {
+                    let mut stalls = 0u64;
+                    let mut total = 0usize;
+                    while let Some(batch) = ring.pop(&mut stalls) {
+                        total += batch.len();
+                    }
+                    total
+                });
+                let mut stalls = 0u64;
+                for _ in 0..items {
+                    assert!(ring.push(vec![0usize; 5], &mut stalls));
+                    std::hint::spin_loop();
+                }
+                ring.close();
+                consumer.join().expect("consumer")
+            });
+            assert_eq!(consumed, items * 5, "round {round} lost items");
+        }
+    }
+}

@@ -7,11 +7,13 @@
 //!
 //! See [`Detector`] for the configuration matrix and usage.
 
+pub mod channel;
 mod detector;
 mod djit;
 mod pipeline;
 mod precision;
 mod replay;
+mod sharded;
 mod stats;
 mod sync;
 
@@ -23,5 +25,6 @@ pub use pipeline::{
 };
 pub use precision::{verify_precise_checks, PrecisionError};
 pub use replay::{replay_pipelined, replay_trace, ReplayConfig, TraceReader, SHARDS};
+pub use sharded::{djit_sharded, replay_sharded};
 pub use stats::{CoarseTarget, Race, RaceTarget, Stats};
 pub use sync::SyncClocks;

@@ -18,24 +18,23 @@
 //! serial detector over the same stream — the differential suite and the
 //! fuzz pipeline oracle pin this.
 //!
-//! Ring discipline (a Lamport queue):
-//!
-//! * `tail` is written only by the producer, `head` only by the consumer;
-//!   both are cache-line-padded so the two sides never false-share.
-//! * The producer may write slot `i` iff `i - head < capacity` (ring not
-//!   full); it publishes with a `Release` store of `tail + 1`.
-//! * The consumer may read slot `i` iff `i < tail` (ring not empty); it
-//!   publishes with a `Release` store of `head + 1`.
-//! * A side that cannot progress spins briefly, then yields; stalls are
-//!   tallied and flushed to `pipeline.*` obs counters at the end of the
-//!   run (backpressure on a full ring is the producer's stall; an empty
-//!   ring is the consumer's).
+//! The ring itself lives in [`crate::channel`] (a Lamport SPSC queue of
+//! batches, generalized in PR 7 so the sharded fan-out in
+//! [`crate::sharded`] reuses it); this module owns the event-batching
+//! producer side ([`BatchSink`]), the single-consumer driver
+//! ([`run_pipelined`]), and the `pipeline.*` accounting. A side that
+//! cannot progress spins briefly, then yields; stalls are tallied and
+//! flushed to `pipeline.*` obs counters at the end of the run
+//! (backpressure on a full ring is the producer's stall; an empty ring
+//! is the consumer's). Batches dropped on a dead ring — the consumer
+//! unwound mid-stream — are tallied separately as
+//! `pipeline.batches_dropped` / `pipeline.events_dropped`, so
+//! `pipeline.events` counts exactly the events handed to the consumer.
 
+use crate::channel::{DeadOnUnwind, Ring};
 use crate::detector::Detector;
 use crate::stats::Stats;
 use bigfoot_bfj::{Event, EventSink};
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Default events per batch.
 ///
@@ -66,198 +65,18 @@ impl Default for PipelineConfig {
     }
 }
 
-/// An `AtomicUsize` alone on its cache line, so the producer's `tail`
-/// writes never invalidate the line the consumer polls `head` on (and
-/// vice versa).
-#[repr(align(64))]
-struct PaddedAtomicUsize(AtomicUsize);
-
-struct Slot(UnsafeCell<Option<Vec<Event>>>);
-
-/// Bounded SPSC ring of event batches.
-struct Ring {
-    slots: Box<[Slot]>,
-    mask: usize,
-    /// Next slot the consumer will read. Written only by the consumer.
-    head: PaddedAtomicUsize,
-    /// Next slot the producer will write. Written only by the producer.
-    tail: PaddedAtomicUsize,
-    /// Set by the producer after its final commit; a consumer seeing
-    /// `closed` *and* an empty ring is done.
-    closed: AtomicBool,
-    /// Set when the consumer unwinds; a producer seeing `dead` stops
-    /// pushing (nobody will ever drain the ring again).
-    dead: AtomicBool,
-}
-
-// SAFETY: slot `i` is accessed exclusively by the producer while
-// `head <= i < head + capacity` and `i >= tail` (it has not been
-// published), and exclusively by the consumer while `head <= i < tail`
-// (published, not yet consumed). The Release store publishing an index
-// happens-before the Acquire load that lets the other side cross it, so
-// the two sides never hold a reference to the same slot concurrently.
-unsafe impl Sync for Ring {}
-
-impl Ring {
-    fn new(slots: usize) -> Ring {
-        let cap = slots.max(2).next_power_of_two();
-        Ring {
-            slots: (0..cap).map(|_| Slot(UnsafeCell::new(None))).collect(),
-            mask: cap - 1,
-            head: PaddedAtomicUsize(AtomicUsize::new(0)),
-            tail: PaddedAtomicUsize(AtomicUsize::new(0)),
-            closed: AtomicBool::new(false),
-            dead: AtomicBool::new(false),
-        }
-    }
-
-    fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Producer side: non-blocking. Returns the batch back on a full ring.
-    fn try_push(&self, batch: Vec<Event>) -> Result<(), Vec<Event>> {
-        let tail = self.tail.0.load(Ordering::Relaxed);
-        let head = self.head.0.load(Ordering::Acquire);
-        if tail - head == self.capacity() {
-            return Err(batch);
-        }
-        // SAFETY: `tail - head < capacity`, so this slot is unpublished
-        // and owned by the producer (see the `Sync` impl).
-        unsafe {
-            *self.slots[tail & self.mask].0.get() = Some(batch);
-        }
-        self.tail.0.store(tail + 1, Ordering::Release);
-        Ok(())
-    }
-
-    /// Producer side: blocking with backpressure. `stalls` counts the
-    /// episodes (not the spins) where a full ring made the producer wait.
-    /// If the consumer has died, the batch is dropped instead of waiting
-    /// on a ring nobody will drain; the consumer's panic surfaces at
-    /// `join()`.
-    fn push(&self, mut batch: Vec<Event>, stalls: &mut u64) {
-        // Flight-recorder span bracketing one backpressure episode on
-        // the producer's timeline; `traced` remembers the begin so the
-        // pair survives tracing being toggled mid-wait.
-        static PUSH_WAIT: bigfoot_obs::trace::LazyTraceName =
-            bigfoot_obs::trace::LazyTraceName::new("pipeline.push_wait");
-        let mut waited = false;
-        let mut traced = false;
-        let mut spins = 0u32;
-        loop {
-            if self.dead.load(Ordering::Acquire) {
-                if traced {
-                    bigfoot_obs::trace::end(&PUSH_WAIT);
-                }
-                return;
-            }
-            match self.try_push(batch) {
-                Ok(()) => {
-                    if traced {
-                        bigfoot_obs::trace::end(&PUSH_WAIT);
-                    }
-                    return;
-                }
-                Err(b) => batch = b,
-            }
-            if !waited {
-                waited = true;
-                *stalls += 1;
-                if bigfoot_obs::trace::enabled() {
-                    traced = true;
-                    bigfoot_obs::trace::begin(&PUSH_WAIT);
-                }
-            }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-
-    /// Consumer side: non-blocking.
-    fn try_pop(&self) -> Option<Vec<Event>> {
-        let head = self.head.0.load(Ordering::Relaxed);
-        let tail = self.tail.0.load(Ordering::Acquire);
-        if head == tail {
-            return None;
-        }
-        // SAFETY: `head < tail`, so this slot is published and owned by
-        // the consumer (see the `Sync` impl).
-        let batch = unsafe { (*self.slots[head & self.mask].0.get()).take() };
-        self.head.0.store(head + 1, Ordering::Release);
-        Some(batch.expect("published slot holds a batch"))
-    }
-
-    /// Consumer side: blocking. `None` means the producer closed the ring
-    /// and everything has been drained. `stalls` counts empty-ring waits.
-    fn pop(&self, stalls: &mut u64) -> Option<Vec<Event>> {
-        // Mirror of `push`'s wait span, on the consumer's timeline.
-        static POP_WAIT: bigfoot_obs::trace::LazyTraceName =
-            bigfoot_obs::trace::LazyTraceName::new("pipeline.pop_wait");
-        let mut waited = false;
-        let mut traced = false;
-        let mut spins = 0u32;
-        let end_wait = |traced: bool| {
-            if traced {
-                bigfoot_obs::trace::end(&POP_WAIT);
-            }
-        };
-        loop {
-            if let Some(batch) = self.try_pop() {
-                end_wait(traced);
-                return Some(batch);
-            }
-            // Check `closed` only after a failed pop: the producer closes
-            // *after* its final push, so once `closed` is observed one
-            // more pop decides — a batch pushed between the failed pop
-            // above and the `closed` load must still be returned, and an
-            // empty ring is truly done.
-            if self.closed.load(Ordering::Acquire) {
-                end_wait(traced);
-                return self.try_pop();
-            }
-            if !waited {
-                waited = true;
-                *stalls += 1;
-                if bigfoot_obs::trace::enabled() {
-                    traced = true;
-                    bigfoot_obs::trace::begin(&POP_WAIT);
-                }
-            }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-
-    fn close(&self) {
-        self.closed.store(true, Ordering::Release);
-    }
-
-    /// Batches currently in flight (approximate; for depth telemetry).
-    fn depth(&self) -> usize {
-        self.tail
-            .0
-            .load(Ordering::Relaxed)
-            .wrapping_sub(self.head.0.load(Ordering::Relaxed))
-    }
-}
-
 /// Producer-side counters, aggregated locally and flushed once.
+/// `batches`/`events` count accepted handoffs only; commits that a dead
+/// ring refused land in `batches_dropped`/`events_dropped` instead.
 #[derive(Debug, Default, Clone, Copy)]
-struct ProducerTallies {
-    batches: u64,
-    events: u64,
-    full_stalls: u64,
-    depth_max: u64,
-    recycled: u64,
+pub(crate) struct ProducerTallies {
+    pub(crate) batches: u64,
+    pub(crate) events: u64,
+    pub(crate) batches_dropped: u64,
+    pub(crate) events_dropped: u64,
+    pub(crate) full_stalls: u64,
+    pub(crate) depth_max: u64,
+    pub(crate) recycled: u64,
 }
 
 /// The producer's [`EventSink`]: buffers events into a private batch and
@@ -265,8 +84,8 @@ struct ProducerTallies {
 /// producer closure; the driver flushes the final partial batch and closes
 /// the ring when the closure returns.
 pub struct BatchSink<'r> {
-    ring: &'r Ring,
-    free: &'r Ring,
+    ring: &'r Ring<Vec<Event>>,
+    free: &'r Ring<Vec<Event>>,
     batch: Vec<Event>,
     batch_events: usize,
     tallies: ProducerTallies,
@@ -274,7 +93,11 @@ pub struct BatchSink<'r> {
 }
 
 impl<'r> BatchSink<'r> {
-    fn new(ring: &'r Ring, free: &'r Ring, batch_events: usize) -> BatchSink<'r> {
+    pub(crate) fn new(
+        ring: &'r Ring<Vec<Event>>,
+        free: &'r Ring<Vec<Event>>,
+        batch_events: usize,
+    ) -> BatchSink<'r> {
         BatchSink {
             ring,
             free,
@@ -300,10 +123,20 @@ impl<'r> BatchSink<'r> {
             None => Vec::with_capacity(self.batch_events),
         };
         let full = std::mem::replace(&mut self.batch, next);
-        self.tallies.batches += 1;
         let occupancy = full.len() as u64;
-        self.tallies.events += occupancy;
-        self.ring.push(full, &mut self.tallies.full_stalls);
+        // Tally *after* the push: a dead ring (the consumer unwound)
+        // silently refuses the batch, and counting it as handed off
+        // would make `pipeline.events` over-report exactly the events
+        // that were never consumed. Accepted handoffs and drops are
+        // tracked separately.
+        if self.ring.push(full, &mut self.tallies.full_stalls) {
+            self.tallies.batches += 1;
+            self.tallies.events += occupancy;
+        } else {
+            self.tallies.batches_dropped += 1;
+            self.tallies.events_dropped += occupancy;
+            return;
+        }
         let depth = self.ring.depth() as u64;
         self.tallies.depth_max = self.tallies.depth_max.max(depth);
         // Batch lifecycle on the producer's timeline: one instant per
@@ -385,21 +218,13 @@ pub fn run_pipelined<S, T>(
 where
     S: EventSink + Send,
 {
-    let ring = Ring::new(config.ring_slots);
-    let free = Ring::new(config.ring_slots);
-    let (result, sink, tallies, empty_stalls) = std::thread::scope(|scope| {
+    let ring: Ring<Vec<Event>> = Ring::new(config.ring_slots);
+    let free: Ring<Vec<Event>> = Ring::new(config.ring_slots);
+    let (result, joined, tallies) = std::thread::scope(|scope| {
         let consumer = scope.spawn(|| {
             // Marks the ring dead if this thread unwinds, so the producer
             // bails out of its push loop instead of spinning forever and
-            // the panic surfaces at `join()` below. Harmless on the
-            // normal-return path: the producer has already closed the
-            // ring by the time the drain loop exits.
-            struct DeadOnUnwind<'r>(&'r Ring);
-            impl Drop for DeadOnUnwind<'_> {
-                fn drop(&mut self) {
-                    self.0.dead.store(true, Ordering::Release);
-                }
-            }
+            // the panic surfaces at `join()` below.
             let _guard = DeadOnUnwind(&ring);
             if bigfoot_obs::trace::enabled() {
                 bigfoot_obs::trace::set_thread_name("detector (consumer)");
@@ -433,23 +258,39 @@ where
         batches.finish();
         let tallies = batches.tallies;
         drop(batches);
-        let (sink, empty_stalls) = match consumer.join() {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (result, sink, tallies, empty_stalls)
+        (result, consumer.join(), tallies)
     });
-    if bigfoot_obs::enabled() {
-        bigfoot_obs::count_named("pipeline.batches", tallies.batches);
-        bigfoot_obs::count_named("pipeline.events", tallies.events);
-        bigfoot_obs::count_named("pipeline.batches_recycled", tallies.recycled);
-        bigfoot_obs::count_named("pipeline.stall.ring_full", tallies.full_stalls);
-        bigfoot_obs::count_named("pipeline.stall.ring_empty", empty_stalls);
-        // A high-water mark: flushed as a max-gauge so back-to-back runs
-        // report the max, where the old counter summed them.
-        bigfoot_obs::gauge_max_named("pipeline.depth_max", tallies.depth_max);
+    // Flush the producer-side tallies *before* propagating a consumer
+    // panic: the accepted/dropped split is exactly what a post-mortem
+    // needs, and resuming the unwind first would lose it.
+    flush_producer_tallies(&tallies);
+    match joined {
+        Ok((sink, empty_stalls)) => {
+            if bigfoot_obs::enabled() {
+                bigfoot_obs::count_named("pipeline.stall.ring_empty", empty_stalls);
+            }
+            (result, sink)
+        }
+        Err(payload) => std::panic::resume_unwind(payload),
     }
-    (result, sink)
+}
+
+/// Flushes [`ProducerTallies`] to the `pipeline.*` registry names. Also
+/// called by the sharded fan-out driver, whose event ring reuses
+/// [`BatchSink`] on the producer side.
+pub(crate) fn flush_producer_tallies(tallies: &ProducerTallies) {
+    if !bigfoot_obs::enabled() {
+        return;
+    }
+    bigfoot_obs::count_named("pipeline.batches", tallies.batches);
+    bigfoot_obs::count_named("pipeline.events", tallies.events);
+    bigfoot_obs::count_named("pipeline.batches_dropped", tallies.batches_dropped);
+    bigfoot_obs::count_named("pipeline.events_dropped", tallies.events_dropped);
+    bigfoot_obs::count_named("pipeline.batches_recycled", tallies.recycled);
+    bigfoot_obs::count_named("pipeline.stall.ring_full", tallies.full_stalls);
+    // A high-water mark: flushed as a max-gauge so back-to-back runs
+    // report the max, where the old counter summed them.
+    bigfoot_obs::gauge_max_named("pipeline.depth_max", tallies.depth_max);
 }
 
 /// Convenience wrapper: pipelined online detection with the serial
@@ -593,7 +434,7 @@ mod tests {
             .expect("run");
         let ev = &events.events[0];
         for round in 0..200 {
-            let ring = Ring::new(2);
+            let ring: Ring<Vec<Event>> = Ring::new(2);
             let batches = 3 + (round % 4);
             let consumed = std::thread::scope(|scope| {
                 let consumer = scope.spawn(|| {
@@ -606,7 +447,7 @@ mod tests {
                 });
                 let mut stalls = 0u64;
                 for _ in 0..batches {
-                    ring.push(vec![ev.clone(); 5], &mut stalls);
+                    assert!(ring.push(vec![ev.clone(); 5], &mut stalls));
                     std::hint::spin_loop();
                 }
                 ring.close();
@@ -616,18 +457,21 @@ mod tests {
         }
     }
 
+    /// Panics on the first event it sees — models a consumer that
+    /// unwinds mid-stream.
+    #[derive(Debug)]
+    struct PanickySink;
+    impl EventSink for PanickySink {
+        fn event(&mut self, _ev: &Event) {
+            panic!("sink exploded");
+        }
+    }
+
     #[test]
     fn consumer_panic_propagates_instead_of_hanging() {
         // A panicking consumer must surface its panic through
         // `run_pipelined` rather than leaving the producer spinning on a
         // ring nobody drains.
-        #[derive(Debug)]
-        struct PanickySink;
-        impl EventSink for PanickySink {
-            fn event(&mut self, _ev: &Event) {
-                panic!("sink exploded");
-            }
-        }
         let p = parse_program(ARRAY_RACY).expect("parse");
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_pipelined(
@@ -642,6 +486,91 @@ mod tests {
         let payload = result.expect_err("consumer panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "sink exploded");
+    }
+
+    #[test]
+    fn dead_ring_drops_are_not_counted_as_handoffs() {
+        // Regression (PR 7): `BatchSink::commit` used to bump
+        // `tallies.batches`/`tallies.events` before `Ring::push`, which
+        // silently drops the batch once the consumer has panicked — so
+        // `pipeline.events` over-reported exactly the events that were
+        // never consumed. Drive the sink against a dead ring directly
+        // (the deterministic core of the bug) and assert the split.
+        let ring: Ring<Vec<Event>> = Ring::new(2);
+        let free: Ring<Vec<Event>> = Ring::new(2);
+        let p = parse_program(RACY).expect("parse");
+        let mut events = RecordingSink::default();
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut events)
+            .expect("run");
+        let ev = events.events[0].clone();
+
+        let mut sink = BatchSink::new(&ring, &free, 1);
+        sink.event(&ev);
+        sink.event(&ev);
+        ring.mark_dead(); // the consumer "panics" here
+        sink.event(&ev);
+        sink.event(&ev);
+        sink.finish();
+        assert_eq!(sink.tallies.events, 2, "only accepted handoffs count");
+        assert_eq!(sink.tallies.batches, 2);
+        assert_eq!(
+            sink.tallies.events_dropped, 2,
+            "dead-ring drops are tallied apart"
+        );
+        assert_eq!(sink.tallies.batches_dropped, 2);
+
+        // End to end with the existing PanickySink: the counters must
+        // balance — every emitted event is either a handoff or a drop,
+        // and with a consumer that dies on its first event most of the
+        // stream must land on the dropped side. Delta-based against the
+        // global registry, with margins wide enough that concurrent
+        // obs-enabled tests (which never drop) cannot break it.
+        let _g = bigfoot_obs::EnabledGuard::new();
+        let before = bigfoot_obs::snapshot();
+        let long_racy = "
+            class W { meth fill(a, v) {
+                for (i = 0; i < a.length; i = i + 1) { a[i] = v; }
+                return 0; } }
+            main {
+                w = new W;
+                a = new_array(256);
+                fork t1 = w.fill(a, 1);
+                fork t2 = w.fill(a, 2);
+                join(t1); join(t2);
+            }";
+        let p = parse_program(long_racy).expect("parse");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pipelined(
+                &PipelineConfig {
+                    batch_events: 1,
+                    ring_slots: 2,
+                },
+                |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+                PanickySink,
+            )
+        }));
+        result.expect_err("consumer panic must propagate");
+        let after = bigfoot_obs::snapshot();
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        let accepted = delta("pipeline.events");
+        let dropped = delta("pipeline.events_dropped");
+        let total = {
+            let mut rec = RecordingSink::default();
+            let _ = Interp::new(&p, SchedPolicy::default()).run(&mut rec);
+            rec.events.len() as u64
+        };
+        assert!(total > 100, "stream long enough to outlast the ring");
+        assert!(
+            dropped >= total - 64,
+            "nearly the whole stream is dropped once the consumer dies \
+             (dropped={dropped}, total={total})"
+        );
+        assert!(
+            accepted < total,
+            "pipeline.events must not claim the full stream was handed off \
+             (accepted={accepted}, total={total})"
+        );
     }
 
     #[test]

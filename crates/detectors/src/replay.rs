@@ -52,12 +52,12 @@ use std::sync::Arc;
 pub const SHARDS: usize = 64;
 
 #[inline]
-fn obj_shard(obj: ObjId) -> usize {
+pub(crate) fn obj_shard(obj: ObjId) -> usize {
     obj.0 as usize % SHARDS
 }
 
 #[inline]
-fn arr_shard(arr: ArrId) -> usize {
+pub(crate) fn arr_shard(arr: ArrId) -> usize {
     arr.0 as usize % SHARDS
 }
 
@@ -177,7 +177,7 @@ impl ReplayConfig {
 /// One unit of check work, routed to a shard. Items carry everything the
 /// shard needs — in particular an `Arc` snapshot of the acting thread's
 /// clock at the moment the serial detector would have read it.
-enum Item {
+pub(crate) enum Item {
     AllocObj {
         obj: ObjId,
         grouping: Arc<FieldGrouping>,
@@ -222,31 +222,31 @@ enum Item {
 
 /// What one shard's detection produced.
 #[derive(Default)]
-struct ShardOutcome {
-    items: u64,
-    shadow_ops: u64,
+pub(crate) struct ShardOutcome {
+    pub(crate) items: u64,
+    pub(crate) shadow_ops: u64,
     /// Race candidates tagged with `(global_seq, intra_item_index)`.
-    races: Vec<(u64, u32, Race)>,
+    pub(crate) races: Vec<(u64, u32, Race)>,
     /// Shadow space at each probe point, in clock-entry units.
-    probe_spaces: Vec<u64>,
+    pub(crate) probe_spaces: Vec<u64>,
 }
 
 /// Per-shard detection state: exactly the serial detector's shadow stores,
 /// restricted to the objects/arrays that route to this shard. Ids within
 /// shard `s` are `s, s + SHARDS, …`, so strided slabs index by
 /// `id / SHARDS` and stay dense per shard.
-struct ShardState {
+pub(crate) struct ShardState {
     engine: ArrayEngine,
     objects: Slab<ObjId, ObjEntry>,
     arrays_fine: Slab<ArrId, Vec<VarState>>,
     arrays_adaptive: Slab<ArrId, ArrayShadow>,
     /// Scratch for proxy-group deduplication in multi-field checks.
     group_scratch: Vec<u32>,
-    out: ShardOutcome,
+    pub(crate) out: ShardOutcome,
 }
 
 impl ShardState {
-    fn new(engine: ArrayEngine) -> ShardState {
+    pub(crate) fn new(engine: ArrayEngine) -> ShardState {
         ShardState {
             engine,
             objects: Slab::with_stride(SHARDS as u32),
@@ -267,7 +267,7 @@ impl ShardState {
         self.out
     }
 
-    fn apply(&mut self, item: &Item) {
+    pub(crate) fn apply(&mut self, item: &Item) {
         match item {
             Item::AllocObj { obj, grouping } => {
                 let shadow = ObjectShadow::new(grouping.groups);
@@ -408,10 +408,38 @@ impl ShardState {
     }
 }
 
+/// Where the annotator's sequenced items go. The offline path collects
+/// them into the 64 in-memory shard queues ([`ShardQueues`]); the
+/// streaming sharded path ([`crate::sharded`]) batches them straight
+/// into per-worker SPSC rings. Because the annotator routes by *shard*
+/// either way, per-shard item streams are identical across sinks — the
+/// root of the worker-count-invariance argument.
+pub(crate) trait ItemSink {
+    fn item(&mut self, shard: usize, item: Item);
+}
+
+/// The offline sink: one in-memory queue per shard, drained by
+/// [`detect_and_merge`]'s scoped workers after the stream ends.
+pub(crate) struct ShardQueues(pub(crate) Vec<Vec<Item>>);
+
+impl ShardQueues {
+    pub(crate) fn new() -> ShardQueues {
+        ShardQueues((0..SHARDS).map(|_| Vec::new()).collect())
+    }
+}
+
+impl ItemSink for ShardQueues {
+    #[inline]
+    fn item(&mut self, shard: usize, item: Item) {
+        self.0[shard].push(item);
+    }
+}
+
 /// The serial clock-annotation pass: mirrors the serial detector's control
 /// flow exactly, but instead of touching shadow state it emits sequenced
-/// work items into the shard queues.
-struct Annotator {
+/// work items into an [`ItemSink`] (in-memory shard queues offline,
+/// per-worker rings when streaming).
+pub(crate) struct Annotator<S> {
     source: CheckSource,
     engine: ArrayEngine,
     proxies: ProxyTable,
@@ -426,7 +454,7 @@ struct Annotator {
     fp_pool: Vec<Footprint>,
     /// Identity groupings shared per field count, as in the serial detector.
     identity_groupings: FxHashMap<u32, Arc<FieldGrouping>>,
-    queues: Vec<Vec<Item>>,
+    sink: S,
     next_seq: u64,
     /// Footprint-buffer space at each probe point (the shards measure the
     /// shadow maps; the annotator owns the footprints).
@@ -438,8 +466,14 @@ struct Annotator {
     finished: bool,
 }
 
-impl Annotator {
-    fn new(config: &ReplayConfig) -> Annotator {
+impl Annotator<ShardQueues> {
+    fn new(config: &ReplayConfig) -> Annotator<ShardQueues> {
+        Annotator::with_sink(config, ShardQueues::new())
+    }
+}
+
+impl<S: ItemSink> Annotator<S> {
+    pub(crate) fn with_sink(config: &ReplayConfig, sink: S) -> Annotator<S> {
         Annotator {
             source: config.source,
             engine: config.engine,
@@ -449,13 +483,21 @@ impl Annotator {
             footprints: Vec::new(),
             fp_pool: Vec::new(),
             identity_groupings: FxHashMap::default(),
-            queues: (0..SHARDS).map(|_| Vec::new()).collect(),
+            sink,
             next_seq: 0,
             probe_fp_space: Vec::new(),
             events: 0,
             stats: Stats::default(),
             finished: false,
         }
+    }
+
+    /// Tears the finalized annotator apart for stage 2/3: the sink
+    /// (whatever it buffered or routed), the per-probe footprint space,
+    /// and the running stats the merge completes.
+    pub(crate) fn into_parts(self) -> (ArrayEngine, S, Vec<u64>, Stats) {
+        debug_assert!(self.finished, "finalize before consuming the annotator");
+        (self.engine, self.sink, self.probe_fp_space, self.stats)
     }
 
     fn seq(&mut self) -> u64 {
@@ -488,14 +530,17 @@ impl Annotator {
         self.stats.field_checks += 1;
         let seq = self.seq();
         let clock = self.snapshot(t);
-        self.queues[obj_shard(obj)].push(Item::FieldCheck {
-            seq,
-            obj,
-            fields: fields.to_vec(),
-            kind,
-            t,
-            clock,
-        });
+        self.sink.item(
+            obj_shard(obj),
+            Item::FieldCheck {
+                seq,
+                obj,
+                fields: fields.to_vec(),
+                kind,
+                t,
+                clock,
+            },
+        );
     }
 
     fn array_check(&mut self, t: Tid, arr: ArrId, range: ConcreteRange, kind: AccessKind) {
@@ -505,14 +550,17 @@ impl Annotator {
             ArrayEngine::Fine => {
                 let seq = self.seq();
                 let clock = self.snapshot(t);
-                self.queues[arr_shard(arr)].push(Item::FineRange {
-                    seq,
-                    arr,
-                    range,
-                    kind,
-                    t,
-                    clock,
-                });
+                self.sink.item(
+                    arr_shard(arr),
+                    Item::FineRange {
+                        seq,
+                        arr,
+                        range,
+                        kind,
+                        t,
+                        clock,
+                    },
+                );
             }
             ArrayEngine::Footprint => {
                 self.stats.footprint_ops += 1;
@@ -554,14 +602,17 @@ impl Annotator {
                 for &range in ranges {
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    self.queues[arr_shard(*arr)].push(Item::CommitRange {
-                        seq,
-                        arr: *arr,
-                        range,
-                        kind,
-                        t,
-                        clock: clock.clone(),
-                    });
+                    self.sink.item(
+                        arr_shard(*arr),
+                        Item::CommitRange {
+                            seq,
+                            arr: *arr,
+                            range,
+                            kind,
+                            t,
+                            clock: clock.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -588,8 +639,8 @@ impl Annotator {
             })
             .sum();
         self.probe_fp_space.push(fp);
-        for q in &mut self.queues {
-            q.push(Item::SpaceProbe);
+        for s in 0..SHARDS {
+            self.sink.item(s, Item::SpaceProbe);
         }
     }
 
@@ -656,16 +707,22 @@ impl Annotator {
                         )
                     }
                 };
-                self.queues[obj_shard(*obj)].push(Item::AllocObj {
-                    obj: *obj,
-                    grouping,
-                });
+                self.sink.item(
+                    obj_shard(*obj),
+                    Item::AllocObj {
+                        obj: *obj,
+                        grouping,
+                    },
+                );
             }
             Event::AllocArr { arr, len, .. } => {
-                self.queues[arr_shard(*arr)].push(Item::AllocArr {
-                    arr: *arr,
-                    len: *len,
-                });
+                self.sink.item(
+                    arr_shard(*arr),
+                    Item::AllocArr {
+                        arr: *arr,
+                        len: *len,
+                    },
+                );
             }
             Event::Access { t, kind, loc } => {
                 match kind {
@@ -703,7 +760,7 @@ impl Annotator {
 
     /// Final commits (sorted-tid order, matching the serial detector's
     /// finalize) and the final space sample.
-    fn finalize(&mut self) {
+    pub(crate) fn finalize(&mut self) {
         if self.finished {
             return;
         }
@@ -723,24 +780,46 @@ impl Annotator {
 /// pipeline (`run_pipelined`) as well as a decode loop: the interpreter
 /// produces batches on one thread while this serial stage-1 pass consumes
 /// them on another, and the sharded stage 2/3 runs once the stream ends.
-impl bigfoot_bfj::EventSink for Annotator {
+impl<S: ItemSink> bigfoot_bfj::EventSink for Annotator<S> {
     #[inline]
     fn event(&mut self, ev: &Event) {
         self.ingest(ev);
     }
 }
 
+/// Stage 3, shared by the offline path ([`detect_and_merge`]) and the
+/// streaming sharded path ([`crate::sharded`]): sort per-shard race
+/// candidates back into global `(seq, intra_item_index)` order, feed
+/// them through [`Stats::report_race`]'s inline deduplication, and sum
+/// the per-shard space probes — producing stats bit-identical to the
+/// serial detector's, however the shards were executed.
+pub(crate) fn merge_outcomes(
+    mut stats: Stats,
+    probe_fp_space: &[u64],
+    outcomes: &[ShardOutcome],
+) -> Stats {
+    let mut candidates: Vec<(u64, u32, Race)> = Vec::new();
+    for o in outcomes {
+        stats.shadow_ops += o.shadow_ops;
+        candidates.extend(o.races.iter().map(|(s, i, r)| (*s, *i, r.clone())));
+    }
+    candidates.sort_by_key(|(seq, idx, _)| (*seq, *idx));
+    for (_, _, race) in candidates {
+        stats.report_race(race);
+    }
+    for (k, fp_space) in probe_fp_space.iter().enumerate() {
+        let shard_space: u64 = outcomes.iter().map(|o| o.probe_spaces[k]).sum();
+        stats.observe_space(fp_space + shard_space);
+    }
+    stats.publish();
+    stats
+}
+
 /// Stages 2 and 3, shared by [`replay_trace`] and [`replay_pipelined`]:
 /// parallel sharded detection over the annotator's queues, then the
 /// deterministic seq-ordered merge. The annotator must be finalized.
-fn detect_and_merge(annotator: Annotator, num_workers: usize) -> Stats {
-    let Annotator {
-        engine,
-        queues,
-        probe_fp_space,
-        mut stats,
-        ..
-    } = annotator;
+fn detect_and_merge(annotator: Annotator<ShardQueues>, num_workers: usize) -> Stats {
+    let (engine, ShardQueues(queues), probe_fp_space, stats) = annotator.into_parts();
 
     // Stage 2: parallel sharded detection. Worker `w` owns the shards
     // `s % workers == w`; shard streams are identical at any worker count.
@@ -799,21 +878,7 @@ fn detect_and_merge(annotator: Annotator, num_workers: usize) -> Stats {
             bigfoot_obs::count_named(&format!("replay.shard{s:02}.races"), o.races.len() as u64);
         }
     }
-    let mut candidates: Vec<(u64, u32, Race)> = Vec::new();
-    for o in &outcomes {
-        stats.shadow_ops += o.shadow_ops;
-        candidates.extend(o.races.iter().map(|(s, i, r)| (*s, *i, r.clone())));
-    }
-    candidates.sort_by_key(|(seq, idx, _)| (*seq, *idx));
-    for (_, _, race) in candidates {
-        stats.report_race(race);
-    }
-    for (k, fp_space) in probe_fp_space.iter().enumerate() {
-        let shard_space: u64 = outcomes.iter().map(|o| o.probe_spaces[k]).sum();
-        stats.observe_space(fp_space + shard_space);
-    }
-    stats.publish();
-    stats
+    merge_outcomes(stats, &probe_fp_space, &outcomes)
 }
 
 /// Replays a serialized trace through the sharded detection pipeline.

@@ -1,0 +1,861 @@
+//! Sharded multi-worker pipelined detection: online detection that
+//! scales past one consumer core.
+//!
+//! PR 5's pipeline overlaps the interpreter with *one* detector thread;
+//! this module fans the detection stage out to `N` workers while
+//! keeping the race report **byte-identical to the serial detector at
+//! any worker count**. The thread topology is
+//!
+//! ```text
+//! interpreter ──batch ring──▶ router ──N item rings──▶ N detect workers
+//!  (caller)                 (annotator)                      │
+//!      ▲                                                     ▼
+//!      └──────────────── seq-ordered merge ◀── per-shard outcomes
+//! ```
+//!
+//! * The **router** is the single consumer of the event ring. For the
+//!   replay configurations it *is* the stage-1 annotator from
+//!   [`crate::replay`]: it runs sync events against [`SyncClocks`] in
+//!   stream order and turns every check into a sequenced, self-contained
+//!   [`Item`] routed to one of the [`SHARDS`] logical shards
+//!   (`ObjId`/`ArrId % SHARDS`; space probes broadcast to every shard).
+//! * Worker `w` owns the shards `s % N == w` and applies its items in
+//!   arrival order. Because there is a single router and items route by
+//!   *shard* — never by worker — each shard observes the same item
+//!   stream in the same order for every worker count: the per-shard
+//!   streams are worker-count-invariant.
+//! * The **merge** sorts per-shard race candidates by their global
+//!   `(seq, intra_item_index)` tag and replays them through
+//!   [`Stats::report_race`], reproducing the serial detector's inline
+//!   dedup — the same determinism contract PR 2 proved for offline
+//!   replay, now without the intermediate trace file.
+//!
+//! Close/dead protocol for the fan-out: the router closes every item
+//! ring after its final commit (workers drain and exit); a worker that
+//! panics marks *its* ring dead, so the router drops that ring's
+//! batches (tallied as `pipeline.route.batches_dropped`) while the
+//! surviving workers drain normally, and the panic resurfaces after
+//! every worker has been joined. A guard closes all rings if the
+//! producer or router unwinds, so workers never spin on an abandoned
+//! ring.
+
+use crate::channel::{DeadOnUnwind, Ring};
+use crate::djit::DjitState;
+use crate::pipeline::{run_pipelined, BatchSink, PipelineConfig};
+use crate::replay::{
+    arr_shard, merge_outcomes, obj_shard, Annotator, Item, ItemSink, ReplayConfig, ShardOutcome,
+    ShardState, SHARDS,
+};
+use crate::stats::{Race, RaceTarget, Stats};
+use crate::sync::SyncClocks;
+use bigfoot_bfj::{ArrId, ConcreteRange, Event, EventSink, Loc, ObjId};
+use bigfoot_vc::{AccessKind, Tid, VectorClock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A batch of routed items: `(shard, item)` pairs in router order. The
+/// shard tag rides along because one ring serves all of a worker's
+/// shards (`s % N == w`), and the worker dispatches per item.
+type RoutedBatch<I> = Vec<(u16, I)>;
+
+/// Router-side tallies for one worker's item ring, mirroring
+/// [`crate::pipeline`]'s accepted-vs-dropped accounting.
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteTallies {
+    batches: u64,
+    items: u64,
+    batches_dropped: u64,
+    items_dropped: u64,
+    full_stalls: u64,
+    recycled: u64,
+}
+
+impl RouteTallies {
+    fn add(&mut self, other: &RouteTallies) {
+        self.batches += other.batches;
+        self.items += other.items;
+        self.batches_dropped += other.batches_dropped;
+        self.items_dropped += other.items_dropped;
+        self.full_stalls += other.full_stalls;
+        self.recycled += other.recycled;
+    }
+}
+
+/// The router's producer side of the fan-out: batches `(shard, item)`
+/// pairs per owning worker and commits full batches to that worker's
+/// SPSC ring, recycling drained batches through the paired free rings.
+struct FanOut<'r, I> {
+    rings: &'r [Ring<RoutedBatch<I>>],
+    free: &'r [Ring<RoutedBatch<I>>],
+    pending: Vec<RoutedBatch<I>>,
+    batch_items: usize,
+    tallies: Vec<RouteTallies>,
+}
+
+impl<'r, I> FanOut<'r, I> {
+    fn new(
+        rings: &'r [Ring<RoutedBatch<I>>],
+        free: &'r [Ring<RoutedBatch<I>>],
+        batch_items: usize,
+    ) -> FanOut<'r, I> {
+        let workers = rings.len();
+        FanOut {
+            rings,
+            free,
+            pending: (0..workers).map(|_| Vec::new()).collect(),
+            batch_items: batch_items.max(1),
+            tallies: vec![RouteTallies::default(); workers],
+        }
+    }
+
+    #[inline]
+    fn route(&mut self, shard: usize, item: I) {
+        let w = shard % self.rings.len();
+        self.pending[w].push((shard as u16, item));
+        if self.pending[w].len() >= self.batch_items {
+            self.commit(w);
+        }
+    }
+
+    fn commit(&mut self, w: usize) {
+        if self.pending[w].is_empty() {
+            return;
+        }
+        let next = match self.free[w].try_pop() {
+            Some(recycled) => {
+                self.tallies[w].recycled += 1;
+                recycled
+            }
+            None => Vec::with_capacity(self.batch_items),
+        };
+        let full = std::mem::replace(&mut self.pending[w], next);
+        let occupancy = full.len() as u64;
+        // Accepted handoffs and dead-ring drops are tallied apart, as in
+        // `BatchSink::commit`: a worker that panicked marks its ring
+        // dead, and the router must not claim those items were consumed.
+        if self.rings[w].push(full, &mut self.tallies[w].full_stalls) {
+            self.tallies[w].batches += 1;
+            self.tallies[w].items += occupancy;
+        } else {
+            self.tallies[w].batches_dropped += 1;
+            self.tallies[w].items_dropped += occupancy;
+        }
+    }
+
+    /// Flushes every pending batch and closes every ring: end-of-stream
+    /// for all workers.
+    fn finish(&mut self) {
+        for w in 0..self.rings.len() {
+            self.commit(w);
+            self.rings[w].close();
+        }
+    }
+
+    fn tallies_total(&self) -> RouteTallies {
+        let mut total = RouteTallies::default();
+        for t in &self.tallies {
+            total.add(t);
+        }
+        total
+    }
+}
+
+impl ItemSink for FanOut<'_, Item> {
+    #[inline]
+    fn item(&mut self, shard: usize, item: Item) {
+        self.route(shard, item);
+    }
+}
+
+/// Closes every fan-out ring on drop. Armed before the router runs so
+/// that a producer or router panic still delivers end-of-stream to the
+/// workers (instead of leaving them spinning on an abandoned ring);
+/// idempotent with the normal-path [`FanOut::finish`].
+struct CloseOnDrop<'r, I>(&'r [Ring<RoutedBatch<I>>]);
+
+impl<I> Drop for CloseOnDrop<'_, I> {
+    fn drop(&mut self) {
+        for ring in self.0 {
+            ring.close();
+        }
+    }
+}
+
+/// Worker-side tallies, flushed to `pipeline.worker{NN}.*` counters.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerTallies {
+    batches: u64,
+    items: u64,
+    empty_stalls: u64,
+}
+
+/// One worker's drain loop: pop routed batches, dispatch each item to
+/// `apply(shard, item)`, recycle drained batches. Marks its ring dead if
+/// `apply` unwinds and flushes this thread's vc path tallies on exit.
+fn drain_worker<I>(
+    w: usize,
+    ring: &Ring<RoutedBatch<I>>,
+    free: &Ring<RoutedBatch<I>>,
+    mut apply: impl FnMut(usize, &I),
+) -> WorkerTallies {
+    let _dead_guard = DeadOnUnwind(ring);
+    if bigfoot_obs::trace::enabled() {
+        bigfoot_obs::trace::set_thread_name(&format!("detect worker {w}"));
+    }
+    let mut tallies = WorkerTallies::default();
+    while let Some(batch) = ring.pop(&mut tallies.empty_stalls) {
+        // One span per drained batch on this worker's own trace track —
+        // the worker's duty cycle, interleaved with pop_wait idle.
+        let _batch_span = bigfoot_obs::trace_span!("pipeline.worker.batch");
+        tallies.batches += 1;
+        tallies.items += batch.len() as u64;
+        for (shard, item) in &batch {
+            apply(*shard as usize, item);
+        }
+        let mut drained = batch;
+        drained.clear();
+        let _ = free.try_push(drained);
+    }
+    // FastTrack/vc path tallies are thread-local; drain them before this
+    // worker thread dies or they never reach the `vc.*` counters.
+    bigfoot_vc::path_stats::flush();
+    tallies
+}
+
+/// Flushes the fan-out's per-worker and aggregate counters. Runs before
+/// any worker panic is resumed, so accounting survives a dead worker.
+fn flush_fanout_counters(route: &RouteTallies, workers: &[(usize, WorkerTallies)]) {
+    if !bigfoot_obs::enabled() {
+        return;
+    }
+    bigfoot_obs::count_named("pipeline.route.batches", route.batches);
+    bigfoot_obs::count_named("pipeline.route.items", route.items);
+    bigfoot_obs::count_named("pipeline.route.batches_dropped", route.batches_dropped);
+    bigfoot_obs::count_named("pipeline.route.items_dropped", route.items_dropped);
+    bigfoot_obs::count_named("pipeline.route.batches_recycled", route.recycled);
+    bigfoot_obs::count_named("pipeline.route.stall.ring_full", route.full_stalls);
+    for (w, t) in workers {
+        bigfoot_obs::count_named(&format!("pipeline.worker{w:02}.batches"), t.batches);
+        bigfoot_obs::count_named(&format!("pipeline.worker{w:02}.items"), t.items);
+        bigfoot_obs::count_named(
+            &format!("pipeline.worker{w:02}.stall.ring_empty"),
+            t.empty_stalls,
+        );
+    }
+}
+
+/// What one replay worker hands back at join: its drain tallies and the
+/// `(shard, outcome)` pairs for every shard it owned.
+type ReplayWorkerDone = (WorkerTallies, Vec<(usize, ShardOutcome)>);
+
+/// What one DJIT+ worker hands back at join: drain tallies, candidate
+/// races tagged `(seq, idx)` for the deterministic merge, and the
+/// worker's shadow-space sum.
+type DjitWorkerDone = (WorkerTallies, Vec<(u64, u32, Race)>, u64);
+
+/// Sharded pipelined detection for the replay detector configurations
+/// (FastTrack/RedCard/SlimState/SlimCard/BigFoot): the interpreter runs
+/// on the calling thread, the stage-1 annotator routes items on the
+/// pipeline's consumer thread, and `config.workers` detection workers
+/// (clamped to `1..=SHARDS`) apply them concurrently. Returns the
+/// producer's result and [`Stats`] **byte-identical** (via
+/// `Stats::to_json`) to the serial [`Detector`](crate::Detector) — and
+/// hence to [`crate::replay_pipelined`] — at any worker count.
+///
+/// # Examples
+///
+/// ```
+/// use bigfoot_bfj::{parse_program, Interp, SchedPolicy};
+/// use bigfoot_detectors::{replay_sharded, PipelineConfig, ReplayConfig};
+///
+/// let p = parse_program(
+///     "class C { field x; meth poke(v) { this.x = v; return 0; } }
+///      main {
+///          c = new C;
+///          fork t1 = c.poke(1);
+///          fork t2 = c.poke(2);
+///          join(t1); join(t2);
+///      }",
+/// )?;
+/// let (outcome, stats) = replay_sharded(
+///     &PipelineConfig::default(),
+///     &ReplayConfig::fasttrack(4),
+///     |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+/// );
+/// outcome?;
+/// assert!(stats.has_races());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn replay_sharded<T>(
+    pipeline: &PipelineConfig,
+    config: &ReplayConfig,
+    producer: impl FnOnce(&mut BatchSink<'_>) -> T,
+) -> (T, Stats) {
+    let workers = config.workers.clamp(1, SHARDS);
+    let engine = config.engine;
+    let rings: Vec<Ring<RoutedBatch<Item>>> = (0..workers)
+        .map(|_| Ring::new(pipeline.ring_slots))
+        .collect();
+    let free: Vec<Ring<RoutedBatch<Item>>> = (0..workers)
+        .map(|_| Ring::new(pipeline.ring_slots))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ring = &rings[w];
+                let free = &free[w];
+                scope.spawn(move || {
+                    let mut states: Vec<Option<ShardState>> = (0..SHARDS)
+                        .map(|s| (s % workers == w).then(|| ShardState::new(engine)))
+                        .collect();
+                    let tallies = drain_worker(w, ring, free, |shard, item| {
+                        let st = states[shard]
+                            .as_mut()
+                            .expect("items route only to the owning worker");
+                        st.out.items += 1;
+                        st.apply(item);
+                    });
+                    let outcomes: Vec<(usize, ShardOutcome)> = states
+                        .into_iter()
+                        .enumerate()
+                        .filter_map(|(s, st)| st.map(|st| (s, st.out)))
+                        .collect();
+                    (tallies, outcomes)
+                })
+            })
+            .collect();
+        let _close_guard = CloseOnDrop(&rings);
+
+        let fanout = FanOut::new(&rings, &free, pipeline.batch_events);
+        let annotator = Annotator::with_sink(config, fanout);
+        let (result, mut annotator) = run_pipelined(pipeline, producer, annotator);
+        // The stream has ended; the SPSC producer role for the item
+        // rings moves from the (already joined) router thread here.
+        annotator.finalize();
+        let (_engine, mut fanout, probe_fp_space, stats) = annotator.into_parts();
+        fanout.finish();
+        let route = fanout.tallies_total();
+        drop(fanout);
+
+        // Join every worker before resuming any panic, so the surviving
+        // workers drain their rings and exit cleanly first.
+        let mut first_panic = None;
+        let mut finished: Vec<(usize, ReplayWorkerDone)> = Vec::new();
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(v) => finished.push((w, v)),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        let worker_tallies: Vec<(usize, WorkerTallies)> =
+            finished.iter().map(|(w, (t, _))| (*w, *t)).collect();
+        flush_fanout_counters(&route, &worker_tallies);
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut outcomes: Vec<Option<ShardOutcome>> = (0..SHARDS).map(|_| None).collect();
+        for (_w, (_t, per_shard)) in finished {
+            for (s, out) in per_shard {
+                outcomes[s] = Some(out);
+            }
+        }
+        let outcomes: Vec<ShardOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard has exactly one owner"))
+            .collect();
+        let _span = bigfoot_obs::span!("replay.merge");
+        (result, merge_outcomes(stats, &probe_fp_space, &outcomes))
+    })
+}
+
+/// One routed DJIT+ check: everything a worker needs to apply the
+/// access against its shard's shadow state, including an `Arc` snapshot
+/// of the acting thread's clock at access time.
+struct DjitCheck {
+    seq: u64,
+    loc: Loc,
+    kind: AccessKind,
+    t: Tid,
+    clock: Arc<VectorClock>,
+}
+
+/// The router for sharded DJIT+: runs [`SyncClocks`] in stream order on
+/// the pipeline's consumer thread and routes every access — tagged with
+/// a global sequence number — to its owning shard. Clock snapshots are
+/// cached between sync operations (clocks only change at syncs), which
+/// replaces the serial `DjitDetector`'s full vector-clock clone per
+/// access with an `Arc` bump.
+struct DjitRouter<'r> {
+    clocks: SyncClocks,
+    snapshots: Vec<Option<Arc<VectorClock>>>,
+    next_seq: u64,
+    stats: Stats,
+    fanout: FanOut<'r, DjitCheck>,
+}
+
+impl<'r> DjitRouter<'r> {
+    fn new(fanout: FanOut<'r, DjitCheck>) -> DjitRouter<'r> {
+        DjitRouter {
+            clocks: SyncClocks::new(),
+            snapshots: Vec::new(),
+            next_seq: 0,
+            stats: Stats::default(),
+            fanout,
+        }
+    }
+
+    fn snapshot(&mut self, t: Tid) -> Arc<VectorClock> {
+        if let Some(Some(c)) = self.snapshots.get(t.index()) {
+            return c.clone();
+        }
+        let c = Arc::new(self.clocks.clock(t).clone());
+        if self.snapshots.len() <= t.index() {
+            self.snapshots.resize(t.index() + 1, None);
+        }
+        self.snapshots[t.index()] = Some(c.clone());
+        c
+    }
+
+    fn invalidate(&mut self, t: Tid) {
+        if let Some(slot) = self.snapshots.get_mut(t.index()) {
+            *slot = None;
+        }
+    }
+}
+
+impl EventSink for DjitRouter<'_> {
+    fn event(&mut self, ev: &Event) {
+        match ev {
+            Event::Access { t, kind, loc } => {
+                match kind {
+                    AccessKind::Read => self.stats.reads += 1,
+                    AccessKind::Write => self.stats.writes += 1,
+                }
+                self.stats.checks += 1;
+                self.stats.shadow_ops += 1;
+                let clock = self.snapshot(*t);
+                let shard = match loc {
+                    Loc::Field(obj, _) => obj_shard(*obj),
+                    Loc::Elem(arr, _) => arr_shard(*arr),
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.fanout.route(
+                    shard,
+                    DjitCheck {
+                        seq,
+                        loc: *loc,
+                        kind: *kind,
+                        t: *t,
+                        clock,
+                    },
+                );
+            }
+            Event::Check { .. } | Event::AllocObj { .. } | Event::AllocArr { .. } => {}
+            Event::Acquire { t, lock } => {
+                self.clocks.acquire(*t, *lock);
+                self.invalidate(*t);
+            }
+            Event::Release { t, lock } => {
+                self.clocks.release(*t, *lock);
+                self.invalidate(*t);
+            }
+            Event::VolatileWrite { t, obj, field } => {
+                self.clocks.volatile_write(*t, *obj, *field);
+                self.invalidate(*t);
+            }
+            Event::VolatileRead { t, obj, field } => {
+                self.clocks.volatile_read(*t, *obj, *field);
+                self.invalidate(*t);
+            }
+            Event::Fork { parent, child } => {
+                self.clocks.fork(*parent, *child);
+                self.invalidate(*parent);
+                self.invalidate(*child);
+            }
+            Event::Join { parent, child } => {
+                self.clocks.join(*parent, *child);
+                self.invalidate(*parent);
+            }
+            Event::ThreadExit { t } => {
+                self.clocks.exit(*t);
+                self.invalidate(*t);
+            }
+        }
+    }
+}
+
+/// One shard's DJIT+ shadow state: the serial `DjitDetector`'s maps,
+/// restricted to the locations that route here.
+#[derive(Default)]
+struct DjitShard {
+    fields: HashMap<(ObjId, u32), DjitState>,
+    elems: HashMap<(ArrId, i64), DjitState>,
+    races: Vec<(u64, u32, Race)>,
+}
+
+impl DjitShard {
+    fn apply(&mut self, check: &DjitCheck) {
+        let (state, target) = match check.loc {
+            Loc::Field(obj, f) => (
+                self.fields.entry((obj, f)).or_default(),
+                RaceTarget::Field(obj, f),
+            ),
+            Loc::Elem(arr, i) => (
+                self.elems.entry((arr, i)).or_default(),
+                RaceTarget::Elems(arr, ConcreteRange::singleton(i)),
+            ),
+        };
+        if let Err(info) = state.apply(check.kind, check.t, &check.clock) {
+            self.races.push((check.seq, 0, Race { target, info }));
+        }
+    }
+
+    fn space_units(&self) -> u64 {
+        self.fields
+            .values()
+            .map(|s| s.space_units() as u64)
+            .sum::<u64>()
+            + self
+                .elems
+                .values()
+                .map(|s| s.space_units() as u64)
+                .sum::<u64>()
+    }
+}
+
+/// Sharded pipelined DJIT+ — the heavy-consumer configuration. Same
+/// topology and determinism contract as [`replay_sharded`] (single
+/// router, shard-routed checks, seq-ordered merge), producing [`Stats`]
+/// byte-identical to `DjitDetector::finish` over the same stream.
+///
+/// DJIT+ is the case where fan-out pays: every serial check clones the
+/// acting thread's full vector clock and walks two clocks per location,
+/// so the detection stage — not the interpreter — is the wall.
+pub fn djit_sharded<T>(
+    pipeline: &PipelineConfig,
+    num_workers: usize,
+    producer: impl FnOnce(&mut BatchSink<'_>) -> T,
+) -> (T, Stats) {
+    let workers = num_workers.clamp(1, SHARDS);
+    let rings: Vec<Ring<RoutedBatch<DjitCheck>>> = (0..workers)
+        .map(|_| Ring::new(pipeline.ring_slots))
+        .collect();
+    let free: Vec<Ring<RoutedBatch<DjitCheck>>> = (0..workers)
+        .map(|_| Ring::new(pipeline.ring_slots))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ring = &rings[w];
+                let free = &free[w];
+                scope.spawn(move || {
+                    let mut shards: Vec<DjitShard> =
+                        (0..SHARDS).map(|_| DjitShard::default()).collect();
+                    let tallies = drain_worker(w, ring, free, |shard, check| {
+                        shards[shard].apply(check);
+                    });
+                    let mut races: Vec<(u64, u32, Race)> = Vec::new();
+                    for shard in &mut shards {
+                        races.append(&mut shard.races);
+                    }
+                    let space: u64 = shards.iter().map(DjitShard::space_units).sum();
+                    (tallies, races, space)
+                })
+            })
+            .collect();
+        let _close_guard = CloseOnDrop(&rings);
+
+        let fanout = FanOut::new(&rings, &free, pipeline.batch_events);
+        let router = DjitRouter::new(fanout);
+        let (result, mut router) = run_pipelined(pipeline, producer, router);
+        router.fanout.finish();
+        let route = router.fanout.tallies_total();
+        let DjitRouter {
+            clocks, mut stats, ..
+        } = router;
+
+        let mut first_panic = None;
+        let mut finished: Vec<(usize, DjitWorkerDone)> = Vec::new();
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(v) => finished.push((w, v)),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        let worker_tallies: Vec<(usize, WorkerTallies)> =
+            finished.iter().map(|(w, (t, _, _))| (*w, *t)).collect();
+        flush_fanout_counters(&route, &worker_tallies);
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+
+        // Merge, reproducing `DjitDetector::finish` exactly: candidates
+        // sorted back into access order feed the same inline dedup, the
+        // final space sample sums every shard's shadow, then sync ops
+        // and publication.
+        let mut candidates: Vec<(u64, u32, Race)> = Vec::new();
+        let mut space: u64 = 0;
+        for (_w, (_t, races, shard_space)) in finished {
+            candidates.extend(races);
+            space += shard_space;
+        }
+        candidates.sort_by_key(|(seq, idx, _)| (*seq, *idx));
+        for (_, _, race) in candidates {
+            stats.report_race(race);
+        }
+        stats.observe_space(space);
+        stats.sync_ops = clocks.sync_ops();
+        stats.publish();
+        (result, stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::ProxyTable;
+    use crate::{Detector, DjitDetector};
+    use bigfoot_bfj::{parse_program, Interp, SchedPolicy};
+
+    const RACY: &str = "
+        class C { field x; meth poke(v) { this.x = v; return 0; } }
+        main {
+            c = new C;
+            fork t1 = c.poke(1);
+            fork t2 = c.poke(2);
+            join(t1); join(t2);
+        }";
+
+    const ARRAY_RACY: &str = "
+        class W { meth fill(a, v) {
+            for (i = 0; i < a.length; i = i + 1) { a[i] = v; }
+            check(w: a[0..a.length]);
+            return 0; } }
+        main {
+            w = new W;
+            a = new_array(32);
+            fork t1 = w.fill(a, 1);
+            fork t2 = w.fill(a, 2);
+            join(t1); join(t2);
+        }";
+
+    const MIXED: &str = "
+        class C { field x; field y;
+            meth bump(l) { acq(l); this.x = this.x + 1; rel(l); return 0; }
+            meth poke(v) { this.y = v; return 0; } }
+        class L { }
+        class W { meth fill(a, v) {
+            for (i = 0; i < a.length; i = i + 1) { a[i] = v; }
+            return 0; } }
+        main {
+            c = new C;
+            l = new L;
+            w = new W;
+            a = new_array(48);
+            fork t1 = c.bump(l);
+            fork t2 = c.poke(2);
+            fork t3 = w.fill(a, 3);
+            fork t4 = w.fill(a, 4);
+            join(t1); join(t2); join(t3); join(t4);
+        }";
+
+    fn assert_identical(a: &Stats, b: &Stats) {
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact(),
+            "sharded stats must be byte-identical to serial"
+        );
+    }
+
+    fn serial_stats(src: &str, mut det: Detector) -> Stats {
+        let p = parse_program(src).expect("parse");
+        Interp::new(&p, SchedPolicy::default())
+            .run(&mut det)
+            .expect("run");
+        det.finish()
+    }
+
+    #[test]
+    fn sharded_replay_matches_serial_at_any_worker_count() {
+        for (src, make, config) in [
+            (
+                RACY,
+                Detector::fasttrack as fn() -> Detector,
+                ReplayConfig::fasttrack(0),
+            ),
+            (RACY, Detector::slimstate, ReplayConfig::slimstate(0)),
+            (ARRAY_RACY, Detector::fasttrack, ReplayConfig::fasttrack(0)),
+            (MIXED, Detector::slimstate, ReplayConfig::slimstate(0)),
+        ] {
+            let serial = serial_stats(src, make());
+            let p = parse_program(src).expect("parse");
+            for workers in [1, 2, 3, 4, 64] {
+                let config = ReplayConfig {
+                    workers,
+                    ..config.clone()
+                };
+                let (outcome, stats) = replay_sharded(
+                    &PipelineConfig {
+                        batch_events: 7,
+                        ring_slots: 2,
+                    },
+                    &config,
+                    |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+                );
+                outcome.expect("run");
+                assert_identical(&stats, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_bigfoot_matches_serial() {
+        let serial = serial_stats(ARRAY_RACY, Detector::bigfoot(ProxyTable::identity()));
+        let p = parse_program(ARRAY_RACY).expect("parse");
+        for workers in [1, 2, 4] {
+            let (outcome, stats) = replay_sharded(
+                &PipelineConfig::default(),
+                &ReplayConfig::bigfoot(ProxyTable::identity(), workers),
+                |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+            );
+            outcome.expect("run");
+            assert_identical(&stats, &serial);
+        }
+    }
+
+    #[test]
+    fn sharded_djit_matches_serial_at_any_worker_count() {
+        for src in [RACY, ARRAY_RACY, MIXED] {
+            let p = parse_program(src).expect("parse");
+            let mut serial = DjitDetector::new();
+            Interp::new(&p, SchedPolicy::default())
+                .run(&mut serial)
+                .expect("run");
+            let serial = serial.finish();
+            for workers in [1, 2, 3, 4, 64] {
+                let (outcome, stats) = djit_sharded(
+                    &PipelineConfig {
+                        batch_events: 3,
+                        ring_slots: 2,
+                    },
+                    workers,
+                    |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+                );
+                outcome.expect("run");
+                assert_identical(&stats, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_configs_one_event_batches_two_slot_rings() {
+        // 1-event batches × 2-slot rings maximize handoffs and
+        // backpressure on every ring at once; worker counts 1 (all
+        // shards on one worker), 3 (uneven 64/3 split), 4, and 64 (one
+        // worker per shard residue class, the maximum) must all agree.
+        let serial = serial_stats(MIXED, Detector::fasttrack());
+        let p = parse_program(MIXED).expect("parse");
+        for workers in [1, 3, 4, 64] {
+            let (outcome, stats) = replay_sharded(
+                &PipelineConfig {
+                    batch_events: 1,
+                    ring_slots: 2,
+                },
+                &ReplayConfig::fasttrack(workers),
+                |sink| Interp::new(&p, SchedPolicy::default()).run(sink),
+            );
+            outcome.expect("run");
+            assert_identical(&stats, &serial);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_while_others_drain() {
+        // Fan-out close/dead stress, mirroring
+        // `close_race_never_drops_the_final_batch`: one worker dies on
+        // its first item while the others keep draining. The panic must
+        // surface (after every surviving worker has been joined), never
+        // hang, and the router must keep routing into the dead ring
+        // without blocking.
+        let p = parse_program(MIXED).expect("parse");
+        for round in 0..50 {
+            let workers = 2 + (round % 3);
+            let rings: Vec<Ring<RoutedBatch<Item>>> = (0..workers).map(|_| Ring::new(2)).collect();
+            let free: Vec<Ring<RoutedBatch<Item>>> = (0..workers).map(|_| Ring::new(2)).collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let ring = &rings[w];
+                            let free = &free[w];
+                            scope.spawn(move || {
+                                drain_worker(w, ring, free, |_shard, _item: &Item| {
+                                    if w == 0 {
+                                        panic!("worker 0 exploded");
+                                    }
+                                });
+                            })
+                        })
+                        .collect();
+                    let _close_guard = CloseOnDrop(&rings);
+                    let fanout = FanOut::new(&rings, &free, 1);
+                    let mut annotator =
+                        Annotator::with_sink(&ReplayConfig::fasttrack(workers), fanout);
+                    Interp::new(&p, SchedPolicy::default())
+                        .run(&mut annotator)
+                        .expect("run");
+                    annotator.finalize();
+                    let (_e, mut fanout, _probe, _stats) = annotator.into_parts();
+                    fanout.finish();
+                    // Join every worker first (the survivors must drain
+                    // and exit), then resurface the first panic — the
+                    // production join protocol.
+                    let mut first_panic = None;
+                    for handle in handles {
+                        if let Err(payload) = handle.join() {
+                            first_panic.get_or_insert(payload);
+                        }
+                    }
+                    if let Some(payload) = first_panic {
+                        std::panic::resume_unwind(payload);
+                    }
+                })
+            }));
+            // The scope propagates the worker's panic only after joining
+            // every thread; reaching here at all means the surviving
+            // workers drained and exited.
+            let payload = result.expect_err("worker panic must propagate");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "worker 0 exploded", "round {round}");
+        }
+    }
+
+    #[test]
+    fn router_tallies_drops_when_a_worker_dies() {
+        // Deterministic core of the fan-out accounting: a dead worker
+        // ring refuses batches and the router must tally them as drops,
+        // not handoffs.
+        let rings: Vec<Ring<RoutedBatch<Item>>> = (0..2).map(|_| Ring::new(2)).collect();
+        let free: Vec<Ring<RoutedBatch<Item>>> = (0..2).map(|_| Ring::new(2)).collect();
+        rings[0].mark_dead();
+        let mut fanout = FanOut::new(&rings, &free, 1);
+        for shard in 0..4usize {
+            fanout.route(shard, Item::SpaceProbe);
+        }
+        fanout.finish();
+        let t = fanout.tallies_total();
+        assert_eq!(t.items, 2, "only the live worker's items count");
+        assert_eq!(t.items_dropped, 2, "the dead worker's items are drops");
+        assert_eq!(t.batches_dropped, 2);
+    }
+}

@@ -3,11 +3,12 @@
 //! ```text
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
-//!                      [--seed N] [--schedules N] [--replay-workers N] [--pipeline] [--json]
+//!                      [--seed N] [--schedules N] [--replay-workers N]
+//!                      [--pipeline [--detect-workers N]] [--json]
 //! bfc run <file.bfj>
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
-//! bfc profile <file.bfj> [--detector NAME] [--pipeline] [--json]
+//! bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] [--json]
 //! bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]
 //! ```
 //!
@@ -20,7 +21,9 @@
 //!   `--pipeline` the interpreter produces into a batched SPSC ring and
 //!   the detector (or, combined with `--replay-workers`, the replay
 //!   annotator) consumes on its own thread — verdicts again identical,
-//!   byte for byte.
+//!   byte for byte. `--pipeline --detect-workers N` fans the detection
+//!   stage out to `N` sharded workers (every detector, including djit);
+//!   the report stays byte-identical at any `N`.
 //! * `run` executes the program uninstrumented and prints `main`'s
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
@@ -43,8 +46,8 @@ use bigfoot_bfj::{
     parse_program, pretty, trace::TraceWriter, Interp, NullSink, Program, SchedPolicy, Tid, Value,
 };
 use bigfoot_detectors::{
-    detect_pipelined, replay_pipelined, replay_trace, run_pipelined, Detector, DjitDetector,
-    PipelineConfig, ReplayConfig, Stats,
+    detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace, run_pipelined,
+    Detector, DjitDetector, PipelineConfig, ReplayConfig, Stats,
 };
 use bigfoot_fuzz::{run_campaign, FuzzOptions};
 use bigfoot_obs::cli::CliArgs;
@@ -90,12 +93,15 @@ fn main() -> ExitCode {
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
-                 [--replay-workers N] [--pipeline] [--trace-out FILE] [--json]"
+                 [--replay-workers N] [--pipeline [--detect-workers N]] [--trace-out FILE] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
-            eprintln!("  bfc profile <file.bfj> [--detector NAME] [--trace-out FILE] [--json]");
+            eprintln!(
+                "  bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] \
+                 [--trace-out FILE] [--json]"
+            );
             eprintln!("  bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]");
             ExitCode::from(2)
         }
@@ -138,6 +144,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--schedules",
             "--limit",
             "--replay-workers",
+            "--detect-workers",
             "--seed-range",
             "--budget",
             "--corpus",
@@ -201,6 +208,8 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             let pipelined = args.has("--pipeline");
+            let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
+            validate_detect_workers(detect_workers, pipelined, replay_workers)?;
             // Enables the flight recorder for the whole run; the guard
             // writes the Chrome trace on drop too, so a panicking
             // detector still leaves a partial trace on disk.
@@ -218,7 +227,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                         switch_inv: 2,
                     }
                 };
-                let stats = check_once(&program, which, policy, replay_workers, pipelined)?;
+                let stats = check_once(
+                    &program,
+                    which,
+                    policy,
+                    replay_workers,
+                    pipelined,
+                    detect_workers,
+                )?;
                 if stats.has_races() {
                     any_race = true;
                 }
@@ -253,6 +269,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 }
                 if pipelined {
                     report.set("pipeline", true);
+                }
+                if let Some(workers) = detect_workers {
+                    report.set("detect_workers", workers as u64);
                 }
                 report.set("any_race", any_race);
                 report.set("runs", schedule_reports);
@@ -380,6 +399,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 ],
             )?;
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
+            let pipelined = args.has("--pipeline");
+            let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
+            validate_detect_workers(detect_workers, pipelined, replay_workers)?;
             let trace_guard = args
                 .value("--trace-out")
                 .map(bigfoot_obs::TraceOutGuard::new);
@@ -394,7 +416,8 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 which,
                 SchedPolicy::default(),
                 replay_workers,
-                args.has("--pipeline"),
+                pipelined,
+                detect_workers,
             ) {
                 Ok(stats) => (Some(stats), None),
                 Err(e) => (None, Some(e)),
@@ -417,6 +440,12 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             if json {
                 let mut report = envelope("profile", &file);
                 report.set("detector", which);
+                if pipelined {
+                    report.set("pipeline", true);
+                }
+                if let Some(workers) = detect_workers {
+                    report.set("detect_workers", workers as u64);
+                }
                 if let Some(stats) = &stats {
                     report.set("stats", stats.to_json());
                 }
@@ -580,20 +609,45 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
     })
 }
 
+/// `--detect-workers` only makes sense for the online pipeline: without
+/// `--pipeline` there is no detection stage to shard, and
+/// `--replay-workers` already parallelizes the offline replay engine.
+fn validate_detect_workers(
+    detect_workers: Option<usize>,
+    pipelined: bool,
+    replay_workers: Option<usize>,
+) -> Result<(), String> {
+    match detect_workers {
+        None => Ok(()),
+        Some(0) => Err("--detect-workers wants at least 1 worker".into()),
+        Some(_) if !pipelined => Err("--detect-workers requires --pipeline".into()),
+        Some(_) if replay_workers.is_some() => {
+            Err("--detect-workers and --replay-workers are mutually exclusive".into())
+        }
+        Some(_) => Ok(()),
+    }
+}
+
 /// Runs one schedule under the named detector configuration. With
 /// `replay_workers` set, the schedule is recorded to an in-memory trace and
 /// detection runs through the parallel sharded replay engine instead of
 /// inline — same verdicts, record-once/detect-many. With `pipelined` set,
 /// the interpreter produces into the batched SPSC ring and the detector
 /// (or the replay annotator) consumes on its own thread — same verdicts,
-/// byte for byte.
+/// byte for byte. With `pipelined` plus `detect_workers`, the detection
+/// stage itself fans out to that many sharded workers — same verdicts at
+/// every worker count.
 fn check_once(
     program: &Program,
     which: &str,
     policy: SchedPolicy,
     replay_workers: Option<usize>,
     pipelined: bool,
+    detect_workers: Option<usize>,
 ) -> Result<Stats, String> {
+    if let Some(workers) = detect_workers {
+        return check_sharded(program, which, policy, workers);
+    }
     if let Some(workers) = replay_workers {
         return check_replay(program, which, policy, workers, pipelined);
     }
@@ -642,6 +696,54 @@ fn check_once(
                 .run(&mut det)
                 .map_err(|e| format!("runtime error: {e}"))?;
             Ok(det.finish())
+        }
+        other => Err(format!("unknown detector `{other}`")),
+    }
+}
+
+/// Sharded multi-worker pipelined variant of [`check_once`]: the
+/// interpreter produces into the event ring, a router thread runs the
+/// sync-order stage, and `workers` detection workers apply shard-routed
+/// checks concurrently. Every detector is supported — djit goes through
+/// its dedicated router since it has no replay configuration.
+fn check_sharded(
+    program: &Program,
+    which: &str,
+    policy: SchedPolicy,
+    workers: usize,
+) -> Result<Stats, String> {
+    let pipeline = PipelineConfig::default();
+    if which == "djit" {
+        let (run, stats) = djit_sharded(&pipeline, workers, |sink| {
+            Interp::new(program, policy).run(sink)
+        });
+        run.map_err(|e| format!("runtime error: {e}"))?;
+        return Ok(stats);
+    }
+    let sharded = |prog: &Program, config: ReplayConfig| -> Result<Stats, String> {
+        let (run, stats) = replay_sharded(&pipeline, &config, |sink| {
+            Interp::new(prog, policy).run(sink)
+        });
+        run.map_err(|e| format!("runtime error: {e}"))?;
+        Ok(stats)
+    };
+    match which {
+        "bigfoot" => {
+            let inst = instrument(program);
+            sharded(
+                &inst.program,
+                ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+            )
+        }
+        "fasttrack" => sharded(program, ReplayConfig::fasttrack(workers)),
+        "slimstate" => sharded(program, ReplayConfig::slimstate(workers)),
+        "redcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            sharded(&rc, ReplayConfig::redcard(proxies, workers))
+        }
+        "slimcard" => {
+            let (rc, proxies) = redcard_instrument(program);
+            sharded(&rc, ReplayConfig::slimcard(proxies, workers))
         }
         other => Err(format!("unknown detector `{other}`")),
     }

@@ -24,7 +24,10 @@
 //!   byte-identical, both for direct pipelined detection and for the
 //!   pipelined replay front-end, at every worker count. The oracle uses a
 //!   deliberately tiny batch and ring so batch boundaries and
-//!   backpressure fire on every case.
+//!   backpressure fire on every case. The same check sweeps the sharded
+//!   multi-worker fan-out (`replay_sharded` / `djit_sharded`) across
+//!   worker counts, so every ring in the two-stage topology sees batch
+//!   boundaries and backpressure too.
 //!
 //! All oracles are deterministic functions of `(program, policy)`, which
 //! is what lets the shrinker re-validate determinism at every step.
@@ -35,8 +38,8 @@ use bigfoot_bfj::{
     Event, EventSink, Interp, Program, RecordingSink, SchedPolicy, TraceWriter,
 };
 use bigfoot_detectors::{
-    detect_pipelined, replay_pipelined, replay_trace, verify_precise_checks, Detector,
-    PipelineConfig, ReplayConfig, Stats,
+    detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace,
+    verify_precise_checks, Detector, DjitDetector, PipelineConfig, ReplayConfig, Stats,
 };
 
 /// Step bound for generated programs (they terminate well before this;
@@ -46,6 +49,11 @@ const MAX_STEPS: u64 = 50_000_000;
 /// Worker counts the replay oracle exercises (one even divisor of the
 /// shard count, one that is not).
 const REPLAY_WORKERS: [usize; 2] = [2, 5];
+
+/// Worker counts the sharded-pipeline oracle sweeps: the degenerate
+/// single worker, a count that does not divide the shard count, and an
+/// even divisor.
+const SHARDED_WORKERS: [usize; 3] = [1, 3, 4];
 
 /// Which oracle observed a divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -403,7 +411,66 @@ pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence>
             return Some(d);
         }
     }
+
+    // Sharded multi-worker pipelined detection must also be invisible,
+    // at every worker count — including DJIT+, which has no offline
+    // replay path and goes through its dedicated router.
+    let djit_truth = serial_djit(&ft_events);
+    for workers in SHARDED_WORKERS {
+        let (_, got) = replay_sharded(&pcfg, &ReplayConfig::fasttrack(workers), |sink| {
+            for ev in &ft_events {
+                sink.event(ev);
+            }
+        });
+        if let Some(d) = pipelined_matches(
+            "unoptimized",
+            &format!("sharded detection at {workers} worker(s)"),
+            &got,
+            &ft_truth,
+        ) {
+            return Some(d);
+        }
+        let (_, got) = replay_sharded(
+            &pcfg,
+            &ReplayConfig::bigfoot(inst.proxies.clone(), workers),
+            |sink| {
+                for ev in &bf_events {
+                    sink.event(ev);
+                }
+            },
+        );
+        if let Some(d) = pipelined_matches(
+            "instrumented",
+            &format!("sharded detection at {workers} worker(s)"),
+            &got,
+            &bf,
+        ) {
+            return Some(d);
+        }
+        let (_, got) = djit_sharded(&pcfg, workers, |sink| {
+            for ev in &ft_events {
+                sink.event(ev);
+            }
+        });
+        if let Some(d) = pipelined_matches(
+            "unoptimized",
+            &format!("sharded djit at {workers} worker(s)"),
+            &got,
+            &djit_truth,
+        ) {
+            return Some(d);
+        }
+    }
     None
+}
+
+/// Feeds a recorded trace to the serial DJIT+ detector.
+fn serial_djit(events: &[Event]) -> Stats {
+    let mut det = DjitDetector::new();
+    for ev in events {
+        det.event(ev);
+    }
+    det.finish()
 }
 
 #[cfg(test)]

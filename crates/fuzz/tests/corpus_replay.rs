@@ -27,6 +27,64 @@ fn corpus_entries_never_diverge_again() {
 }
 
 #[test]
+fn adversarial_sharded_configs_agree_on_fuzz_cases() {
+    // Satellite of PR 7: the most hostile pipeline geometry — one-event
+    // batches through two-slot rings, so every ring in the sharded
+    // topology hits batch boundaries and backpressure on every event —
+    // swept across worker counts including the 64-worker maximum, over
+    // generated fuzz cases rather than hand-written programs.
+    use bigfoot_bfj::{EventSink, Interp, RecordingSink};
+    use bigfoot_detectors::{
+        djit_sharded, replay_sharded, Detector, DjitDetector, PipelineConfig, ReplayConfig,
+    };
+
+    let pcfg = PipelineConfig {
+        batch_events: 1,
+        ring_slots: 2,
+    };
+    for seed in 1..=6u64 {
+        let case = bigfoot_fuzz::FuzzCase::from_seed(seed).expect("generator");
+        let mut rec = RecordingSink::default();
+        Interp::new(&case.program, case.policy)
+            .run(&mut rec)
+            .expect("run");
+        let events = rec.events;
+
+        let mut ft = Detector::fasttrack();
+        let mut djit = DjitDetector::new();
+        for ev in &events {
+            ft.event(ev);
+            djit.event(ev);
+        }
+        let ft_truth = ft.finish().to_json().to_string_compact();
+        let djit_truth = djit.finish().to_json().to_string_compact();
+
+        for workers in [1, 3, 4, 64] {
+            let (_, got) = replay_sharded(&pcfg, &ReplayConfig::fasttrack(workers), |sink| {
+                for ev in &events {
+                    sink.event(ev);
+                }
+            });
+            assert_eq!(
+                got.to_json().to_string_compact(),
+                ft_truth,
+                "seed {seed}: sharded fasttrack diverges at {workers} worker(s)"
+            );
+            let (_, got) = djit_sharded(&pcfg, workers, |sink| {
+                for ev in &events {
+                    sink.event(ev);
+                }
+            });
+            assert_eq!(
+                got.to_json().to_string_compact(),
+                djit_truth,
+                "seed {seed}: sharded djit diverges at {workers} worker(s)"
+            );
+        }
+    }
+}
+
+#[test]
 fn smoke_campaign_finds_no_divergence() {
     let report = bigfoot_fuzz::run_campaign(&bigfoot_fuzz::FuzzOptions {
         seed_lo: 1,
