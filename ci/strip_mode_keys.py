@@ -3,17 +3,18 @@
 
 Usage: strip_mode_keys.py <a.json> <b.json> [label]
 
-The pipeline-smoke CI job runs the same program serially and through the
-batched ring and requires the reports to be identical except for the
-keys that merely describe *how* detection ran (`pipeline`,
-`replay_workers`, `detect_workers`) — races, counters, and space
-accounting must match byte for byte.
+The pipeline-smoke and compiled-smoke CI jobs run the same program
+under different execution modes (serial vs the batched ring, the
+tree-walking interpreter vs the bytecode tier) and require the reports
+to be identical except for the keys that merely describe *how* the run
+executed (`pipeline`, `replay_workers`, `detect_workers`, `compiled`) —
+races, counters, and space accounting must match byte for byte.
 """
 
 import json
 import sys
 
-MODE_KEYS = {"pipeline", "replay_workers", "detect_workers"}
+MODE_KEYS = {"pipeline", "replay_workers", "detect_workers", "compiled"}
 
 
 def strip(node):

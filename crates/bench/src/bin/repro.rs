@@ -3,9 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|all]
+//! repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all]
 //!       [--scale small|full] [--reps N] [--bench NAME]
-//!       [--replay-workers N] [--budget SECS] [--json] [--out FILE]
+//!       [--replay-workers N] [--budget SECS]
+//!       [--pipeline [--detect-workers N]] [--compiled] [--json] [--out FILE]
 //! ```
 //!
 //! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
@@ -37,6 +38,12 @@
 //!   the JSON report; `--pipeline --detect-workers N` also measures the
 //!   sharded multi-worker fan-out (FastTrack and DJIT+, serial vs `N`
 //!   detection workers) and adds an additive `pipeline_sharded` section.
+//!   `--compiled` measures the bytecode compilation tier against the
+//!   tree-walking interpreter (uninstrumented steps/sec and
+//!   BigFoot-instrumented end-to-end events/sec) and adds an additive
+//!   `compiled` section. The drift gate compares section *presence* in
+//!   both directions, so `--check` must run with the same flags the
+//!   committed baseline was generated with.
 //! * `--json` — emit the machine-readable report (schema in
 //!   `docs/OBSERVABILITY.md`) on stdout instead of the human tables;
 //!   `--out FILE` writes it to a file as well.
@@ -62,7 +69,7 @@ fn main() -> ExitCode {
                 "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
                  [--budget SECS] [--check BENCH.json] [--tolerance FRAC] \
-                 [--pipeline [--detect-workers N]] \
+                 [--pipeline [--detect-workers N]] [--compiled] \
                  [--trace-out FILE] [--metrics-out FILE] [--json] [--out FILE]"
             );
             ExitCode::from(2)
@@ -86,7 +93,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--trace-out",
             "--metrics-out",
         ],
-        &["--json", "--pipeline"],
+        &["--json", "--pipeline", "--compiled"],
     )?;
     // The flight recorder spans the whole command (`repro perf
     // --pipeline --trace-out t.json` shows the interpreter/detector
@@ -122,6 +129,11 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
     };
     let reps: usize = args.parsed("--reps")?.unwrap_or(3);
     let json = args.has("--json");
+    validate_workers(
+        args.parsed("--detect-workers")?,
+        args.has("--pipeline"),
+        args.parsed("--replay-workers")?,
+    )?;
 
     // Collection feeds both the JSON reports (entailment share, §6.1) and
     // the human `static` table, so it is always on in this binary.
@@ -174,7 +186,7 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
         }
         println!(
             "fuzz: {} case(s) over seeds {}..{} in {:.1}s — all oracles agree \
-             (roundtrip {}, placement {}, replay {}, pipeline {})",
+             (roundtrip {}, compiled {}, placement {}, replay {}, pipeline {})",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -183,6 +195,7 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
             report.oracle_runs[1],
             report.oracle_runs[2],
             report.oracle_runs[3],
+            report.oracle_runs[4],
         );
         return Ok(());
     }
@@ -208,9 +221,6 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
             .collect();
         let pipelined = args.has("--pipeline");
         let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
-        if detect_workers.is_some() && !pipelined {
-            return Err("--detect-workers requires --pipeline".into());
-        }
         let pipeline: Option<Vec<bigfoot_bench::perf::PipelineBench>> = pipelined.then(|| {
             eprintln!("pipelined end-to-end throughput (serial vs batched ring hand-off) …");
             selected
@@ -234,10 +244,22 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
                     })
                     .collect()
             });
+        let compiled: Option<Vec<bigfoot_bench::perf::CompiledBench>> =
+            args.has("--compiled").then(|| {
+                eprintln!("compiled tier throughput (bytecode vs tree-walking interpreter) …");
+                selected
+                    .iter()
+                    .map(|b| {
+                        eprintln!("  {}", b.name);
+                        bigfoot_bench::perf::measure_compiled(b.name, &b.program, reps)
+                    })
+                    .collect()
+            });
         let report = bigfoot_bench::perf::perf_json(
             &results,
             pipeline.as_deref(),
             sharded.as_deref(),
+            compiled.as_deref(),
             scale_name,
             reps,
         );
@@ -262,6 +284,9 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
         }
         if let Some(sharded) = &sharded {
             sharded_table(sharded);
+        }
+        if let Some(compiled) = &compiled {
+            compiled_table(compiled);
         }
         return Ok(());
     }
@@ -601,6 +626,61 @@ fn sharded_table(results: &[bigfoot_bench::perf::ShardedBench]) {
     println!();
 }
 
+fn compiled_table(results: &[bigfoot_bench::perf::CompiledBench]) {
+    println!();
+    println!("== compiled tier: bytecode vs tree-walking interpreter ==");
+    println!(
+        "{:<11} {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
+        "program", "interp st/s", "compiled", "speedup", "interp ev/s", "compiled", "speedup"
+    );
+    for r in results {
+        println!(
+            "{:<11} {:>12.3e} {:>12.3e} {:>7.2}x | {:>12.3e} {:>12.3e} {:>7.2}x",
+            r.name,
+            r.interp_steps_per_sec,
+            r.compiled_steps_per_sec,
+            r.uninstrumented_speedup(),
+            r.interp_events_per_sec,
+            r.compiled_events_per_sec,
+            r.instrumented_speedup(),
+        );
+    }
+    println!(
+        "{:<11} {:>12.3e} {:>12.3e} {:>7.2}x | {:>12.3e} {:>12.3e} {:>7.2}x",
+        "GeoMean",
+        geomean(results.iter().map(|r| r.interp_steps_per_sec)),
+        geomean(results.iter().map(|r| r.compiled_steps_per_sec)),
+        geomean(results.iter().map(|r| r.uninstrumented_speedup())),
+        geomean(results.iter().map(|r| r.interp_events_per_sec)),
+        geomean(results.iter().map(|r| r.compiled_events_per_sec)),
+        geomean(results.iter().map(|r| r.instrumented_speedup())),
+    );
+}
+
+/// Worker-count flags must make sense before any measurement starts:
+/// zero workers is meaningless on both the replay and the sharded
+/// detection path, and `--detect-workers` only has a pipeline to shard
+/// when `--pipeline` is on. Mirrors `bfc`'s validation so both CLIs
+/// reject the same nonsense the same way.
+fn validate_workers(
+    detect_workers: Option<usize>,
+    pipelined: bool,
+    replay_workers: Option<usize>,
+) -> Result<(), String> {
+    if replay_workers == Some(0) {
+        return Err("--replay-workers wants at least 1 worker".into());
+    }
+    match detect_workers {
+        None => Ok(()),
+        Some(0) => Err("--detect-workers wants at least 1 worker".into()),
+        Some(_) if !pipelined => Err("--detect-workers requires --pipeline".into()),
+        Some(_) if replay_workers.is_some() => {
+            Err("--detect-workers and --replay-workers are mutually exclusive".into())
+        }
+        Some(_) => Ok(()),
+    }
+}
+
 fn ratio(a: f64, b: f64) -> f64 {
     if b <= 1e-9 {
         1.0
@@ -798,4 +878,42 @@ fn static_stats(results: &[BenchResult]) {
         );
     }
     let _ = DETECTORS;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_workers;
+
+    #[test]
+    fn zero_workers_is_rejected_on_every_path() {
+        assert!(validate_workers(Some(0), true, None)
+            .unwrap_err()
+            .contains("--detect-workers"));
+        assert!(validate_workers(None, false, Some(0))
+            .unwrap_err()
+            .contains("--replay-workers"));
+        // Zero detect workers is nonsense even when the pipeline flag is
+        // missing too — the count check fires before the pipeline check.
+        assert!(validate_workers(Some(0), false, None)
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn detect_workers_needs_the_pipeline() {
+        assert!(validate_workers(Some(4), false, None)
+            .unwrap_err()
+            .contains("requires --pipeline"));
+        assert!(validate_workers(Some(4), true, Some(2))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn valid_combinations_pass() {
+        assert!(validate_workers(None, false, None).is_ok());
+        assert!(validate_workers(None, false, Some(4)).is_ok());
+        assert!(validate_workers(Some(4), true, None).is_ok());
+        assert!(validate_workers(None, true, None).is_ok());
+    }
 }

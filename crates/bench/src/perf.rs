@@ -11,7 +11,10 @@
 
 use crate::{geomean, StaticObsStats, DETECTORS};
 use bigfoot::{instrument, naive_instrument, redcard_instrument, Instrumented};
-use bigfoot_bfj::{trace::TraceWriter, Event, EventSink, Interp, Program, SchedPolicy};
+use bigfoot_bfj::{
+    compile, trace::TraceWriter, CompiledVm, Event, EventSink, Interp, NullSink, Program,
+    SchedPolicy,
+};
 use bigfoot_detectors::{
     detect_pipelined, djit_sharded, replay_sharded, ArrayEngine, CheckSource, Detector,
     DjitDetector, PipelineConfig, ProxyTable, ReplayConfig, Stats, TraceReader,
@@ -319,6 +322,121 @@ pub fn measure_pipeline(name: &'static str, program: &Program, reps: usize) -> P
     PipelineBench { name, detectors }
 }
 
+/// Interpreted vs compiled execution throughput for one benchmark
+/// (`repro perf --compiled`).
+///
+/// The uninstrumented pair is the headline number for the compilation
+/// tier: the same program, the same schedule, a [`NullSink`], so the
+/// only difference is tree-walking interpretation vs flat bytecode.
+/// The instrumented pair runs the BigFoot-placed program end-to-end into
+/// the BigFoot detector, showing how much of the win survives once
+/// detection work shares the loop.
+#[derive(Debug, Clone)]
+pub struct CompiledBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Scheduler steps one uninstrumented run executes.
+    pub steps: u64,
+    /// Median steps/second, tree-walking interpreter, uninstrumented.
+    pub interp_steps_per_sec: f64,
+    /// Median steps/second, compiled bytecode VM, uninstrumented.
+    pub compiled_steps_per_sec: f64,
+    /// Events one BigFoot-instrumented run produces.
+    pub events: u64,
+    /// Median events/second, interpreter + BigFoot detector.
+    pub interp_events_per_sec: f64,
+    /// Median events/second, compiled VM + BigFoot detector.
+    pub compiled_events_per_sec: f64,
+}
+
+impl CompiledBench {
+    /// Compiled / interpreted throughput on the uninstrumented program.
+    pub fn uninstrumented_speedup(&self) -> f64 {
+        if self.interp_steps_per_sec > 0.0 {
+            self.compiled_steps_per_sec / self.interp_steps_per_sec
+        } else {
+            1.0
+        }
+    }
+
+    /// Compiled / interpreted end-to-end throughput under the BigFoot
+    /// detector.
+    pub fn instrumented_speedup(&self) -> f64 {
+        if self.interp_events_per_sec > 0.0 {
+            self.compiled_events_per_sec / self.interp_events_per_sec
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Measures interpreted vs compiled throughput (`repro perf
+/// --compiled`). Lowering happens once, outside the timed region — the
+/// baseline tracks execution speed, and `vm.compile` has its own span.
+/// The numbers land in an *additive* `compiled` section that the
+/// [`check_against_baseline`] throughput gate never reads (though its
+/// section-presence check still demands the section exist in both
+/// reports).
+pub fn measure_compiled(name: &'static str, program: &Program, reps: usize) -> CompiledBench {
+    let steps = Interp::new(program, SchedPolicy::default())
+        .run(&mut NullSink)
+        .expect("run")
+        .steps;
+    let inst: Instrumented = instrument(program);
+    struct CountSink(u64);
+    impl EventSink for CountSink {
+        fn event(&mut self, _: &Event) {
+            self.0 += 1;
+        }
+    }
+    let mut counter = CountSink(0);
+    Interp::new(&inst.program, SchedPolicy::default())
+        .run(&mut counter)
+        .expect("run");
+    let events = counter.0;
+
+    let lowered = compile(program);
+    let lowered_bf = compile(&inst.program);
+
+    let obs_was_on = bigfoot_obs::enabled();
+    bigfoot_obs::set_enabled(false);
+    let interp_steps_per_sec = end_to_end_rate(steps, reps, || {
+        Interp::new(program, SchedPolicy::default())
+            .run(&mut NullSink)
+            .expect("run");
+    });
+    let compiled_steps_per_sec = end_to_end_rate(steps, reps, || {
+        CompiledVm::new(&lowered, SchedPolicy::default())
+            .run(&mut NullSink)
+            .expect("run");
+    });
+    let interp_events_per_sec = end_to_end_rate(events, reps, || {
+        let mut det = Detector::bigfoot(inst.proxies.clone());
+        Interp::new(&inst.program, SchedPolicy::default())
+            .run(&mut det)
+            .expect("run");
+        std::hint::black_box(det.finish());
+    });
+    let compiled_events_per_sec = end_to_end_rate(events, reps, || {
+        let mut det = Detector::bigfoot(inst.proxies.clone());
+        CompiledVm::new(&lowered_bf, SchedPolicy::default())
+            .run(&mut det)
+            .expect("run");
+        std::hint::black_box(det.finish());
+    });
+    bigfoot_obs::set_enabled(obs_was_on);
+
+    CompiledBench {
+        name,
+        steps,
+        interp_steps_per_sec,
+        compiled_steps_per_sec,
+        events,
+        interp_events_per_sec,
+        compiled_events_per_sec,
+    }
+}
+
 /// Detector configurations the sharded measurement covers: the light
 /// consumer (FastTrack, where the interpreter is the wall and fan-out
 /// can only add overhead) and the heavy consumer (DJIT+, whose
@@ -462,13 +580,16 @@ pub fn measure_sharded(
 }
 
 /// The `repro perf --json` report (the `BENCH.json` schema). The
-/// `pipeline` and `pipeline_sharded` sections are additive: present only
-/// when `--pipeline` (and `--detect-workers`) ran, and never read by
-/// [`check_against_baseline`].
+/// `pipeline`, `pipeline_sharded`, and `compiled` sections are additive:
+/// present only when `--pipeline` (with `--detect-workers`) and
+/// `--compiled` ran. [`check_against_baseline`] never reads their
+/// numbers, but it does require the baseline and the fresh report to
+/// carry the same set of sections.
 pub fn perf_json(
     results: &[PerfBench],
     pipeline: Option<&[PipelineBench]>,
     sharded: Option<&[ShardedBench]>,
+    compiled: Option<&[CompiledBench]>,
     scale: &str,
     reps: usize,
 ) -> Json {
@@ -622,18 +743,93 @@ pub fn perf_json(
         p.set("summary", psummary);
         env.set("pipeline_sharded", p);
     }
+
+    if let Some(compiled) = compiled {
+        let mut c = Json::object();
+        let mut arr = Json::array();
+        for r in compiled {
+            let mut b = Json::object();
+            b.set("name", r.name);
+            b.set("steps", r.steps);
+            b.set("interp_steps_per_sec", r.interp_steps_per_sec);
+            b.set("compiled_steps_per_sec", r.compiled_steps_per_sec);
+            b.set("uninstrumented_speedup", r.uninstrumented_speedup());
+            b.set("events", r.events);
+            b.set("interp_events_per_sec", r.interp_events_per_sec);
+            b.set("compiled_events_per_sec", r.compiled_events_per_sec);
+            b.set("instrumented_speedup", r.instrumented_speedup());
+            arr.push(b);
+        }
+        c.set("benchmarks", arr);
+        let mut csummary = Json::object();
+        csummary.set(
+            "interp_steps_per_sec_geomean",
+            geomean(compiled.iter().map(|r| r.interp_steps_per_sec)),
+        );
+        csummary.set(
+            "compiled_steps_per_sec_geomean",
+            geomean(compiled.iter().map(|r| r.compiled_steps_per_sec)),
+        );
+        csummary.set(
+            "uninstrumented_speedup_geomean",
+            geomean(compiled.iter().map(|r| r.uninstrumented_speedup())),
+        );
+        csummary.set(
+            "instrumented_speedup_geomean",
+            geomean(compiled.iter().map(|r| r.instrumented_speedup())),
+        );
+        c.set("summary", csummary);
+        env.set("compiled", c);
+    }
     env
 }
 
 /// Compares a fresh `perf` report against a committed baseline: fails if
-/// any detector's `events_per_sec_geomean` dropped by more than
-/// `tolerance` (a fraction, e.g. `0.25`). Returns human-readable lines on
-/// success; `Err` lists the regressions.
+/// the two reports disagree on their top-level sections (in either
+/// direction), or if any detector's `events_per_sec_geomean` dropped by
+/// more than `tolerance` (a fraction, e.g. `0.25`). Returns
+/// human-readable lines on success; `Err` lists the problems.
 pub fn check_against_baseline(
     current: &Json,
     baseline: &Json,
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
+    // Section drift first: a check run with different flags than the
+    // baseline (or a stale baseline missing a newer section) silently
+    // compares only what both sides happen to share — so demand the
+    // exact same top-level key set before reading any numbers.
+    fn keys(j: &Json) -> Vec<&str> {
+        j.entries().iter().map(|(k, _)| k.as_str()).collect()
+    }
+    let missing: Vec<&str> = keys(baseline)
+        .into_iter()
+        .filter(|k| current.get(k).is_none())
+        .collect();
+    let extra: Vec<&str> = keys(current)
+        .into_iter()
+        .filter(|k| baseline.get(k).is_none())
+        .collect();
+    if !missing.is_empty() || !extra.is_empty() {
+        let mut parts = Vec::new();
+        if !missing.is_empty() {
+            parts.push(format!(
+                "baseline sections missing from this run: {}",
+                missing.join(", ")
+            ));
+        }
+        if !extra.is_empty() {
+            parts.push(format!(
+                "sections in this run but not the baseline: {}",
+                extra.join(", ")
+            ));
+        }
+        return Err(format!(
+            "report sections diverge from the baseline — {} \
+             (run the check with the same flags the baseline was generated \
+             with, or refresh it; see docs/PERFORMANCE.md)",
+            parts.join("; ")
+        ));
+    }
     let rate = |j: &Json, d: &str| -> Result<f64, String> {
         j.get("summary")
             .and_then(|s| s.get("events_per_sec_geomean"))
@@ -668,5 +864,77 @@ pub fn check_against_baseline(
             tolerance * 100.0,
             failures.join("\n  ")
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_against_baseline;
+    use bigfoot_obs::json::{parse, Json};
+
+    /// A minimal report: the envelope keys plus a rate summary, with an
+    /// optional extra section.
+    fn report(rate: f64, extra_section: Option<&str>) -> Json {
+        let mut j = parse(&format!(
+            r#"{{"schema_version": 2, "tool": "repro", "command": "perf",
+                 "benchmarks": [],
+                 "summary": {{"events_per_sec_geomean":
+                   {{"FT": {rate}, "RC": {rate}, "SS": {rate}, "SC": {rate}, "BF": {rate}}}}}}}"#
+        ))
+        .expect("report json");
+        if let Some(name) = extra_section {
+            j.set(name, Json::object());
+        }
+        j
+    }
+
+    #[test]
+    fn matching_reports_pass() {
+        let lines = check_against_baseline(&report(1e6, None), &report(1e6, None), 0.25)
+            .expect("within tolerance");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn regressions_beyond_tolerance_fail() {
+        let err = check_against_baseline(&report(0.5e6, None), &report(1e6, None), 0.25)
+            .expect_err("50% drop must fail a 25% gate");
+        assert!(err.contains("regressed"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn a_section_missing_from_the_current_run_fails() {
+        // Baseline was generated with --pipeline --compiled, the check
+        // ran bare: the pipeline/compiled numbers silently vanish unless
+        // the gate demands section parity.
+        let err = check_against_baseline(&report(1e6, None), &report(1e6, Some("compiled")), 0.25)
+            .expect_err("missing section must fail");
+        assert!(
+            err.contains("missing from this run") && err.contains("compiled"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn a_section_missing_from_the_baseline_fails_too() {
+        // The other direction: a stale baseline that predates a newer
+        // additive section must be refreshed, not silently accepted.
+        let err = check_against_baseline(&report(1e6, Some("compiled")), &report(1e6, None), 0.25)
+            .expect_err("extra section must fail");
+        assert!(
+            err.contains("not the baseline") && err.contains("compiled"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn section_drift_is_reported_in_both_directions_at_once() {
+        let err = check_against_baseline(
+            &report(1e6, Some("pipeline")),
+            &report(1e6, Some("compiled")),
+            0.25,
+        )
+        .expect_err("section mismatch must fail");
+        assert!(err.contains("pipeline") && err.contains("compiled"));
     }
 }

@@ -1,0 +1,192 @@
+//! Differential test for the compilation tier: lowering a checked BFJ
+//! program to flat register bytecode and running it on [`CompiledVm`]
+//! must be *invisible* to everything downstream. The BFTR trace a
+//! compiled run emits must be **byte-identical** to the interpreter's
+//! under the same scheduler policy, and therefore every detector
+//! configuration must produce an identical report over either execution.
+//!
+//! Coverage: every suite benchmark (small scale — all 19), raw and
+//! BigFoot-instrumented, under the default deterministic policy and a
+//! randomized policy; the five detector configurations (FT/RC/SS/SC/BF)
+//! plus DJIT+ driven off the compiled run's events and compared against
+//! the interpreted reference report.
+
+use bigfoot::instrument;
+use bigfoot_bfj::{
+    compile, CompiledVm, EventSink, Interp, Program, RecordingSink, SchedPolicy, TraceWriter,
+};
+use bigfoot_detectors::{Detector, DjitDetector, Stats};
+use bigfoot_workloads::{benchmarks, Scale};
+
+/// Interpreted run → (BFTR bytes, decoded events).
+fn interp_trace(program: &Program, policy: SchedPolicy) -> (Vec<u8>, RecordingSink) {
+    let mut w = TraceWriter::new();
+    let mut rec = RecordingSink::default();
+    Interp::new(program, policy)
+        .run(&mut TeeSink(&mut w, &mut rec))
+        .expect("interpreted run");
+    (w.into_bytes(), rec)
+}
+
+/// Compiled run → (BFTR bytes, decoded events).
+fn compiled_trace(program: &Program, policy: SchedPolicy) -> (Vec<u8>, RecordingSink) {
+    let lowered = compile(program);
+    let mut w = TraceWriter::new();
+    let mut rec = RecordingSink::default();
+    CompiledVm::new(&lowered, policy)
+        .run(&mut TeeSink(&mut w, &mut rec))
+        .expect("compiled run");
+    (w.into_bytes(), rec)
+}
+
+/// Feeds one event stream to two sinks so the trace bytes and the decoded
+/// events come from the *same* execution.
+struct TeeSink<'a>(&'a mut TraceWriter, &'a mut RecordingSink);
+
+impl EventSink for TeeSink<'_> {
+    fn event(&mut self, ev: &bigfoot_bfj::Event) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+}
+
+fn report(rec: &RecordingSink, mut det: Detector) -> Stats {
+    for ev in &rec.events {
+        det.event(ev);
+    }
+    det.finish()
+}
+
+fn djit_report(rec: &RecordingSink) -> Stats {
+    let mut det = DjitDetector::new();
+    for ev in &rec.events {
+        det.event(ev);
+    }
+    det.finish()
+}
+
+#[track_caller]
+fn assert_bytes_identical(label: &str, compiled: &[u8], interp: &[u8]) {
+    if compiled != interp {
+        let off = compiled
+            .iter()
+            .zip(interp.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| compiled.len().min(interp.len()));
+        panic!(
+            "{label}: compiled trace diverges from interpreted at byte {off} \
+             (compiled {} bytes, interpreted {} bytes)",
+            compiled.len(),
+            interp.len()
+        );
+    }
+}
+
+/// One deterministic policy and one randomized preemptive policy — the
+/// compiled tier must replicate the Lemire draw sequence, not just the
+/// round-robin quantum.
+const POLICIES: [SchedPolicy; 2] = [
+    SchedPolicy::RoundRobin { quantum: 1 },
+    SchedPolicy::Random {
+        seed: 0xB16F_00D5,
+        switch_inv: 2,
+    },
+];
+
+#[test]
+fn suite_benchmarks_compile_to_byte_identical_traces() {
+    for b in benchmarks(Scale::Small) {
+        let inst = instrument(&b.program);
+        for policy in POLICIES {
+            let (ib, _) = interp_trace(&b.program, policy);
+            let (cb, _) = compiled_trace(&b.program, policy);
+            assert_bytes_identical(&format!("{} [raw] {policy:?}", b.name), &cb, &ib);
+            let (ib, _) = interp_trace(&inst.program, policy);
+            let (cb, _) = compiled_trace(&inst.program, policy);
+            assert_bytes_identical(&format!("{} [checked] {policy:?}", b.name), &cb, &ib);
+        }
+    }
+}
+
+#[test]
+fn suite_benchmarks_detect_identically_over_compiled_runs() {
+    // The five detector configurations of the paper's evaluation plus
+    // DJIT+: each consumes the compiled run's events and must reproduce
+    // the interpreted reference report bit-for-bit.
+    for b in benchmarks(Scale::Small) {
+        let inst = instrument(&b.program);
+        let policy = SchedPolicy::default();
+        let (_, raw_i) = interp_trace(&b.program, policy);
+        let (_, raw_c) = compiled_trace(&b.program, policy);
+        let (_, checked_i) = interp_trace(&inst.program, policy);
+        let (_, checked_c) = compiled_trace(&inst.program, policy);
+
+        type ConfigRow<'a> = (
+            &'a str,
+            Box<dyn Fn() -> Detector + 'a>,
+            &'a RecordingSink,
+            &'a RecordingSink,
+        );
+        let configs: [ConfigRow; 5] = [
+            ("ft", Box::new(Detector::fasttrack), &raw_i, &raw_c),
+            (
+                "rc",
+                Box::new(|| Detector::redcard(inst.proxies.clone())),
+                &checked_i,
+                &checked_c,
+            ),
+            ("ss", Box::new(Detector::slimstate), &raw_i, &raw_c),
+            (
+                "sc",
+                Box::new(|| Detector::slimcard(inst.proxies.clone())),
+                &checked_i,
+                &checked_c,
+            ),
+            (
+                "bf",
+                Box::new(|| Detector::bigfoot(inst.proxies.clone())),
+                &checked_i,
+                &checked_c,
+            ),
+        ];
+        for (name, make, interp_rec, compiled_rec) in &configs {
+            let reference = report(interp_rec, make());
+            let got = report(compiled_rec, make());
+            assert_eq!(
+                got.to_json().to_string_compact(),
+                reference.to_json().to_string_compact(),
+                "{} [{name}]: detector report diverges between compiled and interpreted runs",
+                b.name
+            );
+        }
+        assert_eq!(
+            djit_report(&raw_c).to_json().to_string_compact(),
+            djit_report(&raw_i).to_json().to_string_compact(),
+            "{} [djit]: report diverges between compiled and interpreted runs",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn compiled_outcome_and_final_state_match_the_interpreter() {
+    // Beyond the trace: the terminal outcome (steps, exit state) must
+    // agree too, so `bfc check --compiled` reports the same run shape.
+    for b in benchmarks(Scale::Small).into_iter().take(6) {
+        let lowered = compile(&b.program);
+        let policy = SchedPolicy::Random {
+            seed: 42,
+            switch_inv: 3,
+        };
+        let mut rec_i = RecordingSink::default();
+        let out_i = Interp::new(&b.program, policy)
+            .run(&mut rec_i)
+            .expect("interpreted run");
+        let mut rec_c = RecordingSink::default();
+        let out_c = CompiledVm::new(&lowered, policy)
+            .run(&mut rec_c)
+            .expect("compiled run");
+        assert_eq!(out_c, out_i, "{}: run outcome diverges", b.name);
+        assert_eq!(rec_c.events, rec_i.events, "{}: events diverge", b.name);
+    }
+}

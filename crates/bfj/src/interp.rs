@@ -89,9 +89,9 @@ pub struct ArrayObj {
 /// The shared heap: objects and arrays, allocation-only (no GC).
 #[derive(Debug, Default)]
 pub struct Heap {
-    objects: Vec<Object>,
-    arrays: Vec<ArrayObj>,
-    cells: u64,
+    pub(crate) objects: Vec<Object>,
+    pub(crate) arrays: Vec<ArrayObj>,
+    pub(crate) cells: u64,
 }
 
 impl Heap {
@@ -100,6 +100,7 @@ impl Heap {
     /// # Panics
     ///
     /// Panics if the id was not produced by this heap.
+    #[inline(always)]
     pub fn object(&self, id: ObjId) -> &Object {
         &self.objects[id.0 as usize]
     }
@@ -109,6 +110,7 @@ impl Heap {
     /// # Panics
     ///
     /// Panics if the id was not produced by this heap.
+    #[inline(always)]
     pub fn array(&self, id: ArrId) -> &ArrayObj {
         &self.arrays[id.0 as usize]
     }
@@ -121,7 +123,7 @@ impl Heap {
         self.cells
     }
 
-    fn alloc_object(&mut self, class: usize, nfields: usize) -> ObjId {
+    pub(crate) fn alloc_object(&mut self, class: usize, nfields: usize) -> ObjId {
         let id = ObjId(self.objects.len() as u32);
         self.objects.push(Object {
             class,
@@ -131,7 +133,7 @@ impl Heap {
         id
     }
 
-    fn alloc_array(&mut self, len: usize) -> ArrId {
+    pub(crate) fn alloc_array(&mut self, len: usize) -> ArrId {
         let id = ArrId(self.arrays.len() as u32);
         self.arrays.push(ArrayObj {
             data: vec![Value::Int(0); len],
@@ -1030,21 +1032,33 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn as_int(v: Value) -> Result<i64, RuntimeError> {
+// The error constructors are outlined and `#[cold]` so the `format!`
+// machinery stays off the interpreter's (and compiled VM's) hot path.
+#[cold]
+#[inline(never)]
+fn int_type_error(other: Value) -> RuntimeError {
+    RuntimeError::TypeError(format!("expected an integer, found {other}"))
+}
+
+#[cold]
+#[inline(never)]
+fn bool_type_error(other: Value) -> RuntimeError {
+    RuntimeError::TypeError(format!("expected a boolean, found {other}"))
+}
+
+#[inline(always)]
+pub(crate) fn as_int(v: Value) -> Result<i64, RuntimeError> {
     match v {
         Value::Int(n) => Ok(n),
-        other => Err(RuntimeError::TypeError(format!(
-            "expected an integer, found {other}"
-        ))),
+        other => Err(int_type_error(other)),
     }
 }
 
-fn as_bool(v: Value) -> Result<bool, RuntimeError> {
+#[inline(always)]
+pub(crate) fn as_bool(v: Value) -> Result<bool, RuntimeError> {
     match v {
         Value::Bool(b) => Ok(b),
-        other => Err(RuntimeError::TypeError(format!(
-            "expected a boolean, found {other}"
-        ))),
+        other => Err(bool_type_error(other)),
     }
 }
 
@@ -1079,7 +1093,9 @@ pub fn eval(env: &Env, heap: &Heap, e: &Expr) -> Result<Value, RuntimeError> {
         Expr::Unop(op, a) => {
             let v = eval(env, heap, a)?;
             match op {
-                Unop::Neg => Value::Int(-as_int(v)?),
+                // Wrapping, like every arithmetic `Binop`: `-i64::MIN`
+                // must not abort under debug overflow checks.
+                Unop::Neg => Value::Int(as_int(v)?.wrapping_neg()),
                 Unop::Not => Value::Bool(!as_bool(v)?),
             }
         }

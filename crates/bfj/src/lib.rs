@@ -32,6 +32,7 @@
 //! ```
 
 pub mod ast;
+pub mod compile;
 pub mod event;
 pub mod interp;
 pub mod lexer;
@@ -44,6 +45,7 @@ pub use ast::{
     AccessKind, Binop, Block, CheckPath, ClassDef, Expr, MethodDef, Path, Program, Range, Stmt,
     StmtId, StmtKind, Unop,
 };
+pub use compile::{compile, CompiledProgram, CompiledVm};
 pub use event::{
     ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, NullSink, ObjId, RecordingSink,
 };

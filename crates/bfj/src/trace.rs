@@ -351,7 +351,12 @@ pub fn read_event(bytes: &[u8], pos: &mut usize) -> Result<Option<Event>, TraceE
         TAG_CHECK => {
             let t = Tid(get_u32(bytes, pos)?);
             let n = get_u64(bytes, pos)? as usize;
-            let mut paths = Vec::with_capacity(n);
+            // The length words are untrusted input: a corrupt trace can
+            // claim billions of paths. Every path costs at least one
+            // byte, so capping the pre-allocation at the bytes actually
+            // remaining keeps a bogus length from allocating gigabytes
+            // before the loop below hits `Truncated`.
+            let mut paths = Vec::with_capacity(n.min(bytes.len().saturating_sub(*pos)));
             for _ in 0..n {
                 let kind = get_kind(bytes, pos)?;
                 let subtag = *bytes
@@ -362,7 +367,7 @@ pub fn read_event(bytes: &[u8], pos: &mut usize) -> Result<Option<Event>, TraceE
                     0 => {
                         let obj = ObjId(get_u32(bytes, pos)?);
                         let k = get_u64(bytes, pos)? as usize;
-                        let mut idxs = Vec::with_capacity(k);
+                        let mut idxs = Vec::with_capacity(k.min(bytes.len().saturating_sub(*pos)));
                         for _ in 0..k {
                             idxs.push(get_u32(bytes, pos)?);
                         }

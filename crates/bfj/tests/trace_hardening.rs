@@ -1,0 +1,229 @@
+//! BFTR decode hardening: untrusted trace bytes must always produce a
+//! typed [`TraceError`] or a clean end — never a panic, a hang, or an
+//! attacker-chosen allocation.
+//!
+//! The recorded trace below covers every tag the writer can emit
+//! (allocations, field/array accesses, checks with field sets *and*
+//! strided ranges, volatiles, lock acquire/release, fork/join, thread
+//! exit), then gets systematically damaged: truncated at every byte
+//! boundary, mutated at every byte position, and spliced with
+//! hand-crafted corrupt payloads (oversized LEB128 varints, unknown
+//! tags, absurd claimed lengths).
+
+use bigfoot_bfj::trace::{read_event, read_header};
+use bigfoot_bfj::{parse_program, Interp, SchedPolicy, TraceError, TraceWriter, TRACE_MAGIC};
+
+/// Records one run that exercises every event tag in the codec.
+fn recorded_trace() -> Vec<u8> {
+    let p = parse_program(
+        "class C {
+             field x; field y; volatile v;
+             meth poke(l) {
+                 acq(l);
+                 this.x = 1;
+                 this.v = 2;
+                 w = this.v;
+                 rel(l);
+                 return w;
+             }
+         }
+         main {
+             c = new C; l = new C;
+             a = new_array(8);
+             check(w: c.x/y, r: a[0..8:2], r: a[3]);
+             a[3] = 5;
+             z = a[3];
+             fork t = c.poke(l);
+             join(t);
+         }",
+    )
+    .expect("parse");
+    let mut w = TraceWriter::new();
+    Interp::new(&p, SchedPolicy::default())
+        .run(&mut w)
+        .expect("run");
+    w.into_bytes()
+}
+
+/// Decodes every event in `bytes`, returning how many decoded before a
+/// clean end (`Ok`) or a typed error (`Err`). Panics and hangs are the
+/// failures this harness exists to rule out.
+fn decode_all(bytes: &[u8]) -> Result<usize, TraceError> {
+    let mut pos = read_header(bytes)?;
+    let mut n = 0;
+    while read_event(bytes, &mut pos)?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[test]
+fn intact_trace_decodes_completely() {
+    let bytes = recorded_trace();
+    let n = decode_all(&bytes).expect("intact trace");
+    assert!(n > 10, "expected a rich trace, decoded only {n} events");
+}
+
+#[test]
+fn every_truncation_errors_or_ends_cleanly() {
+    let bytes = recorded_trace();
+    for len in 0..bytes.len() {
+        match decode_all(&bytes[..len]) {
+            // A cut between events is indistinguishable from a shorter
+            // trace — that is a clean end, not corruption.
+            Ok(_) => {}
+            Err(
+                TraceError::BadMagic
+                | TraceError::UnsupportedVersion(_)
+                | TraceError::Truncated { .. }
+                | TraceError::BadTag { .. }
+                | TraceError::InvalidStride { .. },
+            ) => {}
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_mutation_decodes_or_errors() {
+    let bytes = recorded_trace();
+    for pos in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xff] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= mask;
+            // Either outcome is fine; what must not happen is a panic,
+            // an unbounded loop, or an unbounded allocation.
+            let _ = decode_all(&bad);
+        }
+    }
+}
+
+/// Mutated bytes that still decode must survive the codec round-trip:
+/// re-encoding the decoded events yields a trace that decodes to the
+/// same events again. This is the fuzz crate's round-trip oracle applied
+/// to byte-level damage instead of generated programs.
+#[test]
+fn mutations_that_still_decode_round_trip() {
+    use bigfoot_bfj::{Event, EventSink};
+    let bytes = recorded_trace();
+    let decode_events = |bytes: &[u8]| -> Result<Vec<Event>, TraceError> {
+        let mut pos = read_header(bytes)?;
+        let mut evs = Vec::new();
+        while let Some(ev) = read_event(bytes, &mut pos)? {
+            evs.push(ev);
+        }
+        Ok(evs)
+    };
+    let mut survivors = 0;
+    for pos in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        let Ok(evs) = decode_events(&bad) else {
+            continue;
+        };
+        survivors += 1;
+        let mut w = TraceWriter::new();
+        for ev in &evs {
+            w.event(ev);
+        }
+        let reencoded = w.into_bytes();
+        assert_eq!(
+            decode_events(&reencoded).expect("re-encoded trace must decode"),
+            evs,
+            "round-trip diverged after mutating byte {pos}"
+        );
+    }
+    assert!(survivors > 0, "no mutation survived — test lost its teeth");
+}
+
+#[test]
+fn oversized_leb128_shift_is_a_typed_error() {
+    // TAG_ALLOC_ARR = 1: tid, arr, then a u64 length whose varint never
+    // terminates — eleven continuation bytes push the shift past 63.
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(1); // version
+    bytes.push(1); // TAG_ALLOC_ARR
+    bytes.push(0); // tid
+    bytes.push(0); // arr id
+    bytes.extend_from_slice(&[0xff; 11]);
+    assert!(matches!(
+        decode_all(&bytes),
+        Err(TraceError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn unknown_tags_are_typed_errors() {
+    for tag in [11u8, 0x42, 0xff] {
+        let mut bytes = TRACE_MAGIC.to_vec();
+        bytes.push(1); // version
+        bytes.push(tag);
+        assert!(
+            matches!(decode_all(&bytes), Err(TraceError::BadTag { tag: t, .. }) if t == tag),
+            "tag {tag} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn absurd_check_path_count_errors_without_matching_allocation() {
+    // TAG_CHECK = 3 claiming u64::MAX paths, then nothing. The decoder
+    // must cap its pre-allocation at the (tiny) remaining input and fail
+    // with `Truncated` — not reserve entries for the claimed length.
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(1); // version
+    bytes.push(3); // TAG_CHECK
+    bytes.push(0); // tid
+    bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]); // u64::MAX
+    assert!(matches!(
+        decode_all(&bytes),
+        Err(TraceError::Truncated { .. })
+    ));
+
+    // Same for the field-index count inside one path: one claimed path,
+    // a Fields target with u64::MAX indices, then nothing.
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(1); // version
+    bytes.push(3); // TAG_CHECK
+    bytes.push(0); // tid
+    bytes.push(1); // one path
+    bytes.push(0); // kind = read
+    bytes.push(0); // subtag = Fields
+    bytes.push(7); // obj id
+    bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]); // u64::MAX
+    assert!(matches!(
+        decode_all(&bytes),
+        Err(TraceError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn bad_magic_and_version_are_typed_errors() {
+    assert!(matches!(decode_all(b"NOPE"), Err(TraceError::BadMagic)));
+    assert!(matches!(decode_all(b""), Err(TraceError::BadMagic)));
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(99);
+    assert!(matches!(
+        decode_all(&bytes),
+        Err(TraceError::UnsupportedVersion(99))
+    ));
+}
+
+#[test]
+fn invalid_stride_is_a_typed_error() {
+    // TAG_CHECK with one Range path whose step is 0 (zigzag 0).
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(1); // version
+    bytes.push(3); // TAG_CHECK
+    bytes.push(0); // tid
+    bytes.push(1); // one path
+    bytes.push(0); // kind = read
+    bytes.push(1); // subtag = Range
+    bytes.push(0); // arr id
+    bytes.push(0); // lo = 0
+    bytes.push(8); // hi = 4 (zigzag)
+    bytes.push(0); // step = 0 — invalid
+    assert!(matches!(
+        decode_all(&bytes),
+        Err(TraceError::InvalidStride { step: 0, .. })
+    ));
+}

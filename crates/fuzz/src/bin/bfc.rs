@@ -4,11 +4,12 @@
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
 //!                      [--seed N] [--schedules N] [--replay-workers N]
-//!                      [--pipeline [--detect-workers N]] [--json]
+//!                      [--pipeline [--detect-workers N]] [--compiled] [--json]
 //! bfc run <file.bfj>
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
-//! bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] [--json]
+//! bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] [--compiled]
+//!                        [--json]
 //! bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]
 //! ```
 //!
@@ -23,7 +24,11 @@
 //!   annotator) consumes on its own thread — verdicts again identical,
 //!   byte for byte. `--pipeline --detect-workers N` fans the detection
 //!   stage out to `N` sharded workers (every detector, including djit);
-//!   the report stays byte-identical at any `N`.
+//!   the report stays byte-identical at any `N`. `--compiled` swaps the
+//!   tree-walking interpreter for the bytecode compilation tier
+//!   (`bigfoot-bfj`'s `CompiledVm`) as the event producer — verdicts
+//!   stay byte-identical to the interpreted run, and the flag composes
+//!   with `--pipeline`, `--detect-workers`, and `--replay-workers`.
 //! * `run` executes the program uninstrumented and prints `main`'s
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
@@ -33,8 +38,9 @@
 //!   spans, entailment share, shadow transitions, detector counters).
 //! * `fuzz` runs the differential fuzzing campaign: each seed in the
 //!   range becomes a random program + schedule cross-checked between the
-//!   unoptimized and BigFoot-optimized placements, serial and sharded
-//!   replay, and the trace codec round-trip. Divergences are shrunk to
+//!   unoptimized and BigFoot-optimized placements, the interpreted and
+//!   compiled execution tiers, serial and sharded replay, and the trace
+//!   codec round-trip. Divergences are shrunk to
 //!   minimal reproducers and written to the corpus directory; the exit
 //!   code is non-zero if any were found.
 //! * `--json` on `check`, `stats`, `profile`, and `fuzz` emits a
@@ -43,7 +49,8 @@
 
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
 use bigfoot_bfj::{
-    parse_program, pretty, trace::TraceWriter, Interp, NullSink, Program, SchedPolicy, Tid, Value,
+    compile, parse_program, pretty, trace::TraceWriter, CompiledVm, EventSink, Interp, NullSink,
+    Program, RunOutcome, RuntimeError, SchedPolicy, Tid, Value,
 };
 use bigfoot_detectors::{
     detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace, run_pipelined,
@@ -93,14 +100,15 @@ fn main() -> ExitCode {
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
-                 [--replay-workers N] [--pipeline [--detect-workers N]] [--trace-out FILE] [--json]"
+                 [--replay-workers N] [--pipeline [--detect-workers N]] [--compiled] \
+                 [--trace-out FILE] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
             eprintln!(
                 "  bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] \
-                 [--trace-out FILE] [--json]"
+                 [--compiled] [--trace-out FILE] [--json]"
             );
             eprintln!("  bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]");
             ExitCode::from(2)
@@ -150,7 +158,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--corpus",
             "--trace-out",
         ],
-        &["--json", "--pipeline"],
+        &["--json", "--pipeline", "--compiled"],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
     if cmd == "fuzz" {
@@ -208,8 +216,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let schedules: u64 = args.parsed("--schedules")?.unwrap_or(1);
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             let pipelined = args.has("--pipeline");
+            let compiled = args.has("--compiled");
             let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
-            validate_detect_workers(detect_workers, pipelined, replay_workers)?;
+            validate_workers(detect_workers, pipelined, replay_workers)?;
             // Enables the flight recorder for the whole run; the guard
             // writes the Chrome trace on drop too, so a panicking
             // detector still leaves a partial trace on disk.
@@ -234,6 +243,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                     replay_workers,
                     pipelined,
                     detect_workers,
+                    compiled,
                 )?;
                 if stats.has_races() {
                     any_race = true;
@@ -272,6 +282,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 }
                 if let Some(workers) = detect_workers {
                     report.set("detect_workers", workers as u64);
+                }
+                if compiled {
+                    report.set("compiled", true);
                 }
                 report.set("any_race", any_race);
                 report.set("runs", schedule_reports);
@@ -400,8 +413,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             )?;
             let replay_workers: Option<usize> = args.parsed("--replay-workers")?;
             let pipelined = args.has("--pipeline");
+            let compiled = args.has("--compiled");
             let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
-            validate_detect_workers(detect_workers, pipelined, replay_workers)?;
+            validate_workers(detect_workers, pipelined, replay_workers)?;
             let trace_guard = args
                 .value("--trace-out")
                 .map(bigfoot_obs::TraceOutGuard::new);
@@ -418,6 +432,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 replay_workers,
                 pipelined,
                 detect_workers,
+                compiled,
             ) {
                 Ok(stats) => (Some(stats), None),
                 Err(e) => (None, Some(e)),
@@ -445,6 +460,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 }
                 if let Some(workers) = detect_workers {
                     report.set("detect_workers", workers as u64);
+                }
+                if compiled {
+                    report.set("compiled", true);
                 }
                 if let Some(stats) = &stats {
                     report.set("stats", stats.to_json());
@@ -570,7 +588,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
         outln!("{}", out.to_string_pretty());
     } else {
         outln!(
-            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, placement {}, replay {}, pipeline {}",
+            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, compiled {}, placement {}, replay {}, pipeline {}",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -584,6 +602,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
             report.oracle_runs[1],
             report.oracle_runs[2],
             report.oracle_runs[3],
+            report.oracle_runs[4],
         );
         for d in &report.divergences {
             outln!();
@@ -609,14 +628,20 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
     })
 }
 
-/// `--detect-workers` only makes sense for the online pipeline: without
-/// `--pipeline` there is no detection stage to shard, and
-/// `--replay-workers` already parallelizes the offline replay engine.
-fn validate_detect_workers(
+/// Worker-count sanity checks, applied at parse time so a bad flag fails
+/// before any work starts. Zero workers is always a contradiction — both
+/// engines need at least one worker thread to consume anything.
+/// `--detect-workers` additionally only makes sense for the online
+/// pipeline: without `--pipeline` there is no detection stage to shard,
+/// and `--replay-workers` already parallelizes the offline replay engine.
+fn validate_workers(
     detect_workers: Option<usize>,
     pipelined: bool,
     replay_workers: Option<usize>,
 ) -> Result<(), String> {
+    if replay_workers == Some(0) {
+        return Err("--replay-workers wants at least 1 worker".into());
+    }
     match detect_workers {
         None => Ok(()),
         Some(0) => Err("--detect-workers wants at least 1 worker".into()),
@@ -625,6 +650,25 @@ fn validate_detect_workers(
             Err("--detect-workers and --replay-workers are mutually exclusive".into())
         }
         Some(_) => Ok(()),
+    }
+}
+
+/// Runs `program` to completion on the selected execution tier,
+/// streaming its events into `sink`. With `compiled` set the program is
+/// lowered to flat bytecode once and executed on [`CompiledVm`] — the
+/// event stream is byte-identical to the interpreter's, so everything
+/// downstream (detectors, rings, replay) is oblivious to the swap.
+fn execute<S: EventSink>(
+    program: &Program,
+    policy: SchedPolicy,
+    compiled: bool,
+    sink: &mut S,
+) -> Result<RunOutcome, RuntimeError> {
+    if compiled {
+        let lowered = compile(program);
+        CompiledVm::new(&lowered, policy).run(sink)
+    } else {
+        Interp::new(program, policy).run(sink)
     }
 }
 
@@ -644,26 +688,25 @@ fn check_once(
     replay_workers: Option<usize>,
     pipelined: bool,
     detect_workers: Option<usize>,
+    compiled: bool,
 ) -> Result<Stats, String> {
     if let Some(workers) = detect_workers {
-        return check_sharded(program, which, policy, workers);
+        return check_sharded(program, which, policy, workers, compiled);
     }
     if let Some(workers) = replay_workers {
-        return check_replay(program, which, policy, workers, pipelined);
+        return check_replay(program, which, policy, workers, pipelined, compiled);
     }
     let run_detector = |prog: &Program, mut det: Detector| -> Result<Stats, String> {
         if pipelined {
             let (run, stats) = detect_pipelined(
                 &PipelineConfig::default(),
-                |sink| Interp::new(prog, policy).run(sink),
+                |sink| execute(prog, policy, compiled, sink),
                 det,
             );
             run.map_err(|e| format!("runtime error: {e}"))?;
             return Ok(stats);
         }
-        Interp::new(prog, policy)
-            .run(&mut det)
-            .map_err(|e| format!("runtime error: {e}"))?;
+        execute(prog, policy, compiled, &mut det).map_err(|e| format!("runtime error: {e}"))?;
         Ok(det.finish())
     };
     match which {
@@ -685,15 +728,14 @@ fn check_once(
             if pipelined {
                 let (run, det) = run_pipelined(
                     &PipelineConfig::default(),
-                    |sink| Interp::new(program, policy).run(sink),
+                    |sink| execute(program, policy, compiled, sink),
                     DjitDetector::new(),
                 );
                 run.map_err(|e| format!("runtime error: {e}"))?;
                 return Ok(det.finish());
             }
             let mut det = DjitDetector::new();
-            Interp::new(program, policy)
-                .run(&mut det)
+            execute(program, policy, compiled, &mut det)
                 .map_err(|e| format!("runtime error: {e}"))?;
             Ok(det.finish())
         }
@@ -711,18 +753,19 @@ fn check_sharded(
     which: &str,
     policy: SchedPolicy,
     workers: usize,
+    compiled: bool,
 ) -> Result<Stats, String> {
     let pipeline = PipelineConfig::default();
     if which == "djit" {
         let (run, stats) = djit_sharded(&pipeline, workers, |sink| {
-            Interp::new(program, policy).run(sink)
+            execute(program, policy, compiled, sink)
         });
         run.map_err(|e| format!("runtime error: {e}"))?;
         return Ok(stats);
     }
     let sharded = |prog: &Program, config: ReplayConfig| -> Result<Stats, String> {
         let (run, stats) = replay_sharded(&pipeline, &config, |sink| {
-            Interp::new(prog, policy).run(sink)
+            execute(prog, policy, compiled, sink)
         });
         run.map_err(|e| format!("runtime error: {e}"))?;
         Ok(stats)
@@ -758,18 +801,17 @@ fn check_replay(
     policy: SchedPolicy,
     workers: usize,
     pipelined: bool,
+    compiled: bool,
 ) -> Result<Stats, String> {
     let record = |prog: &Program| -> Result<Vec<u8>, String> {
         let mut w = TraceWriter::new();
-        Interp::new(prog, policy)
-            .run(&mut w)
-            .map_err(|e| format!("runtime error: {e}"))?;
+        execute(prog, policy, compiled, &mut w).map_err(|e| format!("runtime error: {e}"))?;
         Ok(w.into_bytes())
     };
     let replay = |prog: &Program, config: ReplayConfig| -> Result<Stats, String> {
         if pipelined {
             let (run, stats) = replay_pipelined(&PipelineConfig::default(), &config, |sink| {
-                Interp::new(prog, policy).run(sink)
+                execute(prog, policy, compiled, sink)
             });
             run.map_err(|e| format!("runtime error: {e}"))?;
             return Ok(stats);
@@ -796,5 +838,43 @@ fn check_replay(
         }
         "djit" => Err("--replay-workers is not supported for --detector djit".into()),
         other => Err(format!("unknown detector `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_workers;
+
+    #[test]
+    fn zero_workers_is_rejected_for_both_engines() {
+        assert!(validate_workers(Some(0), true, None)
+            .unwrap_err()
+            .contains("--detect-workers wants at least 1"));
+        assert!(validate_workers(None, false, Some(0))
+            .unwrap_err()
+            .contains("--replay-workers wants at least 1"));
+        // The zero check fires even when another validation would too.
+        assert!(validate_workers(Some(2), true, Some(0))
+            .unwrap_err()
+            .contains("--replay-workers wants at least 1"));
+    }
+
+    #[test]
+    fn detect_workers_needs_the_pipeline_and_excludes_replay() {
+        assert!(validate_workers(Some(2), false, None)
+            .unwrap_err()
+            .contains("requires --pipeline"));
+        assert!(validate_workers(Some(2), true, Some(2))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn valid_combinations_pass() {
+        assert!(validate_workers(None, false, None).is_ok());
+        assert!(validate_workers(None, true, None).is_ok());
+        assert!(validate_workers(Some(4), true, None).is_ok());
+        assert!(validate_workers(None, false, Some(3)).is_ok());
+        assert!(validate_workers(None, true, Some(3)).is_ok());
     }
 }

@@ -11,8 +11,9 @@
 //!    configuration (threads, nested locks, volatiles, strided loops,
 //!    symbolic bounds, fork trees, racy or race-free) plus a scheduler
 //!    policy.
-//! 2. [`run_oracles`] runs the case through the round-trip, placement,
-//!    replay, and pipeline oracles; any disagreement is a [`Divergence`].
+//! 2. [`run_oracles`] runs the case through the round-trip, compiled,
+//!    placement, replay, and pipeline oracles; any disagreement is a
+//!    [`Divergence`].
 //! 3. [`shrink`] delta-debugs a diverging case to a minimal deterministic
 //!    reproducer, which [`run_campaign`] commits to the corpus
 //!    (`crates/fuzz/corpus/`) where `cargo test` replays it forever.
@@ -92,9 +93,9 @@ pub struct CampaignReport {
     pub seed_hi: u64,
     /// Cases executed (== seeds covered).
     pub cases: u64,
-    /// Times each oracle suite completed (round-trip, placement, replay,
-    /// pipeline).
-    pub oracle_runs: [u64; 4],
+    /// Times each oracle suite completed (round-trip, compiled,
+    /// placement, replay, pipeline).
+    pub oracle_runs: [u64; 5],
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// True when the time budget stopped the campaign early.
@@ -112,9 +113,10 @@ impl CampaignReport {
         out.set("cases", self.cases);
         let mut oracles = Json::object();
         oracles.set("roundtrip", self.oracle_runs[0]);
-        oracles.set("placement", self.oracle_runs[1]);
-        oracles.set("replay", self.oracle_runs[2]);
-        oracles.set("pipeline", self.oracle_runs[3]);
+        oracles.set("compiled", self.oracle_runs[1]);
+        oracles.set("placement", self.oracle_runs[2]);
+        oracles.set("replay", self.oracle_runs[3]);
+        oracles.set("pipeline", self.oracle_runs[4]);
         out.set("oracle_runs", oracles);
         out.set("elapsed_ms", self.elapsed.as_secs_f64() * 1e3);
         out.set("exhausted_budget", self.exhausted_budget);
@@ -149,7 +151,7 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
         seed_lo: opts.seed_lo,
         seed_hi: opts.seed_lo,
         cases: 0,
-        oracle_runs: [0; 4],
+        oracle_runs: [0; 5],
         elapsed: Duration::ZERO,
         exhausted_budget: false,
         divergences: Vec::new(),
@@ -183,10 +185,9 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
             }
         };
         let Some(div) = run_oracles(&case.program, case.policy) else {
-            report.oracle_runs[0] += 1;
-            report.oracle_runs[1] += 1;
-            report.oracle_runs[2] += 1;
-            report.oracle_runs[3] += 1;
+            for run in &mut report.oracle_runs {
+                *run += 1;
+            }
             continue;
         };
         bigfoot_obs::count!("fuzz.divergence");

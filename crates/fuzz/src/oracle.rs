@@ -1,11 +1,15 @@
 //! The differential oracles.
 //!
-//! Every case runs through four independent cross-checks, each of which
+//! Every case runs through five independent cross-checks, each of which
 //! has a ground truth the others don't:
 //!
 //! * **round-trip** — the binary trace codec must be lossless: decoding
 //!   the recorded bytes yields the recorded events, and re-encoding the
 //!   events yields the recorded bytes.
+//! * **compiled** — the bytecode compilation tier must be invisible: for
+//!   both the unoptimized and the BigFoot-instrumented program, running
+//!   the compiled form under the same schedule must produce the same
+//!   outcome and a byte-identical BFTR event stream as the interpreter.
 //! * **placement** — the precision theorem (§3.5): the BigFoot-placed
 //!   checks must be *precise* (`verify_precise_checks`) and must make the
 //!   detector report exactly FastTrack's race verdict — same boolean, same
@@ -34,8 +38,10 @@
 
 use bigfoot::instrument;
 use bigfoot_bfj::{
+    compile,
     trace::{read_event, read_header},
-    Event, EventSink, Interp, Program, RecordingSink, SchedPolicy, TraceWriter,
+    CompiledVm, Event, EventSink, Interp, Program, RecordingSink, RunOutcome, SchedPolicy,
+    TraceWriter,
 };
 use bigfoot_detectors::{
     detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace,
@@ -62,6 +68,8 @@ pub enum OracleKind {
     Execution,
     /// Trace encode/decode round-trip mismatch.
     RoundTrip,
+    /// Compiled (bytecode VM) run diverges from the interpreted run.
+    Compiled,
     /// FastTrack vs BigFoot placement verdict mismatch, or imprecise
     /// checks.
     Placement,
@@ -78,6 +86,7 @@ impl OracleKind {
         match self {
             OracleKind::Execution => "execution",
             OracleKind::RoundTrip => "roundtrip",
+            OracleKind::Compiled => "compiled",
             OracleKind::Placement => "placement",
             OracleKind::Replay => "replay",
             OracleKind::Pipeline => "pipeline",
@@ -89,6 +98,7 @@ impl OracleKind {
         Some(match name {
             "execution" => OracleKind::Execution,
             "roundtrip" => OracleKind::RoundTrip,
+            "compiled" => OracleKind::Compiled,
             "placement" => OracleKind::Placement,
             "replay" => OracleKind::Replay,
             "pipeline" => OracleKind::Pipeline,
@@ -130,19 +140,73 @@ impl EventSink for Tee<'_> {
     }
 }
 
-/// Runs `program` once, returning the encoded trace and the event list.
-fn record(program: &Program, policy: SchedPolicy) -> Result<(Vec<u8>, Vec<Event>), String> {
+/// Runs `program` once, returning the encoded trace, the event list, and
+/// the run outcome (the compiled oracle compares the latter too).
+fn record(
+    program: &Program,
+    policy: SchedPolicy,
+) -> Result<(Vec<u8>, Vec<Event>, RunOutcome), String> {
     let mut writer = TraceWriter::new();
     let mut rec = RecordingSink::default();
     let mut tee = Tee {
         writer: &mut writer,
         rec: &mut rec,
     };
-    Interp::new(program, policy)
+    let outcome = Interp::new(program, policy)
         .with_max_steps(MAX_STEPS)
         .run(&mut tee)
         .map_err(|e| format!("runtime error: {e}"))?;
-    Ok((writer.into_bytes(), rec.events))
+    Ok((writer.into_bytes(), rec.events, outcome))
+}
+
+/// The compiled-tier oracle: lowering `program` to bytecode and running
+/// it under the same policy must reproduce the interpreter's outcome and
+/// its exact trace bytes.
+fn compiled_matches(
+    label: &str,
+    program: &Program,
+    policy: SchedPolicy,
+    interp_bytes: &[u8],
+    interp_outcome: &RunOutcome,
+) -> Option<Divergence> {
+    let compiled = compile(program);
+    let mut writer = TraceWriter::new();
+    let outcome = match CompiledVm::new(&compiled, policy)
+        .with_max_steps(MAX_STEPS)
+        .run(&mut writer)
+    {
+        Ok(o) => o,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Compiled,
+                format!("{label}: compiled run failed where the interpreter succeeded: {e}"),
+            ))
+        }
+    };
+    if outcome != *interp_outcome {
+        return Some(Divergence::new(
+            OracleKind::Compiled,
+            format!("{label}: compiled outcome {outcome:?}, interpreted {interp_outcome:?}"),
+        ));
+    }
+    let bytes = writer.into_bytes();
+    if bytes != interp_bytes {
+        let first = bytes
+            .iter()
+            .zip(interp_bytes)
+            .position(|(a, b)| a != b)
+            .unwrap_or(bytes.len().min(interp_bytes.len()));
+        return Some(Divergence::new(
+            OracleKind::Compiled,
+            format!(
+                "{label}: compiled trace diverges at byte {first} \
+                 ({} compiled bytes vs {} interpreted)",
+                bytes.len(),
+                interp_bytes.len()
+            ),
+        ));
+    }
+    None
 }
 
 /// Feeds a recorded trace to a serial detector.
@@ -280,12 +344,12 @@ pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence>
     let _span = bigfoot_obs::span!("fuzz.case");
 
     // One execution per placement; every oracle below reuses these.
-    let (ft_bytes, ft_events) = match record(program, policy) {
+    let (ft_bytes, ft_events, ft_outcome) = match record(program, policy) {
         Ok(x) => x,
         Err(e) => return Some(Divergence::new(OracleKind::Execution, e)),
     };
     let inst = instrument(program);
-    let (bf_bytes, bf_events) = match record(&inst.program, policy) {
+    let (bf_bytes, bf_events, bf_outcome) = match record(&inst.program, policy) {
         Ok(x) => x,
         Err(e) => {
             return Some(Divergence::new(
@@ -300,6 +364,23 @@ pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence>
         return Some(d);
     }
     if let Some(d) = roundtrip("instrumented", &bf_bytes, &bf_events) {
+        return Some(d);
+    }
+
+    // The compiled tier must be invisible for both placements: same
+    // outcome, byte-identical trace. Running it right after round-trip
+    // means a codec bug cannot masquerade as a compilation bug.
+    bigfoot_obs::count!("fuzz.oracle.compiled");
+    if let Some(d) = compiled_matches("unoptimized", program, policy, &ft_bytes, &ft_outcome) {
+        return Some(d);
+    }
+    if let Some(d) = compiled_matches(
+        "instrumented",
+        &inst.program,
+        policy,
+        &bf_bytes,
+        &bf_outcome,
+    ) {
         return Some(d);
     }
 
@@ -524,7 +605,7 @@ mod tests {
         // Sanity-check the round-trip comparator itself: flipping one
         // payload byte in a recorded trace must register as a divergence.
         let p = parse_program("main { a = new_array(4); a[1] = 2; x = a[1]; }").unwrap();
-        let (mut bytes, events) = record(&p, SchedPolicy::default()).unwrap();
+        let (mut bytes, events, _) = record(&p, SchedPolicy::default()).unwrap();
         assert!(roundtrip("ok", &bytes, &events).is_none());
         let last = bytes.len() - 1;
         bytes[last] ^= 0x7;
