@@ -6,7 +6,8 @@
 //! repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all]
 //!       [--scale small|full] [--reps N] [--bench NAME]
 //!       [--replay-workers N] [--budget SECS]
-//!       [--pipeline [--detect-workers N]] [--compiled] [--json] [--out FILE]
+//!       [--pipeline [--detect-workers N]] [--compiled] [--compressed]
+//!       [--json] [--out FILE]
 //! ```
 //!
 //! * `table1` — per-benchmark StaticBF time, check ratio, base time, and
@@ -41,7 +42,12 @@
 //!   `--compiled` measures the bytecode compilation tier against the
 //!   tree-walking interpreter (uninstrumented steps/sec and
 //!   BigFoot-instrumented end-to-end events/sec) and adds an additive
-//!   `compiled` section. The drift gate compares section *presence* in
+//!   `compiled` section. `--compressed` records each configuration's
+//!   trace, compresses it to the `BFTC` grammar container, and compares
+//!   raw-trace replay against detection directly on the compressed form
+//!   (per-benchmark compression ratio, replay events/sec both ways,
+//!   memoization counts, and verdict equality) in an additive
+//!   `compressed` section. The drift gate compares section *presence* in
 //!   both directions, so `--check` must run with the same flags the
 //!   committed baseline was generated with.
 //! * `--json` — emit the machine-readable report (schema in
@@ -69,7 +75,7 @@ fn main() -> ExitCode {
                 "usage: repro [table1|table2|fig2|fig8|static|ablation|replay|fuzz|perf|all] \
                  [--scale small|full] [--reps N] [--bench NAME] [--replay-workers N] \
                  [--budget SECS] [--check BENCH.json] [--tolerance FRAC] \
-                 [--pipeline [--detect-workers N]] [--compiled] \
+                 [--pipeline [--detect-workers N]] [--compiled] [--compressed] \
                  [--trace-out FILE] [--metrics-out FILE] [--json] [--out FILE]"
             );
             ExitCode::from(2)
@@ -93,7 +99,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--trace-out",
             "--metrics-out",
         ],
-        &["--json", "--pipeline", "--compiled"],
+        &["--json", "--pipeline", "--compiled", "--compressed"],
     )?;
     // The flight recorder spans the whole command (`repro perf
     // --pipeline --trace-out t.json` shows the interpreter/detector
@@ -186,7 +192,7 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
         }
         println!(
             "fuzz: {} case(s) over seeds {}..{} in {:.1}s — all oracles agree \
-             (roundtrip {}, compiled {}, placement {}, replay {}, pipeline {})",
+             (roundtrip {}, compiled {}, placement {}, replay {}, compressed {}, pipeline {})",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -196,6 +202,7 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
             report.oracle_runs[2],
             report.oracle_runs[3],
             report.oracle_runs[4],
+            report.oracle_runs[5],
         );
         return Ok(());
     }
@@ -255,11 +262,35 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
                     })
                     .collect()
             });
+        let compressed: Option<Vec<bigfoot_bench::perf::CompressedBench>> =
+            args.has("--compressed").then(|| {
+                eprintln!("compressed-trace detection (raw replay vs memoized grammar walk) …");
+                selected
+                    .iter()
+                    .map(|b| {
+                        eprintln!("  {}", b.name);
+                        bigfoot_bench::perf::measure_compressed(b.name, &b.program, reps)
+                    })
+                    .collect()
+            });
+        if let Some(compressed) = &compressed {
+            for r in compressed {
+                for d in &r.detectors {
+                    if !d.matches {
+                        return Err(format!(
+                            "compressed-replay verdicts diverge from raw replay on `{}` ({})",
+                            r.name, d.name
+                        ));
+                    }
+                }
+            }
+        }
         let report = bigfoot_bench::perf::perf_json(
             &results,
             pipeline.as_deref(),
             sharded.as_deref(),
             compiled.as_deref(),
+            compressed.as_deref(),
             scale_name,
             reps,
         );
@@ -287,6 +318,9 @@ fn run_cmd(args: &CliArgs) -> Result<(), String> {
         }
         if let Some(compiled) = &compiled {
             compiled_table(compiled);
+        }
+        if let Some(compressed) = &compressed {
+            compressed_table(compressed);
         }
         return Ok(());
     }
@@ -655,6 +689,44 @@ fn compiled_table(results: &[bigfoot_bench::perf::CompiledBench]) {
         geomean(results.iter().map(|r| r.compiled_events_per_sec)),
         geomean(results.iter().map(|r| r.instrumented_speedup())),
     );
+}
+
+fn compressed_table(results: &[bigfoot_bench::perf::CompressedBench]) {
+    println!();
+    println!("== compressed traces: size ratio and replay speedup (BF config sizes; speedup per config) ==");
+    println!(
+        "{:<11} {:>9} {:>9} {:>7} | {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "program", "raw KB", "bftc KB", "ratio", "FT", "RC", "SS", "SC", "BF"
+    );
+    for r in results {
+        let bf = r.run("BF");
+        print!(
+            "{:<11} {:>9.1} {:>9.1} {:>6.1}x |",
+            r.name,
+            bf.raw_bytes as f64 / 1024.0,
+            bf.compressed_bytes as f64 / 1024.0,
+            bf.ratio(),
+        );
+        for d in DETECTORS {
+            print!(" {:>6.2}x", r.run(d).speedup());
+        }
+        println!();
+    }
+    print!(
+        "{:<11} {:>9} {:>9} {:>6.1}x |",
+        "GeoMean",
+        "",
+        "",
+        geomean(results.iter().map(|r| r.run("BF").ratio()))
+    );
+    for d in DETECTORS {
+        print!(
+            " {:>6.2}x",
+            geomean(results.iter().map(|r| r.run(d).speedup()))
+        );
+    }
+    println!();
+    println!("all compressed-replay verdicts matched raw replay bit-for-bit.");
 }
 
 /// Worker-count flags must make sense before any measurement starts:

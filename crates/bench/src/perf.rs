@@ -16,8 +16,9 @@ use bigfoot_bfj::{
     SchedPolicy,
 };
 use bigfoot_detectors::{
-    detect_pipelined, djit_sharded, replay_sharded, ArrayEngine, CheckSource, Detector,
-    DjitDetector, PipelineConfig, ProxyTable, ReplayConfig, Stats, TraceReader,
+    detect_pipelined, djit_sharded, replay_compressed_report, replay_sharded, replay_trace,
+    ArrayEngine, CheckSource, Detector, DjitDetector, PipelineConfig, ProxyTable, ReplayConfig,
+    Stats, TraceReader,
 };
 use bigfoot_obs::json::Json;
 use std::time::Instant;
@@ -437,6 +438,150 @@ pub fn measure_compiled(name: &'static str, program: &Program, reps: usize) -> C
     }
 }
 
+/// Trace-size and replay-throughput numbers for one replay
+/// configuration on one benchmark (`repro perf --compressed`).
+///
+/// Both rates time the whole offline path — decode (or grammar walk),
+/// vector-clock annotation, detection, merge — over the same recorded
+/// schedule, so `speedup` isolates what the memoizing compressed-replay
+/// engine buys (or costs: rules carrying sync, or the fine array
+/// engine, fall back to expansion and pay the walk for nothing).
+#[derive(Debug, Clone)]
+pub struct CompressedDetectorPerf {
+    /// Short name (FT/RC/SS/SC/BF).
+    pub name: &'static str,
+    /// Events in this configuration's recorded trace.
+    pub events: u64,
+    /// Raw `BFTR` trace size in bytes.
+    pub raw_bytes: u64,
+    /// Grammar-compressed `BFTC` container size in bytes.
+    pub compressed_bytes: u64,
+    /// Median events/second replaying the raw trace.
+    pub raw_events_per_sec: f64,
+    /// Median events/second detecting directly on the compressed form.
+    pub compressed_events_per_sec: f64,
+    /// Memoized rule applications in one compressed replay.
+    pub memo_runs: u64,
+    /// Memoization probes that fell back to expansion.
+    pub memo_fallbacks: u64,
+    /// Events whose annotation was skipped by memoization.
+    pub skipped_events: u64,
+    /// Whether raw and compressed replay produced byte-identical stats.
+    pub matches: bool,
+}
+
+impl CompressedDetectorPerf {
+    /// Raw / compressed size ratio (> 1 means compression pays).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes > 0 {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Compressed / raw replay throughput ratio (> 1 means the memoizing
+    /// engine beats raw replay).
+    pub fn speedup(&self) -> f64 {
+        if self.raw_events_per_sec > 0.0 {
+            self.compressed_events_per_sec / self.raw_events_per_sec
+        } else {
+            1.0
+        }
+    }
+}
+
+/// All compressed-trace measurements for one benchmark.
+#[derive(Debug)]
+pub struct CompressedBench {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Per-configuration numbers, in [`DETECTORS`] order.
+    pub detectors: Vec<CompressedDetectorPerf>,
+}
+
+impl CompressedBench {
+    /// The run for a detector name.
+    pub fn run(&self, name: &str) -> &CompressedDetectorPerf {
+        self.detectors
+            .iter()
+            .find(|r| r.name == name)
+            .expect("detector")
+    }
+}
+
+/// Measures trace compression and compressed-replay throughput
+/// (`repro perf --compressed`). Each configuration's program is recorded
+/// once to a raw `BFTR` trace, compressed once, and then both forms are
+/// replayed to verdicts — `workers` fixed at 1 so the serial annotation
+/// stage (where memoization acts) dominates. The numbers land in an
+/// *additive* `compressed` section that the [`check_against_baseline`]
+/// throughput gate never reads.
+pub fn measure_compressed(name: &'static str, program: &Program, reps: usize) -> CompressedBench {
+    let record_bytes = |p: &Program| -> (u64, Vec<u8>) {
+        let mut writer = TraceWriter::new();
+        Interp::new(p, SchedPolicy::default())
+            .run(&mut writer)
+            .expect("run");
+        (writer.events(), writer.into_bytes())
+    };
+    let inst: Instrumented = instrument(program);
+    let (rc_prog, rc_proxies) = redcard_instrument(program);
+    let (raw_events, raw_trace) = record_bytes(program);
+    let (rc_events, rc_trace) = record_bytes(&rc_prog);
+    let (bf_events, bf_trace) = record_bytes(&inst.program);
+
+    let obs_was_on = bigfoot_obs::enabled();
+    bigfoot_obs::set_enabled(false);
+    let mut detectors = Vec::new();
+    for d in DETECTORS {
+        let (events, trace): (u64, &[u8]) = match d {
+            // The replay engine's FastTrack/SlimState configurations
+            // check raw accesses, so the uninstrumented trace is theirs.
+            "FT" | "SS" => (raw_events, &raw_trace),
+            "RC" | "SC" => (rc_events, &rc_trace),
+            _ => (bf_events, &bf_trace),
+        };
+        let config = match d {
+            "FT" => ReplayConfig::fasttrack(1),
+            "SS" => ReplayConfig::slimstate(1),
+            "RC" => ReplayConfig::redcard(rc_proxies.clone(), 1),
+            "SC" => ReplayConfig::slimcard(rc_proxies.clone(), 1),
+            _ => ReplayConfig::bigfoot(inst.proxies.clone(), 1),
+        };
+        let packed = bigfoot_bfj::compress(trace).expect("compress");
+        let raw_stats = replay_trace(trace, &config).expect("raw replay");
+        let (comp_stats, memo) =
+            replay_compressed_report(&packed, &config).expect("compressed replay");
+        let matches = raw_stats.to_json().to_string_compact()
+            == comp_stats.to_json().to_string_compact()
+            && raw_stats.races == comp_stats.races;
+        let raw_rate = end_to_end_rate(events, reps, || {
+            std::hint::black_box(replay_trace(trace, &config).expect("raw replay"));
+        });
+        let comp_rate = end_to_end_rate(events, reps, || {
+            std::hint::black_box(
+                bigfoot_detectors::replay_compressed(&packed, &config).expect("compressed replay"),
+            );
+        });
+        detectors.push(CompressedDetectorPerf {
+            name: d,
+            events,
+            raw_bytes: trace.len() as u64,
+            compressed_bytes: packed.len() as u64,
+            raw_events_per_sec: raw_rate,
+            compressed_events_per_sec: comp_rate,
+            memo_runs: memo.memo_runs,
+            memo_fallbacks: memo.memo_fallbacks,
+            skipped_events: memo.skipped_events,
+            matches,
+        });
+    }
+    bigfoot_obs::set_enabled(obs_was_on);
+
+    CompressedBench { name, detectors }
+}
+
 /// Detector configurations the sharded measurement covers: the light
 /// consumer (FastTrack, where the interpreter is the wall and fan-out
 /// can only add overhead) and the heavy consumer (DJIT+, whose
@@ -580,16 +725,18 @@ pub fn measure_sharded(
 }
 
 /// The `repro perf --json` report (the `BENCH.json` schema). The
-/// `pipeline`, `pipeline_sharded`, and `compiled` sections are additive:
-/// present only when `--pipeline` (with `--detect-workers`) and
-/// `--compiled` ran. [`check_against_baseline`] never reads their
-/// numbers, but it does require the baseline and the fresh report to
-/// carry the same set of sections.
+/// `pipeline`, `pipeline_sharded`, `compiled`, and `compressed` sections
+/// are additive: present only when `--pipeline` (with
+/// `--detect-workers`), `--compiled`, and `--compressed` ran.
+/// [`check_against_baseline`] never reads their numbers, but it does
+/// require the baseline and the fresh report to carry the same set of
+/// sections.
 pub fn perf_json(
     results: &[PerfBench],
     pipeline: Option<&[PipelineBench]>,
     sharded: Option<&[ShardedBench]>,
     compiled: Option<&[CompiledBench]>,
+    compressed: Option<&[CompressedBench]>,
     scale: &str,
     reps: usize,
 ) -> Json {
@@ -780,6 +927,51 @@ pub fn perf_json(
         );
         c.set("summary", csummary);
         env.set("compiled", c);
+    }
+
+    if let Some(compressed) = compressed {
+        let mut c = Json::object();
+        let mut arr = Json::array();
+        for r in compressed {
+            let mut b = Json::object();
+            b.set("name", r.name);
+            let mut dets = Json::object();
+            for d in &r.detectors {
+                let mut o = Json::object();
+                o.set("events", d.events);
+                o.set("raw_bytes", d.raw_bytes);
+                o.set("compressed_bytes", d.compressed_bytes);
+                o.set("ratio", d.ratio());
+                o.set("raw_events_per_sec", d.raw_events_per_sec);
+                o.set("compressed_events_per_sec", d.compressed_events_per_sec);
+                o.set("speedup", d.speedup());
+                o.set("memo_runs", d.memo_runs);
+                o.set("memo_fallbacks", d.memo_fallbacks);
+                o.set("skipped_events", d.skipped_events);
+                o.set("matches", d.matches);
+                dets.set(d.name, o);
+            }
+            b.set("detectors", dets);
+            arr.push(b);
+        }
+        c.set("benchmarks", arr);
+        let mut csummary = Json::object();
+        let mut ratios = Json::object();
+        let mut speedups = Json::object();
+        for d in DETECTORS {
+            ratios.set(d, geomean(compressed.iter().map(|r| r.run(d).ratio())));
+            speedups.set(d, geomean(compressed.iter().map(|r| r.run(d).speedup())));
+        }
+        csummary.set("compression_ratio_geomean", ratios);
+        csummary.set("speedup_geomean", speedups);
+        csummary.set(
+            "all_match",
+            compressed
+                .iter()
+                .all(|r| r.detectors.iter().all(|d| d.matches)),
+        );
+        c.set("summary", csummary);
+        env.set("compressed", c);
     }
     env
 }

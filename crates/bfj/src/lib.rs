@@ -56,6 +56,10 @@ pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pretty::{pretty, pretty_check_path, pretty_expr, pretty_stmt};
 pub use sym::Sym;
+pub use trace::compress::{
+    compress, decompress, decompress_to, is_compressed, read_compressed, CompressedTrace,
+    CompressedTraceWriter, DeltaState, COMPRESSED_MAGIC, COMPRESSED_VERSION,
+};
 pub use trace::{TraceError, TraceWriter, TRACE_MAGIC, TRACE_VERSION};
 
 /// Re-export of the thread-id type used throughout the event stream.

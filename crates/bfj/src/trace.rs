@@ -25,6 +25,8 @@
 use crate::event::{ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, ObjId};
 use bigfoot_vc::{AccessKind, Tid};
 
+pub mod compress;
+
 /// File magic for serialized traces.
 pub const TRACE_MAGIC: [u8; 4] = *b"BFTR";
 
@@ -74,6 +76,51 @@ pub enum TraceError {
         /// The decoded stride.
         step: i64,
     },
+    /// A compressed-container rule referenced a symbol that does not
+    /// exist yet. Rules may only reference dictionary entries and
+    /// *earlier* rules, which makes every accepted grammar acyclic by
+    /// construction — self-references and forward references land here.
+    BadRuleRef {
+        /// Index of the offending rule (or `u64::MAX` for the top-level
+        /// sequence).
+        rule: u64,
+        /// The out-of-range symbol.
+        sym: u64,
+    },
+    /// A compressed-container run carried a zero repeat count.
+    BadCount {
+        /// Index of the offending rule (or `u64::MAX` for the top-level
+        /// sequence).
+        rule: u64,
+    },
+    /// A compressed container claims an expansion larger than the
+    /// decoder is willing to materialize (or its run counts overflow).
+    OversizedExpansion {
+        /// The claimed number of expanded events.
+        claimed: u64,
+    },
+    /// The compressed container's header-declared event total does not
+    /// match the grammar's actual expansion size.
+    ExpansionMismatch {
+        /// Event count declared in the container header.
+        claimed: u64,
+        /// Event count the grammar actually expands to.
+        actual: u64,
+    },
+    /// A compressed-container rule chain nests deeper than
+    /// [`compress::MAX_RULE_DEPTH`], which would make expansion
+    /// recursion unsafe.
+    RuleTooDeep {
+        /// Index of the offending rule.
+        rule: u64,
+    },
+    /// Bytes remained after the last structural element of a compressed
+    /// container. BFTR streams are length-free, but BFTC containers are
+    /// fully structured, so trailing garbage is always an error.
+    TrailingBytes {
+        /// Offset of the first unconsumed byte.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -95,6 +142,41 @@ impl std::fmt::Display for TraceError {
             TraceError::InvalidStride { offset, step } => {
                 write!(f, "non-positive range stride {step} at byte {offset}")
             }
+            TraceError::BadRuleRef { rule, sym } => {
+                if *rule == u64::MAX {
+                    write!(f, "top-level sequence references undefined symbol {sym}")
+                } else {
+                    write!(f, "rule {rule} references undefined symbol {sym}")
+                }
+            }
+            TraceError::BadCount { rule } => {
+                if *rule == u64::MAX {
+                    write!(f, "zero repeat count in top-level sequence")
+                } else {
+                    write!(f, "zero repeat count in rule {rule}")
+                }
+            }
+            TraceError::OversizedExpansion { claimed } => {
+                write!(
+                    f,
+                    "compressed trace claims oversized expansion ({claimed} events)"
+                )
+            }
+            TraceError::ExpansionMismatch { claimed, actual } => {
+                write!(
+                    f,
+                    "compressed trace declares {claimed} events but expands to {actual}"
+                )
+            }
+            TraceError::RuleTooDeep { rule } => {
+                write!(f, "rule {rule} nests deeper than the expansion limit")
+            }
+            TraceError::TrailingBytes { offset } => {
+                write!(
+                    f,
+                    "trailing bytes after compressed trace at offset {offset}"
+                )
+            }
         }
     }
 }
@@ -103,7 +185,7 @@ impl std::error::Error for TraceError {}
 
 // ---------------- varint primitives ----------------
 
-fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -115,16 +197,16 @@ fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     put_u64(buf, v as u64);
 }
 
-fn put_i64(buf: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
     // Zigzag: small magnitudes (of either sign) stay short.
     put_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+pub(crate) fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -143,11 +225,11 @@ fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     }
 }
 
-fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+pub(crate) fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
     Ok(get_u64(bytes, pos)? as u32)
 }
 
-fn get_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
+pub(crate) fn get_i64(bytes: &[u8], pos: &mut usize) -> Result<i64, TraceError> {
     let z = get_u64(bytes, pos)?;
     Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
 }

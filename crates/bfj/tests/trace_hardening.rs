@@ -79,6 +79,9 @@ fn every_truncation_errors_or_ends_cleanly() {
                 | TraceError::BadTag { .. }
                 | TraceError::InvalidStride { .. },
             ) => {}
+            // Container-level errors belong to the BFTC decoder; the
+            // raw event codec must never produce them.
+            Err(e) => panic!("raw decode produced a container error: {e:?}"),
         }
     }
 }
@@ -206,6 +209,238 @@ fn bad_magic_and_version_are_typed_errors() {
         decode_all(&bytes),
         Err(TraceError::UnsupportedVersion(99))
     ));
+}
+
+// ---------------- compressed (`BFTC`) container hardening ----------------
+//
+// The grammar-compressed container adds untrusted structure on top of the
+// event codec: a rule table whose symbol references, repeat counts,
+// claimed expansion size, and nesting depth are all attacker-controlled.
+// Each gets a typed error — never a panic, hang, cycle, or unbounded
+// allocation.
+
+mod compressed {
+    use super::{decode_all, recorded_trace, TraceError};
+    use bigfoot_bfj::{compress, decompress, read_compressed, COMPRESSED_MAGIC};
+
+    /// LEB128 varint, matching the codec's unsigned encoding.
+    fn vu64(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(b);
+                break;
+            }
+            buf.push(b | 0x80);
+        }
+    }
+
+    /// A dictionary entry in BFTR event encoding:
+    /// `AllocArr { t: 0, arr: 0, len: 8 }`.
+    const DICT_EVENT: &[u8] = &[1, 0, 0, 8];
+
+    /// Hand-assembles a container with one dictionary entry, the given
+    /// rule bodies, top sequence, and claimed expansion size.
+    fn container(rules: &[Vec<(u64, u64)>], top: &[(u64, u64)], total: u64) -> Vec<u8> {
+        let mut b = COMPRESSED_MAGIC.to_vec();
+        b.push(1); // version
+        vu64(&mut b, 1); // dict_len
+        b.extend_from_slice(DICT_EVENT);
+        vu64(&mut b, rules.len() as u64);
+        for r in rules {
+            vu64(&mut b, r.len() as u64);
+            for &(s, c) in r {
+                vu64(&mut b, s);
+                vu64(&mut b, c);
+            }
+        }
+        vu64(&mut b, top.len() as u64);
+        for &(s, c) in top {
+            vu64(&mut b, s);
+            vu64(&mut b, c);
+        }
+        vu64(&mut b, total);
+        b
+    }
+
+    #[test]
+    fn hand_assembled_container_is_valid() {
+        // The baseline the corruption tests damage: rule 0 = (sym 0)^4,
+        // top = rule 0 twice, 8 events total.
+        let bytes = container(&[vec![(0, 4)]], &[(1, 2)], 8);
+        let ct = read_compressed(&bytes).expect("valid container");
+        assert_eq!(ct.total_events, 8);
+        assert_eq!(decode_all(&decompress(&bytes).expect("expand")), Ok(8));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        // Unlike raw BFTR (where a cut between events reads as a shorter
+        // trace), the container's trailing expansion count makes *every*
+        // proper prefix invalid.
+        let full = compress(&recorded_trace()).expect("compress");
+        read_compressed(&full).expect("intact container parses");
+        for len in 0..full.len() {
+            assert!(
+                read_compressed(&full[..len]).is_err(),
+                "truncation to {len} bytes must not parse"
+            );
+            assert!(decompress(&full[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_mutation_parses_or_errors() {
+        let full = compress(&recorded_trace()).expect("compress");
+        for pos in 0..full.len() {
+            for mask in [0x01u8, 0x80, 0xff] {
+                let mut bad = full.clone();
+                bad[pos] ^= mask;
+                // Either outcome is fine; what must not happen is a
+                // panic, a cycle, or an unbounded allocation.
+                let _ = decompress(&bad);
+            }
+        }
+    }
+
+    #[test]
+    fn self_and_forward_rule_refs_are_rejected() {
+        // Rule 0 referencing itself (symbol 1 = first rule)…
+        let bytes = container(&[vec![(1, 2)]], &[(0, 1)], 1);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::BadRuleRef { rule: 0, sym: 1 })
+        );
+        // …or a rule defined later (symbol 2 = second rule).
+        let bytes = container(&[vec![(2, 2)], vec![(0, 1)]], &[(0, 1)], 1);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::BadRuleRef { rule: 0, sym: 2 })
+        );
+        // Top-level references are validated too (rule = u64::MAX marks
+        // the top sequence).
+        let bytes = container(&[], &[(7, 1)], 1);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::BadRuleRef {
+                rule: u64::MAX,
+                sym: 7
+            })
+        );
+    }
+
+    #[test]
+    fn zero_repeat_counts_are_rejected() {
+        let bytes = container(&[vec![(0, 0)]], &[(0, 1)], 1);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::BadCount { rule: 0 })
+        );
+        let bytes = container(&[], &[(0, 0)], 0);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::BadCount { rule: u64::MAX })
+        );
+    }
+
+    #[test]
+    fn oversized_expansion_claims_are_rejected() {
+        // A huge count on one pair…
+        let bytes = container(&[], &[(0, 1 << 41)], 1 << 41);
+        assert!(matches!(
+            read_compressed(&bytes),
+            Err(TraceError::OversizedExpansion { .. })
+        ));
+        // …and a doubling rule chain that overflows multiplicatively
+        // with tiny counts: rule i expands to 2^(i+1) events, so 41
+        // rules blow past the 2^40 cap without any large varint.
+        let mut rules: Vec<Vec<(u64, u64)>> = vec![vec![(0, 2)]];
+        for i in 1..41u64 {
+            rules.push(vec![(i, 2)]); // symbol i = rule i-1
+        }
+        let bytes = container(&rules, &[(41, 1)], 1 << 41);
+        assert!(matches!(
+            read_compressed(&bytes),
+            Err(TraceError::OversizedExpansion { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_rule_nesting_is_rejected() {
+        // A 65-deep chain: rule i wraps rule i-1 once. Depth 65 exceeds
+        // MAX_RULE_DEPTH = 64, caught at validation — expansion never
+        // runs, so the recursion bound holds unconditionally.
+        let mut rules: Vec<Vec<(u64, u64)>> = vec![vec![(0, 1)]];
+        for i in 1..65u64 {
+            rules.push(vec![(i, 1)]);
+        }
+        let bytes = container(&rules, &[(65, 1)], 1);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::RuleTooDeep { rule: 64 })
+        );
+    }
+
+    #[test]
+    fn wrong_expansion_total_is_rejected() {
+        let bytes = container(&[vec![(0, 4)]], &[(1, 2)], 9);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::ExpansionMismatch {
+                claimed: 9,
+                actual: 8
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = container(&[vec![(0, 4)]], &[(1, 2)], 8);
+        let end = bytes.len();
+        bytes.push(0);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::TrailingBytes { offset: end })
+        );
+    }
+
+    #[test]
+    fn absurd_claimed_lengths_allocate_bounded() {
+        // dict_len = u64::MAX, then nothing: the decoder must cap its
+        // pre-allocation at the remaining input and fail typed.
+        let mut bytes = COMPRESSED_MAGIC.to_vec();
+        bytes.push(1);
+        for _ in 0..10 {
+            bytes.push(0xff);
+        }
+        bytes.push(0x01);
+        assert!(read_compressed(&bytes).is_err());
+
+        // Same for a rule's claimed pair count.
+        let mut bytes = COMPRESSED_MAGIC.to_vec();
+        bytes.push(1);
+        vu64(&mut bytes, 1); // dict_len
+        bytes.extend_from_slice(DICT_EVENT);
+        vu64(&mut bytes, 1); // one rule
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]); // npairs = u64::MAX
+        assert!(matches!(
+            read_compressed(&bytes),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        assert_eq!(read_compressed(b"BFTX"), Err(TraceError::BadMagic));
+        assert_eq!(read_compressed(b""), Err(TraceError::BadMagic));
+        let mut bytes = COMPRESSED_MAGIC.to_vec();
+        bytes.push(9);
+        assert_eq!(
+            read_compressed(&bytes),
+            Err(TraceError::UnsupportedVersion(9))
+        );
+    }
 }
 
 #[test]

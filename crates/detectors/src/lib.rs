@@ -8,6 +8,7 @@
 //! See [`Detector`] for the configuration matrix and usage.
 
 pub mod channel;
+mod creplay;
 mod detector;
 mod djit;
 mod pipeline;
@@ -17,6 +18,7 @@ mod sharded;
 mod stats;
 mod sync;
 
+pub use creplay::{replay_compressed, replay_compressed_report, CompressedReplayReport};
 pub use detector::{ArrayEngine, CheckSource, Detector, ProxyTable};
 pub use djit::{DjitDetector, DjitState};
 pub use pipeline::{

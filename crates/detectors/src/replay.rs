@@ -177,6 +177,7 @@ impl ReplayConfig {
 /// One unit of check work, routed to a shard. Items carry everything the
 /// shard needs — in particular an `Arc` snapshot of the acting thread's
 /// clock at the moment the serial detector would have read it.
+#[derive(Clone)]
 pub(crate) enum Item {
     AllocObj {
         obj: ObjId,
@@ -218,6 +219,20 @@ pub(crate) enum Item {
     },
     /// Measure this shard's shadow space (one per global sample point).
     SpaceProbe,
+    /// Compressed replay: mark the start of a memoization probe bracket.
+    /// The shard records its `shadow_ops` tally so the bracket's cost can
+    /// be measured. An unmatched marker (memoization fell back to full
+    /// expansion) is harmless — it only re-arms the mark.
+    MemoBegin,
+    /// Compressed replay: the items since the matching [`Item::MemoBegin`]
+    /// were one repetition of a rule whose remaining `times` repetitions
+    /// are provably identical (state fixpoint, duplicate races only), so
+    /// the shard accounts their shadow ops by scaling the measured bracket
+    /// instead of re-applying it.
+    MemoScale {
+        /// Number of skipped repetitions to account for.
+        times: u64,
+    },
 }
 
 /// What one shard's detection produced.
@@ -242,6 +257,8 @@ pub(crate) struct ShardState {
     arrays_adaptive: Slab<ArrId, ArrayShadow>,
     /// Scratch for proxy-group deduplication in multi-field checks.
     group_scratch: Vec<u32>,
+    /// `shadow_ops` tally at the last [`Item::MemoBegin`].
+    memo_mark: u64,
     pub(crate) out: ShardOutcome,
 }
 
@@ -253,6 +270,7 @@ impl ShardState {
             arrays_fine: Slab::with_stride(SHARDS as u32),
             arrays_adaptive: Slab::with_stride(SHARDS as u32),
             group_scratch: Vec::new(),
+            memo_mark: 0,
             out: ShardOutcome::default(),
         }
     }
@@ -391,6 +409,16 @@ impl ShardState {
                     ));
                 }
             }
+            Item::MemoBegin => {
+                self.memo_mark = self.out.shadow_ops;
+            }
+            Item::MemoScale { times } => {
+                // The bracket since MemoBegin was one rule repetition; its
+                // skipped repetitions perform exactly the same shadow ops
+                // (and only duplicate, already-deduplicated races).
+                let bracket = self.out.shadow_ops - self.memo_mark;
+                self.out.shadow_ops += bracket * times;
+            }
             Item::SpaceProbe => {
                 let mut units: u64 = 0;
                 for o in self.objects.values() {
@@ -449,20 +477,21 @@ pub(crate) struct Annotator<S> {
     snapshots: Vec<Option<Arc<VectorClock>>>,
     /// Mirror of the serial detector's pending footprints (dense tid index,
     /// same insertion order), so commits drain identical coalesced ranges.
-    footprints: Vec<Vec<(ArrId, Footprint)>>,
+    /// `pub(crate)` so compressed replay can probe and extrapolate them.
+    pub(crate) footprints: Vec<Vec<(ArrId, Footprint)>>,
     /// Drained footprints recycled across commit spans.
     fp_pool: Vec<Footprint>,
     /// Identity groupings shared per field count, as in the serial detector.
     identity_groupings: FxHashMap<u32, Arc<FieldGrouping>>,
-    sink: S,
+    pub(crate) sink: S,
     next_seq: u64,
     /// Footprint-buffer space at each probe point (the shards measure the
     /// shadow maps; the annotator owns the footprints).
     probe_fp_space: Vec<u64>,
     /// Events processed, flushed to `det.events` at finalization (mirrors
     /// the serial detector's aggregate-then-flush counting).
-    events: u64,
-    stats: Stats,
+    pub(crate) events: u64,
+    pub(crate) stats: Stats,
     finished: bool,
 }
 
@@ -820,7 +849,19 @@ pub(crate) fn merge_outcomes(
 /// deterministic seq-ordered merge. The annotator must be finalized.
 fn detect_and_merge(annotator: Annotator<ShardQueues>, num_workers: usize) -> Stats {
     let (engine, ShardQueues(queues), probe_fp_space, stats) = annotator.into_parts();
+    detect_and_merge_parts(engine, queues, probe_fp_space, stats, num_workers)
+}
 
+/// [`detect_and_merge`] with the annotator already torn apart — shared
+/// with compressed replay (`crate::creplay`), whose annotator wraps the
+/// shard queues in a recording sink.
+pub(crate) fn detect_and_merge_parts(
+    engine: ArrayEngine,
+    queues: Vec<Vec<Item>>,
+    probe_fp_space: Vec<u64>,
+    stats: Stats,
+    num_workers: usize,
+) -> Stats {
     // Stage 2: parallel sharded detection. Worker `w` owns the shards
     // `s % workers == w`; shard streams are identical at any worker count.
     let workers = num_workers.clamp(1, SHARDS);

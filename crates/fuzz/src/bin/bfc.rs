@@ -4,12 +4,16 @@
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
 //!                      [--seed N] [--schedules N] [--replay-workers N]
-//!                      [--pipeline [--detect-workers N]] [--compiled] [--json]
+//!                      [--pipeline [--detect-workers N]] [--compiled]
+//!                      [--record-out FILE [--compress-trace]] [--json]
 //! bfc run <file.bfj>
 //! bfc stats <file.bfj> [--json]
 //! bfc trace <file.bfj> [--seed N] [--limit N]
 //! bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] [--compiled]
-//!                        [--json]
+//!                        [--record-out FILE [--compress-trace]] [--json]
+//! bfc replay <trace> [--detector NAME] [--replay-workers N] [--json]
+//! bfc compress <trace.bftr> <out.bftc>
+//! bfc decompress <trace.bftc> <out.bftr>
 //! bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]
 //! ```
 //!
@@ -29,6 +33,11 @@
 //!   (`bigfoot-bfj`'s `CompiledVm`) as the event producer — verdicts
 //!   stay byte-identical to the interpreted run, and the flag composes
 //!   with `--pipeline`, `--detect-workers`, and `--replay-workers`.
+//!   `--record-out FILE` additionally records the schedule's event
+//!   stream to a binary trace file: raw `BFTR`, or — with
+//!   `--compress-trace` — the grammar-compressed `BFTC` container.
+//!   (`--trace-out` is taken by the flight recorder's Chrome trace, so
+//!   event-stream recording uses `--record-out`.)
 //! * `run` executes the program uninstrumented and prints `main`'s
 //!   final integer variables.
 //! * `stats` prints the static-analysis summary and per-detector work for
@@ -36,6 +45,20 @@
 //! * `profile` runs the full pipeline with `bigfoot-obs` collection on
 //!   and prints the per-phase time/count breakdown (static-analysis
 //!   spans, entailment share, shadow transitions, detector counters).
+//!   With `--record-out`/`--compress-trace` the recording happens inside
+//!   the profiled region, so the `trace.compressed_bytes`/`trace.rules`/
+//!   `trace.rule_hits` counters and the compression-ratio gauge show up
+//!   in the metrics snapshot.
+//! * `replay` detects races on a previously recorded trace file. The
+//!   container format is auto-detected from the magic bytes: raw `BFTR`
+//!   traces replay through the standard engine, `BFTC` containers run
+//!   the memoizing compressed-replay engine directly on the grammar —
+//!   verdicts are byte-identical either way. Field-proxy groupings are
+//!   not part of the trace, so replay uses the identity table; record
+//!   from the matching `--detector` to get the check events you expect.
+//! * `compress` / `decompress` convert between the raw `BFTR` encoding
+//!   and the `BFTC` grammar-compressed container (both directions are
+//!   lossless; feeding the wrong format is a typed error).
 //! * `fuzz` runs the differential fuzzing campaign: each seed in the
 //!   range becomes a random program + schedule cross-checked between the
 //!   unoptimized and BigFoot-optimized placements, the interpreted and
@@ -49,12 +72,14 @@
 
 use bigfoot::{instrument, naive_instrument, redcard_instrument};
 use bigfoot_bfj::{
-    compile, parse_program, pretty, trace::TraceWriter, CompiledVm, EventSink, Interp, NullSink,
-    Program, RunOutcome, RuntimeError, SchedPolicy, Tid, Value,
+    compile, compress, decompress, is_compressed, parse_program, pretty, trace::TraceWriter,
+    CompiledVm, CompressedTraceWriter, EventSink, Interp, NullSink, Program, RunOutcome,
+    RuntimeError, SchedPolicy, Tid, Value,
 };
 use bigfoot_detectors::{
-    detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace, run_pipelined,
-    Detector, DjitDetector, PipelineConfig, ReplayConfig, Stats,
+    detect_pipelined, djit_sharded, replay_compressed_report, replay_pipelined, replay_sharded,
+    replay_trace, run_pipelined, Detector, DjitDetector, PipelineConfig, ProxyTable, ReplayConfig,
+    Stats,
 };
 use bigfoot_fuzz::{run_campaign, FuzzOptions};
 use bigfoot_obs::cli::CliArgs;
@@ -101,15 +126,18 @@ fn main() -> ExitCode {
             eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
                  [--replay-workers N] [--pipeline [--detect-workers N]] [--compiled] \
-                 [--trace-out FILE] [--json]"
+                 [--record-out FILE [--compress-trace]] [--trace-out FILE] [--json]"
             );
             eprintln!("  bfc run <file.bfj>");
             eprintln!("  bfc stats <file.bfj> [--json]");
             eprintln!("  bfc trace <file.bfj> [--seed N] [--limit N]");
             eprintln!(
                 "  bfc profile <file.bfj> [--detector NAME] [--pipeline [--detect-workers N]] \
-                 [--compiled] [--trace-out FILE] [--json]"
+                 [--compiled] [--record-out FILE [--compress-trace]] [--trace-out FILE] [--json]"
             );
+            eprintln!("  bfc replay <trace.bftr|trace.bftc> [--detector NAME] [--replay-workers N] [--json]");
+            eprintln!("  bfc compress <trace.bftr> <out.bftc>");
+            eprintln!("  bfc decompress <trace.bftc> <out.bftr>");
             eprintln!("  bfc fuzz [--seed-range A..B] [--budget SECS] [--corpus DIR] [--json]");
             ExitCode::from(2)
         }
@@ -157,12 +185,17 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--budget",
             "--corpus",
             "--trace-out",
+            "--record-out",
         ],
-        &["--json", "--pipeline", "--compiled"],
+        &["--json", "--pipeline", "--compiled", "--compress-trace"],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
     if cmd == "fuzz" {
         return fuzz_cmd(&args);
+    }
+    // Trace-file commands take a recorded trace, not a `.bfj` program.
+    if matches!(cmd.as_str(), "replay" | "compress" | "decompress") {
+        return trace_file_cmd(&cmd, &args);
     }
     let file = args.positional(1).ok_or("missing input file")?.to_owned();
     let program = load(&file)?;
@@ -219,12 +252,29 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let compiled = args.has("--compiled");
             let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
             validate_workers(detect_workers, pipelined, replay_workers)?;
+            let record_out = args.value("--record-out");
+            let compress_trace = args.has("--compress-trace");
+            validate_recording(record_out, compress_trace, schedules)?;
             // Enables the flight recorder for the whole run; the guard
             // writes the Chrome trace on drop too, so a panicking
             // detector still leaves a partial trace on disk.
             let trace_guard = args
                 .value("--trace-out")
                 .map(bigfoot_obs::TraceOutGuard::new);
+            if let Some(path) = record_out {
+                // `validate_recording` pinned schedules to 1, so this is
+                // the same policy the detection loop below will use.
+                let policy = if seed == 1 {
+                    SchedPolicy::default()
+                } else {
+                    SchedPolicy::Random {
+                        seed,
+                        switch_inv: 2,
+                    }
+                };
+                let bytes = record_trace(&program, which, policy, compiled, compress_trace)?;
+                std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
             let mut any_race = false;
             let mut schedule_reports = Json::array();
             for i in 0..schedules {
@@ -416,11 +466,27 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             let compiled = args.has("--compiled");
             let detect_workers: Option<usize> = args.parsed("--detect-workers")?;
             validate_workers(detect_workers, pipelined, replay_workers)?;
+            let record_out = args.value("--record-out");
+            let compress_trace = args.has("--compress-trace");
+            validate_recording(record_out, compress_trace, 1)?;
             let trace_guard = args
                 .value("--trace-out")
                 .map(bigfoot_obs::TraceOutGuard::new);
             bigfoot_obs::set_enabled(true);
             bigfoot_obs::reset();
+            // Record inside the profiled region: the compressor flushes
+            // `trace.compressed_bytes`/`trace.rules`/`trace.rule_hits`
+            // and the compression-ratio gauge into this snapshot.
+            if let Some(path) = record_out {
+                let bytes = record_trace(
+                    &program,
+                    which,
+                    SchedPolicy::default(),
+                    compiled,
+                    compress_trace,
+                )?;
+                std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
             // A runtime error does not discard the profile: the detector
             // flushes its aggregated counters on drop, so the snapshot
             // below still describes the partial run. The report carries
@@ -588,7 +654,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
         outln!("{}", out.to_string_pretty());
     } else {
         outln!(
-            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, compiled {}, placement {}, replay {}, pipeline {}",
+            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, compiled {}, placement {}, replay {}, compressed {}, pipeline {}",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -603,6 +669,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
             report.oracle_runs[2],
             report.oracle_runs[3],
             report.oracle_runs[4],
+            report.oracle_runs[5],
         );
         for d in &report.divergences {
             outln!();
@@ -651,6 +718,181 @@ fn validate_workers(
         }
         Some(_) => Ok(()),
     }
+}
+
+/// Recording-flag sanity checks, applied at parse time like
+/// [`validate_workers`]. `--compress-trace` only selects the container
+/// `--record-out` writes, so on its own it is a contradiction; and a
+/// recording covers exactly one schedule, so a multi-schedule sweep has
+/// no single event stream to write.
+fn validate_recording(
+    record_out: Option<&str>,
+    compress_trace: bool,
+    schedules: u64,
+) -> Result<(), String> {
+    if compress_trace && record_out.is_none() {
+        return Err("--compress-trace requires --record-out FILE to write the container to".into());
+    }
+    if record_out.is_some() && schedules != 1 {
+        return Err("--record-out records exactly one schedule; drop --schedules".into());
+    }
+    Ok(())
+}
+
+/// Records one schedule of `program` — instrumented the same way the
+/// `which` detector would see it — to the binary trace encoding: raw
+/// `BFTR`, or the grammar-compressed `BFTC` container with `compress`
+/// set. Recording is a separate execution from the detection run, but
+/// the scheduler is deterministic per policy, so both observe the same
+/// interleaving.
+fn record_trace(
+    program: &Program,
+    which: &str,
+    policy: SchedPolicy,
+    compiled: bool,
+    compress: bool,
+) -> Result<Vec<u8>, String> {
+    let rec = |prog: &Program| -> Result<Vec<u8>, String> {
+        if compress {
+            let mut w = CompressedTraceWriter::new();
+            execute(prog, policy, compiled, &mut w).map_err(|e| format!("runtime error: {e}"))?;
+            Ok(w.into_bytes())
+        } else {
+            let mut w = TraceWriter::new();
+            execute(prog, policy, compiled, &mut w).map_err(|e| format!("runtime error: {e}"))?;
+            Ok(w.into_bytes())
+        }
+    };
+    match which {
+        "bigfoot" => rec(&instrument(program).program),
+        "redcard" | "slimcard" => rec(&redcard_instrument(program).0),
+        // fasttrack / slimstate / djit detect on the raw event stream.
+        _ => rec(program),
+    }
+}
+
+/// The trace-file subcommands: `replay` detects races directly on a
+/// recorded trace (raw or compressed, auto-detected from the magic
+/// bytes), `compress`/`decompress` convert between the two encodings.
+fn trace_file_cmd(cmd: &str, args: &CliArgs) -> Result<ExitCode, String> {
+    let input = args.positional(1).ok_or("missing input trace file")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    match cmd {
+        "compress" => {
+            let output = args.positional(2).ok_or("missing output file")?;
+            if is_compressed(&bytes) {
+                return Err(format!("{input}: already a BFTC container"));
+            }
+            let packed = compress(&bytes).map_err(|e| format!("{input}: {e}"))?;
+            std::fs::write(output, &packed).map_err(|e| format!("cannot write {output}: {e}"))?;
+            outln!(
+                "{output}: {} -> {} bytes ({:.2}x)",
+                bytes.len(),
+                packed.len(),
+                bytes.len() as f64 / packed.len().max(1) as f64
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "decompress" => {
+            let output = args.positional(2).ok_or("missing output file")?;
+            if !is_compressed(&bytes) {
+                return Err(format!(
+                    "{input}: not a BFTC container (raw BFTR traces need no decompression)"
+                ));
+            }
+            let raw = decompress(&bytes).map_err(|e| format!("{input}: {e}"))?;
+            std::fs::write(output, &raw).map_err(|e| format!("cannot write {output}: {e}"))?;
+            outln!("{output}: {} -> {} bytes", bytes.len(), raw.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => replay_file_cmd(input, &bytes, args),
+    }
+}
+
+/// `bfc replay`: race detection on a recorded trace file. `BFTC`
+/// containers run the memoizing compressed-replay engine directly on
+/// the grammar; raw `BFTR` traces go through the standard replay path —
+/// verdicts are byte-identical either way.
+fn replay_file_cmd(input: &str, bytes: &[u8], args: &CliArgs) -> Result<ExitCode, String> {
+    let which = args.one_of(
+        "--detector",
+        &["bigfoot", "fasttrack", "redcard", "slimstate", "slimcard"],
+    )?;
+    let workers: usize = args.parsed("--replay-workers")?.unwrap_or(1);
+    if workers == 0 {
+        return Err("--replay-workers wants at least 1 worker".into());
+    }
+    // Proxy groupings are a static-analysis artifact, not part of the
+    // trace; the identity table keeps field checks ungrouped.
+    let config = match which {
+        "bigfoot" => ReplayConfig::bigfoot(ProxyTable::identity(), workers),
+        "fasttrack" => ReplayConfig::fasttrack(workers),
+        "slimstate" => ReplayConfig::slimstate(workers),
+        "redcard" => ReplayConfig::redcard(ProxyTable::identity(), workers),
+        _ => ReplayConfig::slimcard(ProxyTable::identity(), workers),
+    };
+    let compressed = is_compressed(bytes);
+    let (stats, memo) = if compressed {
+        let (stats, report) =
+            replay_compressed_report(bytes, &config).map_err(|e| format!("{input}: {e}"))?;
+        (stats, Some(report))
+    } else {
+        let stats = replay_trace(bytes, &config).map_err(|e| format!("{input}: {e}"))?;
+        (stats, None)
+    };
+    if args.has("--json") {
+        let mut report = envelope("replay", input);
+        report.set("detector", which);
+        report.set("replay_workers", workers as u64);
+        report.set("compressed", compressed);
+        report.set("trace_bytes", bytes.len() as u64);
+        if let Some(m) = memo {
+            let mut j = Json::object();
+            j.set("runs", m.memo_runs);
+            j.set("fallbacks", m.memo_fallbacks);
+            j.set("skipped_events", m.skipped_events);
+            j.set("total_events", m.total_events);
+            report.set("memo", j);
+        }
+        report.set("any_race", stats.has_races());
+        report.set("races", races_json(&stats));
+        report.set("stats", stats.to_json());
+        outln!("{}", report.to_string_pretty());
+    } else {
+        outln!(
+            "{input}: {} trace, {} bytes, detector {which}, {} worker(s)",
+            if compressed { "BFTC" } else { "BFTR" },
+            bytes.len(),
+            workers
+        );
+        if let Some(m) = memo {
+            outln!(
+                "memoized {} rule run(s) ({} fallback(s)), skipped {} of {} events",
+                m.memo_runs,
+                m.memo_fallbacks,
+                m.skipped_events,
+                m.total_events
+            );
+        }
+        if stats.has_races() {
+            outln!("{} race(s)", stats.races.len());
+            for race in &stats.races {
+                outln!("  {} — {}", race.target, race.info);
+            }
+        } else {
+            outln!(
+                "no races ({} accesses, {} checks, {} shadow ops)",
+                stats.accesses(),
+                stats.checks,
+                stats.shadow_ops
+            );
+        }
+    }
+    Ok(if stats.has_races() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Runs `program` to completion on the selected execution tier,
@@ -843,7 +1085,7 @@ fn check_replay(
 
 #[cfg(test)]
 mod tests {
-    use super::validate_workers;
+    use super::{validate_recording, validate_workers};
 
     #[test]
     fn zero_workers_is_rejected_for_both_engines() {
@@ -876,5 +1118,30 @@ mod tests {
         assert!(validate_workers(Some(4), true, None).is_ok());
         assert!(validate_workers(None, false, Some(3)).is_ok());
         assert!(validate_workers(None, true, Some(3)).is_ok());
+    }
+
+    #[test]
+    fn compress_trace_without_record_out_is_rejected() {
+        assert!(validate_recording(None, true, 1)
+            .unwrap_err()
+            .contains("requires --record-out"));
+    }
+
+    #[test]
+    fn record_out_excludes_multi_schedule_sweeps() {
+        assert!(validate_recording(Some("t.bftr"), false, 3)
+            .unwrap_err()
+            .contains("exactly one schedule"));
+        // The missing-output contradiction is reported first.
+        assert!(validate_recording(None, true, 3)
+            .unwrap_err()
+            .contains("requires --record-out"));
+    }
+
+    #[test]
+    fn valid_recording_combinations_pass() {
+        assert!(validate_recording(None, false, 5).is_ok());
+        assert!(validate_recording(Some("t.bftr"), false, 1).is_ok());
+        assert!(validate_recording(Some("t.bftc"), true, 1).is_ok());
     }
 }

@@ -23,6 +23,11 @@
 //! * **replay** — the sharded parallel replay engine must be bit-identical
 //!   to serial detection at every worker count, for both the unoptimized
 //!   and the optimized placement.
+//! * **compressed** — the grammar-compressed trace layer must be
+//!   invisible: the `BFTC` container must round-trip to the exact `BFTR`
+//!   bytes, and detection directly on the compressed form (with rule
+//!   memoization) must be byte-identical to serial detection, for both
+//!   placements at every worker count.
 //! * **pipeline** — handing the same events across the batched SPSC ring
 //!   (producer thread → detector thread) must leave every verdict
 //!   byte-identical, both for direct pipelined detection and for the
@@ -44,8 +49,9 @@ use bigfoot_bfj::{
     TraceWriter,
 };
 use bigfoot_detectors::{
-    detect_pipelined, djit_sharded, replay_pipelined, replay_sharded, replay_trace,
-    verify_precise_checks, Detector, DjitDetector, PipelineConfig, ReplayConfig, Stats,
+    detect_pipelined, djit_sharded, replay_compressed, replay_pipelined, replay_sharded,
+    replay_trace, verify_precise_checks, Detector, DjitDetector, PipelineConfig, ReplayConfig,
+    Stats,
 };
 
 /// Step bound for generated programs (they terminate well before this;
@@ -75,6 +81,9 @@ pub enum OracleKind {
     Placement,
     /// Parallel replay verdict differs from serial detection.
     Replay,
+    /// Compressed-trace round trip or compressed-form detection differs
+    /// from the uncompressed path.
+    Compressed,
     /// Pipelined (batched ring hand-off) verdict differs from serial
     /// detection.
     Pipeline,
@@ -89,6 +98,7 @@ impl OracleKind {
             OracleKind::Compiled => "compiled",
             OracleKind::Placement => "placement",
             OracleKind::Replay => "replay",
+            OracleKind::Compressed => "compressed",
             OracleKind::Pipeline => "pipeline",
         }
     }
@@ -101,6 +111,7 @@ impl OracleKind {
             "compiled" => OracleKind::Compiled,
             "placement" => OracleKind::Placement,
             "replay" => OracleKind::Replay,
+            "compressed" => OracleKind::Compressed,
             "pipeline" => OracleKind::Pipeline,
             _ => return None,
         })
@@ -323,6 +334,79 @@ fn replay_matches(
     None
 }
 
+/// The compressed-trace oracle for one recorded trace: byte-exact
+/// container round trip, then compressed-form detection (memoized
+/// grammar walk) against the serial ground truth for each configuration.
+fn compressed_matches(
+    label: &str,
+    bytes: &[u8],
+    configs: &[(&str, ReplayConfig, &Stats)],
+) -> Option<Divergence> {
+    let packed = match bigfoot_bfj::compress(bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Compressed,
+                format!("{label}: compressing the recorded trace failed: {e}"),
+            ))
+        }
+    };
+    match bigfoot_bfj::decompress(&packed) {
+        Ok(back) if back == bytes => {}
+        Ok(back) => {
+            let first = back
+                .iter()
+                .zip(bytes)
+                .position(|(a, b)| a != b)
+                .unwrap_or(back.len().min(bytes.len()));
+            return Some(Divergence::new(
+                OracleKind::Compressed,
+                format!(
+                    "{label}: round trip diverges at byte {first} \
+                     ({} decompressed bytes vs {} recorded)",
+                    back.len(),
+                    bytes.len()
+                ),
+            ));
+        }
+        Err(e) => {
+            return Some(Divergence::new(
+                OracleKind::Compressed,
+                format!("{label}: decompressing the container failed: {e}"),
+            ))
+        }
+    }
+    for (name, config, truth) in configs {
+        for workers in REPLAY_WORKERS {
+            let mut config = config.clone();
+            config.workers = workers;
+            let got = match replay_compressed(&packed, &config) {
+                Ok(s) => s,
+                Err(e) => {
+                    return Some(Divergence::new(
+                        OracleKind::Compressed,
+                        format!(
+                            "{label}: compressed {name} replay at {workers} worker(s) failed: {e}"
+                        ),
+                    ))
+                }
+            };
+            let got_json = got.to_json().to_string_compact();
+            let truth_json = truth.to_json().to_string_compact();
+            if got.races != truth.races || got_json != truth_json {
+                return Some(Divergence::new(
+                    OracleKind::Compressed,
+                    format!(
+                        "{label}: compressed {name} detection at {workers} worker(s) \
+                         diverges from serial: {got_json} vs {truth_json}"
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Compares a pipelined verdict against the serial ground truth.
 fn pipelined_matches(label: &str, what: &str, got: &Stats, truth: &Stats) -> Option<Divergence> {
     let got_json = got.to_json().to_string_compact();
@@ -426,6 +510,34 @@ pub fn run_oracles(program: &Program, policy: SchedPolicy) -> Option<Divergence>
         ) {
             return Some(d);
         }
+    }
+
+    // Detection straight off the grammar-compressed container must be
+    // invisible: both engines on the raw trace (fine FastTrack, which
+    // stresses fallback, and footprint SlimState, which stresses memoized
+    // extrapolation) plus BigFoot on the instrumented trace.
+    bigfoot_obs::count!("fuzz.oracle.compressed");
+    let ss_truth = serial(&ft_events, Detector::slimstate());
+    if let Some(d) = compressed_matches(
+        "unoptimized",
+        &ft_bytes,
+        &[
+            ("fasttrack", ReplayConfig::fasttrack(1), &ft_truth),
+            ("slimstate", ReplayConfig::slimstate(1), &ss_truth),
+        ],
+    ) {
+        return Some(d);
+    }
+    if let Some(d) = compressed_matches(
+        "instrumented",
+        &bf_bytes,
+        &[(
+            "bigfoot",
+            ReplayConfig::bigfoot(inst.proxies.clone(), 1),
+            &bf,
+        )],
+    ) {
+        return Some(d);
     }
 
     // Pipelined hand-off must be invisible too. A three-event batch and a

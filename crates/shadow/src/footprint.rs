@@ -85,6 +85,18 @@ impl RangeSet {
         std::mem::take(&mut self.ranges)
     }
 
+    /// Extends the last range's exclusive upper bound by `delta` (> 0)
+    /// in place. Used by compressed replay to apply the net growth of
+    /// `k` skipped loop repetitions in O(1) after probing that each
+    /// repetition extends exactly this range by exactly `delta / k` —
+    /// it is the caller's job to have established that invariant.
+    pub fn grow_last_hi(&mut self, delta: i64) {
+        debug_assert!(delta > 0, "growth must be positive");
+        if let Some(last) = self.ranges.last_mut() {
+            last.hi += delta;
+        }
+    }
+
     /// Empties the set, keeping the allocation for reuse.
     pub fn clear(&mut self) {
         self.ranges.clear();
