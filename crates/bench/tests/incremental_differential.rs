@@ -1,0 +1,137 @@
+//! Differential test for the incremental static pipeline: warm
+//! re-analysis after an edit must be *invisible* in the output. For
+//! every suite benchmark and every mutation kind, the warm run's
+//! placements must be **byte-identical** to a cold run of the edited
+//! program, and the cache must skip everything outside the edit's
+//! dependency cone.
+//!
+//! Coverage: all 19 benchmarks (small scale), every method site in each,
+//! under all three mutation kinds — a non-fact-changing arithmetic tweak
+//! (must dirty exactly one method) and two fact-changing edits (new
+//! field write, new lock region) that may dirty the caller cone. A
+//! suite-wide sweep then models the evolving-program scenario the cache
+//! exists for: one method edited across a 19-program codebase, with the
+//! warm re-analysis skipping >80% of all methods.
+
+use bigfoot::{instrument, instrument_incremental, InstrumentOptions, CACHE_FILE};
+use bigfoot_bfj::{mutate, site_count, MutationKind, Program};
+use bigfoot_workloads::{benchmarks, Scale};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bigfoot-incdiff-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Cold-analyzes `program` once and returns the serialized cache bytes,
+/// so each mutation below can start from an identical warm state.
+fn seeded_cache(program: &Program, tag: &str) -> Vec<u8> {
+    let dir = tmp_dir(tag);
+    let (_, stats) = instrument_incremental(program, InstrumentOptions::default(), &dir);
+    assert!(!stats.warm);
+    let bytes = std::fs::read(dir.join(CACHE_FILE)).expect("cache written");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// Plants pre-recorded cache bytes in a fresh dir.
+fn plant(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let dir = tmp_dir(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(CACHE_FILE), bytes).unwrap();
+    dir
+}
+
+/// Every benchmark, every site, every mutation kind: the warm run over
+/// the edited program is byte-identical to a cold run, and a
+/// non-fact-changing edit re-analyzes exactly the edited method.
+#[test]
+fn warm_replay_is_byte_identical_under_every_mutation() {
+    for b in benchmarks(Scale::Small) {
+        let cache = seeded_cache(&b.program, &format!("seed-{}", b.name));
+        let sites = site_count(&b.program);
+        assert!(sites >= 2, "{}: degenerate benchmark", b.name);
+        for site in 0..sites {
+            for kind in MutationKind::ALL {
+                let mut edited = b.program.clone();
+                let Some(edited_name) = mutate(&mut edited, site, kind, 7 + site as i64) else {
+                    continue;
+                };
+                let tag = format!("{}-{site}-{}", b.name, kind.name());
+                let dir = plant(&tag, &cache);
+                let cold = instrument(&edited);
+                let (warm, stats) =
+                    instrument_incremental(&edited, InstrumentOptions::default(), &dir);
+                assert!(stats.warm, "{tag}: cache must be usable");
+                assert_eq!(
+                    stats.hits + stats.misses,
+                    sites,
+                    "{tag}: every site accounted for"
+                );
+                assert!(
+                    stats.misses >= 1,
+                    "{tag}: the edited method ({edited_name}) must re-analyze"
+                );
+                if !kind.changes_facts() {
+                    assert_eq!(
+                        stats.misses, 1,
+                        "{tag}: an arithmetic tweak must dirty exactly {edited_name}"
+                    );
+                }
+                assert_eq!(
+                    cold.program, warm.program,
+                    "{tag}: warm placements must be byte-identical to a cold run"
+                );
+                assert_eq!(
+                    cold.stats.checks_inserted, warm.stats.checks_inserted,
+                    "{tag}: check accounting must match"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// The evolving-program scenario: a codebase of 19 programs with warm
+/// caches, one method edited. Warm re-analysis of the whole suite must
+/// skip >80% of all methods, for every choice of edited benchmark and
+/// every mutation kind.
+#[test]
+fn suite_wide_single_edit_skips_over_eighty_percent() {
+    let suite = benchmarks(Scale::Small);
+    let caches: Vec<Vec<u8>> = suite
+        .iter()
+        .map(|b| seeded_cache(&b.program, &format!("sw-{}", b.name)))
+        .collect();
+    for kind in MutationKind::ALL {
+        for edited_idx in [0, suite.len() / 2, suite.len() - 1] {
+            let (mut hits, mut total) = (0usize, 0usize);
+            for (i, b) in suite.iter().enumerate() {
+                let mut program = b.program.clone();
+                if i == edited_idx {
+                    mutate(&mut program, 0, kind, 3).expect("benchmark has a site 0");
+                }
+                let tag = format!("sw-{}-{}-{}", kind.name(), edited_idx, b.name);
+                let dir = plant(&tag, &caches[i]);
+                let (warm, stats) =
+                    instrument_incremental(&program, InstrumentOptions::default(), &dir);
+                assert!(stats.warm, "{tag}");
+                assert_eq!(warm.program, instrument(&program).program, "{tag}");
+                hits += stats.hits;
+                total += stats.hits + stats.misses;
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let rate = hits as f64 / total as f64;
+            assert!(
+                rate > 0.8,
+                "suite-wide skip rate after one {} edit in benchmark #{edited_idx}: \
+                 {hits}/{total} = {rate:.2}",
+                kind.name()
+            );
+        }
+    }
+}

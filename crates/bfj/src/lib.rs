@@ -34,8 +34,10 @@
 pub mod ast;
 pub mod compile;
 pub mod event;
+pub mod fingerprint;
 pub mod interp;
 pub mod lexer;
+pub mod mutate;
 pub mod parser;
 pub mod pretty;
 mod sym;
@@ -49,10 +51,14 @@ pub use compile::{compile, CompiledProgram, CompiledVm};
 pub use event::{
     ArrId, CheckTarget, ConcreteRange, Event, EventSink, Loc, NullSink, ObjId, RecordingSink,
 };
+pub use fingerprint::{
+    fingerprint_block, fingerprint_body, fingerprint_method, FINGERPRINT_VERSION,
+};
 pub use interp::{
     eval, Env, Heap, Interp, ProgramIndex, RunOutcome, RuntimeError, SchedPolicy, SymHasher, Value,
 };
 pub use lexer::{tokenize, LexError, Token};
+pub use mutate::{mutate, site_count, MutationKind};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pretty::{pretty, pretty_check_path, pretty_expr, pretty_stmt};
 pub use sym::Sym;

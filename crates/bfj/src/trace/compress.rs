@@ -323,9 +323,8 @@ impl CompressedTraceWriter {
         bigfoot_obs::count_named("trace.compressed_bytes", payload);
         bigfoot_obs::count_named("trace.rules", rules.len() as u64);
         bigfoot_obs::count_named("trace.rule_hits", rule_hits);
-        if payload > 0 {
-            // Permille so sub-10x ratios survive integer truncation.
-            let ratio = self.raw_bytes.saturating_mul(1000) / payload;
+        // Permille so sub-10x ratios survive integer truncation.
+        if let Some(ratio) = self.raw_bytes.saturating_mul(1000).checked_div(payload) {
             bigfoot_obs::gauge_max_named("trace.compression_ratio_x1000", ratio);
             bigfoot_obs::trace_counter!("trace.compression_ratio_x1000", ratio);
         }

@@ -411,9 +411,7 @@ mod compressed {
         // pre-allocation at the remaining input and fail typed.
         let mut bytes = COMPRESSED_MAGIC.to_vec();
         bytes.push(1);
-        for _ in 0..10 {
-            bytes.push(0xff);
-        }
+        bytes.extend([0xff; 10]);
         bytes.push(0x01);
         assert!(read_compressed(&bytes).is_err());
 

@@ -8,6 +8,7 @@
 
 use crate::facts::{APath, Anticipated, History, PathFact};
 use crate::killset::KillSets;
+use crate::readset::FactView;
 use bigfoot_bfj::{AccessKind, Block, Expr, Stmt, StmtId, StmtKind};
 use bigfoot_entail::{linearize, SymRange};
 use std::collections::HashMap;
@@ -37,9 +38,18 @@ pub fn anticipate_body(
     volatiles: &std::collections::HashSet<bigfoot_bfj::Sym>,
     h_pre: &HashMap<StmtId, History>,
 ) -> ATables {
+    anticipate_body_view(body, FactView::new(kills, volatiles), h_pre)
+}
+
+/// [`anticipate_body`] over a [`FactView`], which may log every
+/// cross-method fact query into a read-set for incremental re-analysis.
+pub fn anticipate_body_view(
+    body: &Block,
+    facts: FactView<'_>,
+    h_pre: &HashMap<StmtId, History>,
+) -> ATables {
     let mut bw = BackwardPass {
-        kills,
-        volatiles,
+        facts,
         h_pre,
         tables: ATables::default(),
     };
@@ -49,8 +59,7 @@ pub fn anticipate_body(
 }
 
 struct BackwardPass<'a> {
-    kills: &'a KillSets,
-    volatiles: &'a std::collections::HashSet<bigfoot_bfj::Sym>,
+    facts: FactView<'a>,
     h_pre: &'a HashMap<StmtId, History>,
     tables: ATables,
 }
@@ -91,7 +100,7 @@ impl BackwardPass<'_> {
                 a
             }
             StmtKind::ReadField { x, obj, field } => {
-                if self.volatiles.contains(field) {
+                if self.facts.is_volatile(*field) {
                     // Acquire-like: kills all anticipation.
                     return Anticipated::new();
                 }
@@ -106,7 +115,7 @@ impl BackwardPass<'_> {
                 a
             }
             StmtKind::WriteField { obj, field, .. } => {
-                if self.volatiles.contains(field) {
+                if self.facts.is_volatile(*field) {
                     // Release-like: anticipation flows through unchanged,
                     // but the volatile access itself is never anticipated.
                     return a;
@@ -157,7 +166,7 @@ impl BackwardPass<'_> {
                 a
             }
             StmtKind::Call { x, meth, .. } => {
-                if self.kills.effects(*meth).acquires {
+                if self.facts.effects(*meth).acquires {
                     Anticipated::new()
                 } else {
                     a.kill_var(*x);

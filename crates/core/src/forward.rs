@@ -18,6 +18,7 @@
 use crate::backward::ATables;
 use crate::facts::{APath, Anticipated, History, PathFact};
 use crate::killset::KillSets;
+use crate::readset::FactView;
 use bigfoot_bfj::{AccessKind, Binop, Block, Expr, Stmt, StmtId, StmtKind, Sym, Unop};
 use bigfoot_entail::{linearize, AliasRhs, Lin, SymRange};
 use std::collections::{HashMap, HashSet};
@@ -74,9 +75,19 @@ pub fn forward_pass_opts(
     at: Option<&ATables>,
     opts: PlacementOptions,
 ) -> (Block, ForwardTables) {
+    forward_pass_view(body, FactView::new(kills, volatiles), at, opts)
+}
+
+/// [`forward_pass_opts`] over a [`FactView`], which may log every
+/// cross-method fact query into a read-set for incremental re-analysis.
+pub fn forward_pass_view(
+    body: &Block,
+    facts: FactView<'_>,
+    at: Option<&ATables>,
+    opts: PlacementOptions,
+) -> (Block, ForwardTables) {
     let mut f = Fwd {
-        kills,
-        volatiles,
+        facts,
         at,
         opts,
         tables: ForwardTables::default(),
@@ -89,8 +100,7 @@ pub fn forward_pass_opts(
 }
 
 struct Fwd<'a> {
-    kills: &'a KillSets,
-    volatiles: &'a HashSet<Sym>,
+    facts: FactView<'a>,
     at: Option<&'a ATables>,
     opts: PlacementOptions,
     tables: ForwardTables,
@@ -233,7 +243,7 @@ impl Fwd<'_> {
                 h
             }
             StmtKind::ReadField { x, obj, field } => {
-                if self.volatiles.contains(field) {
+                if self.facts.is_volatile(*field) {
                     // Volatile read: acquire-like synchronization; the
                     // access itself is not race-checked (§5).
                     let facts = self.pending(&h, None, None);
@@ -264,7 +274,7 @@ impl Fwd<'_> {
                 h
             }
             StmtKind::WriteField { obj, field, src } => {
-                if self.volatiles.contains(field) {
+                if self.facts.is_volatile(*field) {
                     // Volatile write: release-like synchronization.
                     let a = self.a_post(s.id);
                     let facts = self.pending(&h, None, Some(&a));
@@ -389,7 +399,7 @@ impl Fwd<'_> {
                 h
             }
             StmtKind::Call { x, meth, .. } => {
-                let eff = self.kills.effects(*meth);
+                let eff = self.facts.effects(*meth);
                 if eff.acquires {
                     let facts = self.pending(&h, None, None);
                     self.emit(&mut h, &facts, out);
@@ -534,7 +544,7 @@ impl Fwd<'_> {
             }
             return inv;
         }
-        let body_eff = body_effects(head, tail, self.kills);
+        let body_eff = body_effects(head, tail, self.facts);
         let mut inv = History::new();
         // Loop-invariant entry facts.
         for b in &h_in.bools {
@@ -777,14 +787,14 @@ struct BodyEffects {
     written_fields: HashSet<Sym>,
 }
 
-fn body_effects(head: &Block, tail: &Block, kills: &KillSets) -> BodyEffects {
+fn body_effects(head: &Block, tail: &Block, facts: FactView<'_>) -> BodyEffects {
     let mut eff = BodyEffects {
         releases: false,
         kills_aliases: false,
         writes_arrays: false,
         written_fields: HashSet::new(),
     };
-    fn walk(b: &Block, eff: &mut BodyEffects, kills: &KillSets) {
+    fn walk(b: &Block, eff: &mut BodyEffects, facts: FactView<'_>) {
         for s in &b.stmts {
             match &s.kind {
                 StmtKind::Release { .. } | StmtKind::Fork { .. } => eff.releases = true,
@@ -798,7 +808,7 @@ fn body_effects(head: &Block, tail: &Block, kills: &KillSets) -> BodyEffects {
                     eff.written_fields.insert(*field);
                 }
                 StmtKind::Call { meth, .. } => {
-                    let e = kills.effects(*meth);
+                    let e = facts.effects(*meth);
                     if e.releases {
                         eff.releases = true;
                     }
@@ -810,19 +820,19 @@ fn body_effects(head: &Block, tail: &Block, kills: &KillSets) -> BodyEffects {
                     }
                 }
                 StmtKind::If { then_b, else_b, .. } => {
-                    walk(then_b, eff, kills);
-                    walk(else_b, eff, kills);
+                    walk(then_b, eff, facts);
+                    walk(else_b, eff, facts);
                 }
                 StmtKind::Loop { head, tail, .. } => {
-                    walk(head, eff, kills);
-                    walk(tail, eff, kills);
+                    walk(head, eff, facts);
+                    walk(tail, eff, facts);
                 }
                 _ => {}
             }
         }
     }
-    walk(head, &mut eff, kills);
-    walk(tail, &mut eff, kills);
+    walk(head, &mut eff, facts);
+    walk(tail, &mut eff, facts);
     eff
 }
 

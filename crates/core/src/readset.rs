@@ -1,0 +1,219 @@
+//! Fact read-set recording for incremental re-analysis.
+//!
+//! The per-method placement passes consume exactly two kinds of
+//! *cross-method* facts: kill-set effect summaries of called methods
+//! ([`KillSets::effects`]) and field volatility (`volatiles.contains`).
+//! Everything else the forward and backward passes look at (histories,
+//! anticipated sets, alias facts, the entailment KB) is derived from the
+//! method's own body and is therefore covered by the body fingerprint.
+//!
+//! [`FactView`] wraps those two fact sources and optionally *logs* every
+//! query into a [`ReadSet`]. The incremental driver records the read-set
+//! during a cold analysis and persists its **domain** next to the
+//! placement; a warm run replays the domain against the current facts
+//! ([`ReadSet::fingerprint_against`]) and compares digests — placements
+//! are reused only when every fact the original analysis read is
+//! unchanged. This is the "record what you read, don't over-approximate
+//! to the whole KB" design from the incremental-analysis issue.
+//!
+//! Read-set maps are keyed by interned *strings* (not [`Sym`] indices,
+//! which are process-local) and iterate in sorted order, so their
+//! fingerprints are stable across processes.
+
+use crate::killset::{Effects, KillSets};
+use bigfoot_bfj::Sym;
+use bigfoot_obs::stable::{StableHasher, STABLE_HASH_VERSION};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashSet};
+
+/// Version of the read-set fingerprint byte mapping.
+pub const READSET_VERSION: u32 = 1;
+
+/// The cross-method facts one method's placement analysis read: the
+/// effect summary observed for each callee name, and the volatility
+/// observed for each field name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadSet {
+    /// Callee name → the effect summary the analysis saw for it.
+    pub callees: BTreeMap<&'static str, Effects>,
+    /// Field name → whether the analysis saw it as volatile.
+    pub fields: BTreeMap<&'static str, bool>,
+}
+
+fn fold_effects(h: &mut StableHasher, e: Effects) {
+    h.write_bool(e.acquires);
+    h.write_bool(e.releases);
+    h.write_bool(e.writes_heap);
+}
+
+impl ReadSet {
+    /// Records that `name` was queried and `eff` observed.
+    pub fn record_callee(&mut self, name: Sym, eff: Effects) {
+        self.callees.insert(name.as_str(), eff);
+    }
+
+    /// Records that `field`'s volatility was queried.
+    pub fn record_field(&mut self, field: Sym, volatile: bool) {
+        self.fields.insert(field.as_str(), volatile);
+    }
+
+    /// Stable digest of the recorded (key, value) pairs.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with(|name| self.callees[name], |field| self.fields[field])
+    }
+
+    /// Re-evaluates this read-set's **domain** against the *current*
+    /// facts and digests the observed values. A warm run hits the cache
+    /// iff this equals the persisted [`Self::fingerprint`]: every fact
+    /// the original analysis read is still answered identically.
+    pub fn fingerprint_against(&self, kills: &KillSets, volatiles: &HashSet<Sym>) -> u64 {
+        self.fingerprint_with(
+            |name| kills.effects(Sym::intern(name)),
+            |field| volatiles.contains(&Sym::intern(field)),
+        )
+    }
+
+    fn fingerprint_with(
+        &self,
+        callee_val: impl Fn(&'static str) -> Effects,
+        field_val: impl Fn(&'static str) -> bool,
+    ) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u32(STABLE_HASH_VERSION);
+        h.write_u32(READSET_VERSION);
+        h.write_usize(self.callees.len());
+        for &name in self.callees.keys() {
+            h.write_str(name);
+            fold_effects(&mut h, callee_val(name));
+        }
+        h.write_usize(self.fields.len());
+        for &field in self.fields.keys() {
+            h.write_str(field);
+            h.write_bool(field_val(field));
+        }
+        h.finish()
+    }
+}
+
+/// A view over the cross-method facts, optionally logging every query
+/// into a [`ReadSet`]. `Copy`-cheap; passes hold it by value.
+#[derive(Clone, Copy)]
+pub struct FactView<'a> {
+    kills: &'a KillSets,
+    volatiles: &'a HashSet<Sym>,
+    log: Option<&'a RefCell<ReadSet>>,
+}
+
+impl<'a> FactView<'a> {
+    /// An untracked view (plain cold analysis, no recording overhead
+    /// beyond one branch per query).
+    pub fn new(kills: &'a KillSets, volatiles: &'a HashSet<Sym>) -> FactView<'a> {
+        FactView {
+            kills,
+            volatiles,
+            log: None,
+        }
+    }
+
+    /// A view that records every query into `log`.
+    pub fn tracked(
+        kills: &'a KillSets,
+        volatiles: &'a HashSet<Sym>,
+        log: &'a RefCell<ReadSet>,
+    ) -> FactView<'a> {
+        FactView {
+            kills,
+            volatiles,
+            log: Some(log),
+        }
+    }
+
+    /// The effect summary of calling `name` (logged).
+    pub fn effects(&self, name: Sym) -> Effects {
+        let eff = self.kills.effects(name);
+        if let Some(log) = self.log {
+            log.borrow_mut().record_callee(name, eff);
+        }
+        eff
+    }
+
+    /// Whether `field` is volatile in any class (logged).
+    pub fn is_volatile(&self, field: Sym) -> bool {
+        let v = self.volatiles.contains(&field);
+        if let Some(log) = self.log {
+            log.borrow_mut().record_field(field, v);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfoot_bfj::parse_program;
+
+    fn facts(src: &str) -> (KillSets, HashSet<Sym>) {
+        let p = parse_program(src).unwrap();
+        (KillSets::compute(&p), crate::killset::volatile_fields(&p))
+    }
+
+    #[test]
+    fn tracked_view_records_queries() {
+        let (kills, vols) =
+            facts("class C { meth locks(l) { acq(l); rel(l); return 0; } } main { skip; }");
+        let log = RefCell::new(ReadSet::default());
+        let view = FactView::tracked(&kills, &vols, &log);
+        let eff = view.effects(Sym::intern("locks"));
+        assert!(eff.acquires);
+        assert!(!view.is_volatile(Sym::intern("f")));
+        let rs = log.into_inner();
+        assert_eq!(rs.callees.len(), 1);
+        assert_eq!(rs.fields.len(), 1);
+        assert_eq!(rs.callees["locks"], eff);
+        assert!(!rs.fields["f"]);
+    }
+
+    #[test]
+    fn fingerprint_matches_replay_when_facts_unchanged() {
+        let (kills, vols) =
+            facts("class C { meth locks(l) { acq(l); rel(l); return 0; } } main { skip; }");
+        let mut rs = ReadSet::default();
+        rs.record_callee(Sym::intern("locks"), kills.effects(Sym::intern("locks")));
+        rs.record_field(Sym::intern("f"), false);
+        assert_eq!(rs.fingerprint(), rs.fingerprint_against(&kills, &vols));
+    }
+
+    #[test]
+    fn fingerprint_diverges_when_a_read_fact_changes() {
+        let (kills, vols) =
+            facts("class C { meth locks(l) { acq(l); rel(l); return 0; } } main { skip; }");
+        let (kills2, _) = facts("class C { meth locks(l) { return 0; } } main { skip; }");
+        let mut rs = ReadSet::default();
+        rs.record_callee(Sym::intern("locks"), kills.effects(Sym::intern("locks")));
+        assert_ne!(
+            rs.fingerprint_against(&kills, &vols),
+            rs.fingerprint_against(&kills2, &vols)
+        );
+    }
+
+    #[test]
+    fn unread_fact_changes_do_not_invalidate() {
+        let (kills, vols) = facts(
+            "class C { meth a(l) { acq(l); rel(l); return 0; }
+                       meth b(o) { o.f = 1; return 0; } }
+             main { skip; }",
+        );
+        let (kills2, vols2) = facts(
+            "class C { meth a(l) { acq(l); rel(l); return 0; }
+                       meth b(o) { acq(o); rel(o); o.f = 1; return 0; } }
+             main { skip; }",
+        );
+        // A method that only read `a`'s summary is insensitive to `b`.
+        let mut rs = ReadSet::default();
+        rs.record_callee(Sym::intern("a"), kills.effects(Sym::intern("a")));
+        assert_eq!(
+            rs.fingerprint_against(&kills, &vols),
+            rs.fingerprint_against(&kills2, &vols2)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! BFPC decode hardening: untrusted placement-cache bytes must always
+//! produce a typed [`CacheError`] — never a panic, a hang, an
+//! attacker-chosen allocation, or (worst of all) a silently-wrong
+//! placement. Same discipline as the BFTR/BFTC trace codecs
+//! (`crates/bfj/tests/trace_hardening.rs`).
+//!
+//! The cache below is produced by a real incremental run over a program
+//! that exercises every statement, expression, and path form the codec
+//! can emit, then gets systematically damaged: truncated at every byte
+//! boundary, mutated at every byte position, and spliced with
+//! hand-crafted corrupt payloads. A separate set of tests drives the
+//! full [`instrument_incremental`] driver over damaged caches and
+//! asserts the fallback is a clean cold run with identical output and a
+//! `static.cache.invalid` counter — the user-visible hardening contract.
+
+use bigfoot::{
+    instrument, instrument_incremental, CacheError, InstrumentOptions, PlacementCache, CACHE_FILE,
+    CACHE_MAGIC,
+};
+use bigfoot_bfj::parse_program;
+
+/// A program whose placements exercise every codec form: field and array
+/// accesses (strided ranges after coalescing), conditionals, loops,
+/// locks, volatiles, calls, forks, waits, renames, and checks.
+const RICH: &str = "
+class C {
+    field x; field y; volatile v;
+    meth poke(l, a) {
+        acq(l);
+        this.x = 1;
+        this.y = this.x + 2;
+        i = 0;
+        while (i < 8) { a[i] = i; i = i + 1; }
+        if (i < 9) { q = a[3]; } else { q = 0 - 1; }
+        this.v = q;
+        w = this.v;
+        wait(l);
+        notify(l);
+        rel(l);
+        return w;
+    }
+    meth relay(l, a) { r = this.poke(l, a); return r; }
+}
+main {
+    c = new C; l = new C;
+    a = new_array(8);
+    fork t = c.poke(l, a);
+    join(t);
+    s = c.relay(l, a);
+}";
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bfpc-harden-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Encodes a real cache by running the incremental pipeline once.
+fn recorded_cache() -> Vec<u8> {
+    let p = parse_program(RICH).expect("parse");
+    let dir = tmp_dir("record");
+    let (_, stats) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    assert_eq!(stats.misses, 3, "two methods plus main analyzed cold");
+    let bytes = std::fs::read(dir.join(CACHE_FILE)).expect("cache written");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+#[test]
+fn intact_cache_decodes_completely() {
+    let bytes = recorded_cache();
+    let cache = PlacementCache::decode(&bytes).expect("intact cache");
+    assert_eq!(cache.entries.len(), 3);
+    assert!(cache.entries.contains_key("main"));
+    assert!(cache.entries.contains_key("C.poke#0"));
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = recorded_cache();
+    for len in 0..bytes.len() {
+        match PlacementCache::decode(&bytes[..len]) {
+            Ok(c) => panic!(
+                "truncation at {len}/{} decoded as {} entries",
+                bytes.len(),
+                c.entries.len()
+            ),
+            Err(
+                CacheError::BadMagic
+                | CacheError::UnsupportedVersion { .. }
+                | CacheError::Truncated
+                | CacheError::BadTag { .. }
+                | CacheError::TooLarge { .. }
+                | CacheError::TrailingBytes { .. },
+            ) => {}
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_mutation_decodes_or_errors() {
+    let bytes = recorded_cache();
+    for pos in 0..bytes.len() {
+        for mask in [0x01u8, 0x80, 0xff] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= mask;
+            // Either outcome is fine; what must not happen is a panic,
+            // an unbounded loop, or an unbounded allocation. (A mutation
+            // that decodes is caught downstream by the fingerprint
+            // checks — see driver tests below.)
+            let _ = PlacementCache::decode(&bad);
+        }
+    }
+}
+
+#[test]
+fn spliced_corrupt_payloads_are_typed_errors() {
+    // Oversized LEB128 varint as the entry count.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&CACHE_MAGIC);
+    oversized.extend_from_slice(&1u32.to_le_bytes());
+    oversized.extend_from_slice(&[0u8; 16]); // config + volatiles fps
+    oversized.extend_from_slice(&[0xff; 10]); // 70-bit varint
+    assert!(matches!(
+        PlacementCache::decode(&oversized),
+        Err(CacheError::TooLarge { .. })
+    ));
+
+    // Absurd claimed entry count with no payload.
+    let mut absurd = Vec::new();
+    absurd.extend_from_slice(&CACHE_MAGIC);
+    absurd.extend_from_slice(&1u32.to_le_bytes());
+    absurd.extend_from_slice(&[0u8; 16]);
+    absurd.extend_from_slice(&[0xff, 0xff, 0xff, 0x7f]); // ~268M entries
+    assert!(matches!(
+        PlacementCache::decode(&absurd),
+        Err(CacheError::TooLarge { .. } | CacheError::Truncated)
+    ));
+
+    // Empty file and bare magic.
+    assert_eq!(PlacementCache::decode(&[]), Err(CacheError::Truncated));
+    assert_eq!(
+        PlacementCache::decode(&CACHE_MAGIC),
+        Err(CacheError::Truncated)
+    );
+}
+
+/// Writes `bytes` as the cache file in a fresh dir.
+fn plant_cache(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let dir = tmp_dir(tag);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(CACHE_FILE), bytes).unwrap();
+    dir
+}
+
+/// The driver-level contract: a damaged cache file must yield a clean
+/// cold run — identical instrumented output, `cache_invalid` flagged,
+/// and the `static.cache.invalid` counter bumped — never a panic or a
+/// wrong placement.
+fn assert_clean_cold_fallback(tag: &str, bytes: &[u8]) {
+    // The obs registry is global; serialize the counter-asserting tests
+    // so parallel test threads cannot interleave counts.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _lock = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = parse_program(RICH).unwrap();
+    let expected = instrument(&p);
+    let dir = plant_cache(tag, bytes);
+    let _guard = bigfoot_obs::EnabledGuard::new();
+    bigfoot_obs::reset();
+    let (inst, stats) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    assert!(stats.cache_invalid, "damage must be detected ({tag})");
+    assert!(!stats.warm);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(
+        bigfoot_obs::snapshot().counter("static.cache.invalid"),
+        1,
+        "invalid-cache counter must be bumped ({tag})"
+    );
+    assert_eq!(
+        expected.program, inst.program,
+        "fallback must be byte-identical to a cold run ({tag})"
+    );
+    // The damaged file is replaced by a valid cache; the next run warms.
+    let (_, stats2) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    assert!(stats2.warm, "cache must self-heal after damage ({tag})");
+    assert_eq!(stats2.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_falls_back_to_cold_run() {
+    let mut bytes = recorded_cache();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    // The mutation may or may not break decoding at the byte level; force
+    // a guaranteed-structural break by also truncating.
+    bytes.truncate(bytes.len() - 3);
+    assert_clean_cold_fallback("corrupt", &bytes);
+}
+
+#[test]
+fn truncated_cache_falls_back_to_cold_run() {
+    let bytes = recorded_cache();
+    assert_clean_cold_fallback("truncated", &bytes[..bytes.len() * 2 / 3]);
+}
+
+#[test]
+fn wrong_version_cache_falls_back_to_cold_run() {
+    let mut bytes = recorded_cache();
+    bytes[4..8].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+    assert_clean_cold_fallback("version", &bytes);
+}
+
+#[test]
+fn foreign_endianness_header_falls_back_to_cold_run() {
+    let mut bytes = recorded_cache();
+    // A big-endian writer would emit the version field byte-swapped.
+    bytes[4..8].reverse();
+    assert_clean_cold_fallback("endianness", &bytes);
+}
+
+#[test]
+fn garbage_file_falls_back_to_cold_run() {
+    assert_clean_cold_fallback("garbage", b"not a cache at all");
+}

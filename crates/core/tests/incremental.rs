@@ -1,0 +1,150 @@
+//! Incremental pipeline behavior: warm runs must replay to byte-identical
+//! placements, skip unchanged methods, and invalidate exactly the
+//! dirtied dependency cone.
+
+use bigfoot::{instrument, instrument_incremental, InstrumentOptions};
+use bigfoot_bfj::{mutate, parse_program, pretty, MutationKind, Program};
+
+const SRC: &str = "
+class Point {
+    field x; field y;
+    meth get(o) { a = this.x; b = this.y; return a + b; }
+    meth set(dx, dy) { this.x = dx; this.y = dy; return 0; }
+    meth sum(o) { s = this.get(o); return s; }
+}
+class Locker {
+    field n;
+    meth bump(l) { acq(l); this.n = this.n + 1; rel(l); return this.n; }
+}
+main {
+    p = new Point;
+    l = new Locker;
+    r = p.set(1, 2);
+    s = p.sum(p);
+    t = l.bump(l);
+}";
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bigfoot-inc-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn parse(src: &str) -> Program {
+    parse_program(src).unwrap()
+}
+
+#[test]
+fn cold_incremental_matches_plain_instrument() {
+    let p = parse(SRC);
+    let dir = tmp_dir("cold");
+    let plain = instrument(&p);
+    let (inc, stats) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    assert!(!stats.warm);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(pretty(&plain.program), pretty(&inc.program));
+    assert_eq!(plain.program, inc.program);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unchanged_warm_run_skips_everything_and_is_identical() {
+    let p = parse(SRC);
+    let dir = tmp_dir("warm");
+    let (cold, _) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    let (warm, stats) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    assert!(stats.warm);
+    assert_eq!(
+        stats.misses, 0,
+        "nothing changed, nothing should re-analyze"
+    );
+    assert_eq!(stats.hits, 5, "four methods plus main");
+    assert_eq!(cold.program, warm.program);
+    assert_eq!(pretty(&cold.program), pretty(&warm.program));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_fact_edit_reanalyzes_only_the_edited_method() {
+    let dir = tmp_dir("arith");
+    let (_, _) = instrument_incremental(&parse(SRC), InstrumentOptions::default(), &dir);
+    let mut edited = parse(SRC);
+    let name = mutate(&mut edited, 0, MutationKind::ArithTweak, 11).unwrap();
+    assert_eq!(name, "Point.get");
+    let (warm, stats) = instrument_incremental(&edited, InstrumentOptions::default(), &dir);
+    assert!(stats.warm);
+    assert_eq!(stats.misses, 1, "an arithmetic tweak dirties one method");
+    assert_eq!(stats.hits, 4);
+    // Byte-identical to a cold run of the edited program.
+    let cold = instrument(&edited);
+    assert_eq!(cold.program, warm.program);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fact_edit_invalidates_the_dependency_cone() {
+    let dir = tmp_dir("lock");
+    let (_, _) = instrument_incremental(&parse(SRC), InstrumentOptions::default(), &dir);
+    let mut edited = parse(SRC);
+    // Add a lock to Point.get: its callers (sum, and main transitively
+    // through sum's summary... main calls set/sum/bump) see changed
+    // effect summaries only if they read get's summary.
+    let name = mutate(&mut edited, 0, MutationKind::AddLock, 3).unwrap();
+    assert_eq!(name, "Point.get");
+    let (warm, stats) = instrument_incremental(&edited, InstrumentOptions::default(), &dir);
+    assert!(stats.warm);
+    // get itself (body changed) + sum (read get's effects). main calls
+    // sum, whose *summary* changed too, so main is also dirtied.
+    assert!(
+        stats.misses >= 2,
+        "cone must include the edited method and its callers, got {stats:?}"
+    );
+    assert!(
+        stats.hits >= 2,
+        "methods outside the cone (set, bump, get's non-callers) must hit, got {stats:?}"
+    );
+    let cold = instrument(&edited);
+    assert_eq!(cold.program, warm.program);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_change_is_a_full_cold_run_not_a_wrong_replay() {
+    let p = parse(SRC);
+    let dir = tmp_dir("config");
+    let (_, _) = instrument_incremental(&p, InstrumentOptions::default(), &dir);
+    let no_coalesce = InstrumentOptions {
+        coalescing: false,
+        ..InstrumentOptions::default()
+    };
+    let (warm, stats) = instrument_incremental(&p, no_coalesce, &dir);
+    assert!(!stats.warm, "different config must not reuse the cache");
+    assert_eq!(stats.hits, 0);
+    let cold = bigfoot::instrument_with(&p, no_coalesce);
+    assert_eq!(cold.program, warm.program);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn volatile_declaration_change_invalidates_readers() {
+    let base = "
+class C {
+    field f;
+    meth touch(o) { o.f = 1; v = o.f; return v; }
+}
+main { c = new C; r = c.touch(c); }";
+    let volatile_f = base.replace("field f;", "volatile f;");
+    let dir = tmp_dir("volatile");
+    let (_, _) = instrument_incremental(&parse(base), InstrumentOptions::default(), &dir);
+    let edited = parse(&volatile_f);
+    let (warm, stats) = instrument_incremental(&edited, InstrumentOptions::default(), &dir);
+    // `touch` read f's volatility; it must re-analyze.
+    assert!(stats.misses >= 1, "{stats:?}");
+    let cold = instrument(&edited);
+    assert_eq!(cold.program, warm.program);
+    let _ = std::fs::remove_dir_all(&dir);
+}

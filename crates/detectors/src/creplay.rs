@@ -455,10 +455,13 @@ impl Walker<'_> {
 
         let times = count - 3;
         let growth = self.plan_growth(&streams, &snap2, &snap3, times);
-        if mask2 == mask3 && items_equiv(&rec2, &rec3) && growth.is_some() {
+        let fixpoint = (mask2 == mask3 && items_equiv(&rec2, &rec3))
+            .then_some(growth)
+            .flatten();
+        if let Some(growth) = fixpoint {
             self.scale_scalars(before, after, times);
             for (i, &((t, arr), si)) in streams.iter().enumerate() {
-                let (grow_r, grow_w) = growth.as_ref().expect("checked")[i];
+                let (grow_r, grow_w) = growth[i];
                 if grow_r > 0 || grow_w > 0 {
                     let fp = self
                         .ann

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]
+//! bfc analyze <file.bfj> [--incremental [--cache-dir DIR]] [--out FILE] [--json]
+//! bfc mutate <file.bfj> [--site N] [--kind arith|field-write|lock]
+//!                       [--salt K] [--out FILE] [--json]
 //! bfc check <file.bfj> [--detector bigfoot|fasttrack|redcard|slimstate|slimcard|djit]
 //!                      [--seed N] [--schedules N] [--replay-workers N]
 //!                      [--pipeline [--detect-workers N]] [--compiled]
@@ -18,6 +21,18 @@
 //! ```
 //!
 //! * `instrument` prints the instrumented program.
+//! * `analyze` runs the static analysis and reports the placement: the
+//!   stable per-site body fingerprints, the number of checks inserted,
+//!   and — with `--incremental` — the persistent placement cache's
+//!   hit/miss/skip accounting against `--cache-dir` (default
+//!   `.bigfoot-cache`). `--out FILE` writes the instrumented program, so
+//!   two invocations can be diffed for byte-identity. Fingerprints are
+//!   process-independent: running `analyze` twice in separate processes
+//!   prints the same digests.
+//! * `mutate` applies one deterministic source edit (the incremental
+//!   pipeline's differential-test mutations) to the `--site`-th method
+//!   and prints the edited program — the driver for cold/warm cache
+//!   experiments from the shell.
 //! * `check` executes the program under a detector (optionally across
 //!   several random schedules) and reports any data races. With
 //!   `--replay-workers N` the run is recorded to an in-memory trace and
@@ -62,18 +77,22 @@
 //! * `fuzz` runs the differential fuzzing campaign: each seed in the
 //!   range becomes a random program + schedule cross-checked between the
 //!   unoptimized and BigFoot-optimized placements, the interpreted and
-//!   compiled execution tiers, serial and sharded replay, and the trace
-//!   codec round-trip. Divergences are shrunk to
+//!   compiled execution tiers, cold and warm incremental re-analysis,
+//!   serial and sharded replay, and the trace codec round-trip.
+//!   Divergences are shrunk to
 //!   minimal reproducers and written to the corpus directory; the exit
 //!   code is non-zero if any were found.
 //! * `--json` on `check`, `stats`, `profile`, and `fuzz` emits a
 //!   machine-readable report with a stable schema (see
 //!   `docs/OBSERVABILITY.md`).
 
-use bigfoot::{instrument, naive_instrument, redcard_instrument};
+use bigfoot::{
+    instrument, instrument_incremental, naive_instrument, redcard_instrument, InstrumentOptions,
+};
 use bigfoot_bfj::{
-    compile, compress, decompress, is_compressed, parse_program, pretty, trace::TraceWriter,
-    CompiledVm, CompressedTraceWriter, EventSink, Interp, NullSink, Program, RunOutcome,
+    compile, compress, decompress, fingerprint_block, fingerprint_method, is_compressed,
+    mutate as mutate_site, parse_program, pretty, site_count, trace::TraceWriter, CompiledVm,
+    CompressedTraceWriter, EventSink, Interp, MutationKind, NullSink, Program, RunOutcome,
     RuntimeError, SchedPolicy, Tid, Value,
 };
 use bigfoot_detectors::{
@@ -124,6 +143,13 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  bfc instrument <file.bfj> [--mode bigfoot|redcard|naive]");
             eprintln!(
+                "  bfc analyze <file.bfj> [--incremental [--cache-dir DIR]] [--out FILE] [--json]"
+            );
+            eprintln!(
+                "  bfc mutate <file.bfj> [--site N] [--kind arith|field-write|lock] [--salt K] \
+                 [--out FILE] [--json]"
+            );
+            eprintln!(
                 "  bfc check <file.bfj> [--detector NAME] [--seed N] [--schedules N] \
                  [--replay-workers N] [--pipeline [--detect-workers N]] [--compiled] \
                  [--record-out FILE [--compress-trace]] [--trace-out FILE] [--json]"
@@ -147,6 +173,25 @@ fn main() -> ExitCode {
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Stable per-site fingerprints for `bfc analyze`: every class method
+/// (keyed `Class.method#ordinal`, matching the placement cache) plus
+/// `main`. The digests come from `bigfoot-bfj`'s structural hasher, so
+/// they are identical across processes and machines.
+fn site_fingerprints(p: &Program) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for c in &p.classes {
+        for (mi, m) in c.methods.iter().enumerate() {
+            let ordinal = c.methods[..mi].iter().filter(|o| o.name == m.name).count();
+            out.push((
+                format!("{}.{}#{}", c.name, m.name, ordinal),
+                fingerprint_method(m),
+            ));
+        }
+    }
+    out.push(("main".to_owned(), fingerprint_block(&p.main)));
+    out
 }
 
 /// The common envelope of every `bfc --json` report.
@@ -186,8 +231,19 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--corpus",
             "--trace-out",
             "--record-out",
+            "--cache-dir",
+            "--site",
+            "--kind",
+            "--salt",
+            "--out",
         ],
-        &["--json", "--pipeline", "--compiled", "--compress-trace"],
+        &[
+            "--json",
+            "--pipeline",
+            "--compiled",
+            "--compress-trace",
+            "--incremental",
+        ],
     )?;
     let cmd = args.positional(0).ok_or("missing command")?.to_owned();
     if cmd == "fuzz" {
@@ -209,6 +265,117 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 _ => instrument(&program).program,
             };
             outp!("{}", pretty(&out));
+            Ok(ExitCode::SUCCESS)
+        }
+        "analyze" => {
+            let incremental = args.has("--incremental");
+            let cache_dir = args.value("--cache-dir").unwrap_or(".bigfoot-cache");
+            let out_file = args.value("--out");
+            let (inst, inc) = if incremental {
+                let (inst, stats) = instrument_incremental(
+                    &program,
+                    InstrumentOptions::default(),
+                    std::path::Path::new(cache_dir),
+                );
+                (inst, Some(stats))
+            } else {
+                (instrument(&program), None)
+            };
+            if let Some(path) = out_file {
+                std::fs::write(path, pretty(&inst.program))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            let fps = site_fingerprints(&program);
+            if json {
+                let mut report = envelope("analyze", &file);
+                report.set("incremental", incremental);
+                let mut stat = Json::object();
+                stat.set("methods", inst.stats.methods as u64);
+                stat.set("checks_inserted", inst.stats.checks_inserted as u64);
+                stat.set("total_ms", inst.stats.total_time.as_secs_f64() * 1e3);
+                report.set("static", stat);
+                if let Some(stats) = &inc {
+                    let mut c = Json::object();
+                    c.set("warm", stats.warm);
+                    c.set("hits", stats.hits as u64);
+                    c.set("misses", stats.misses as u64);
+                    c.set("invalid", stats.cache_invalid);
+                    c.set("skip_rate", stats.skip_rate());
+                    report.set("cache", c);
+                }
+                // Hex strings, not numbers: the JSON layer stores numbers
+                // as f64, which cannot carry a full 64-bit digest.
+                let mut sites = Json::array();
+                for (key, fp) in &fps {
+                    let mut s = Json::object();
+                    s.set("site", key.as_str());
+                    s.set("fingerprint", format!("{fp:016x}"));
+                    sites.push(s);
+                }
+                report.set("fingerprints", sites);
+                outln!("{}", report.to_string_pretty());
+            } else {
+                outln!(
+                    "{file}: {} site(s), {} check(s) inserted",
+                    fps.len(),
+                    inst.stats.checks_inserted
+                );
+                for (key, fp) in &fps {
+                    outln!("  {key:<32} {fp:016x}");
+                }
+                if let Some(stats) = &inc {
+                    outln!(
+                        "cache: {} — {} hit(s), {} miss(es), {:.1}% skipped{}",
+                        if stats.warm { "warm" } else { "cold" },
+                        stats.hits,
+                        stats.misses,
+                        stats.skip_rate() * 100.0,
+                        if stats.cache_invalid {
+                            " (previous cache was malformed)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "mutate" => {
+            let site: usize = args.parsed("--site")?.unwrap_or(0);
+            let kind_name = args.one_of("--kind", &["arith", "field-write", "lock"])?;
+            let kind = match kind_name {
+                "field-write" => MutationKind::AddFieldWrite,
+                "lock" => MutationKind::AddLock,
+                _ => MutationKind::ArithTweak,
+            };
+            let salt: i64 = args.parsed("--salt")?.unwrap_or(1);
+            let mut edited = program.clone();
+            let sites = site_count(&edited);
+            let name = mutate_site(&mut edited, site, kind, salt).ok_or_else(|| {
+                format!("--site {site} out of range (program has {sites} site(s))")
+            })?;
+            let text = pretty(&edited);
+            let out_file = args.value("--out");
+            if let Some(path) = out_file {
+                std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+            if json {
+                let mut report = envelope("mutate", &file);
+                report.set("site", site as u64);
+                report.set("kind", kind_name);
+                report.set("salt", salt);
+                report.set("edited", name.as_str());
+                report.set("sites", sites as u64);
+                // Without --out the edited program rides in the report.
+                if out_file.is_none() {
+                    report.set("program", text.as_str());
+                }
+                outln!("{}", report.to_string_pretty());
+            } else if out_file.is_some() {
+                outln!("edited {name} ({kind_name}, salt {salt})");
+            } else {
+                outp!("{text}");
+            }
             Ok(ExitCode::SUCCESS)
         }
         "run" => {
@@ -654,7 +821,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
         outln!("{}", out.to_string_pretty());
     } else {
         outln!(
-            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, compiled {}, placement {}, replay {}, compressed {}, pipeline {}",
+            "fuzzed {} case(s) over seeds {}..{} in {:.1}s{} — oracles: roundtrip {}, compiled {}, placement {}, incremental {}, replay {}, compressed {}, pipeline {}",
             report.cases,
             report.seed_lo,
             report.seed_hi,
@@ -670,6 +837,7 @@ fn fuzz_cmd(args: &CliArgs) -> Result<ExitCode, String> {
             report.oracle_runs[3],
             report.oracle_runs[4],
             report.oracle_runs[5],
+            report.oracle_runs[6],
         );
         for d in &report.divergences {
             outln!();

@@ -94,8 +94,8 @@ pub struct CampaignReport {
     /// Cases executed (== seeds covered).
     pub cases: u64,
     /// Times each oracle suite completed (round-trip, compiled,
-    /// placement, replay, compressed, pipeline).
-    pub oracle_runs: [u64; 6],
+    /// placement, incremental, replay, compressed, pipeline).
+    pub oracle_runs: [u64; 7],
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// True when the time budget stopped the campaign early.
@@ -115,9 +115,10 @@ impl CampaignReport {
         oracles.set("roundtrip", self.oracle_runs[0]);
         oracles.set("compiled", self.oracle_runs[1]);
         oracles.set("placement", self.oracle_runs[2]);
-        oracles.set("replay", self.oracle_runs[3]);
-        oracles.set("compressed", self.oracle_runs[4]);
-        oracles.set("pipeline", self.oracle_runs[5]);
+        oracles.set("incremental", self.oracle_runs[3]);
+        oracles.set("replay", self.oracle_runs[4]);
+        oracles.set("compressed", self.oracle_runs[5]);
+        oracles.set("pipeline", self.oracle_runs[6]);
         out.set("oracle_runs", oracles);
         out.set("elapsed_ms", self.elapsed.as_secs_f64() * 1e3);
         out.set("exhausted_budget", self.exhausted_budget);
@@ -152,7 +153,7 @@ pub fn run_campaign(opts: &FuzzOptions) -> CampaignReport {
         seed_lo: opts.seed_lo,
         seed_hi: opts.seed_lo,
         cases: 0,
-        oracle_runs: [0; 6],
+        oracle_runs: [0; 7],
         elapsed: Duration::ZERO,
         exhausted_budget: false,
         divergences: Vec::new(),

@@ -1,0 +1,208 @@
+//! Cross-process stability of the incremental pipeline: the fingerprints
+//! and the placement cache must not depend on any per-process state
+//! (hasher seeds, symbol interning order, allocation addresses). Each
+//! test drives the real `bfc` binary in separate child processes and
+//! compares what they print — the strongest form of the stable-hash
+//! audit, since nothing in-process can leak between runs.
+
+use bigfoot_obs::json::{parse, Json};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SRC: &str = "
+class Point {
+    field x; field y;
+    meth get(o) { a = this.x; b = this.y; return a + b; }
+    meth set(dx, dy) { this.x = dx; this.y = dy; return 0; }
+    meth sum(o) { s = this.get(o); return s; }
+}
+class Locker {
+    field n;
+    volatile v;
+    meth bump(l) { acq(l); this.n = this.n + 1; rel(l); return this.n; }
+}
+main {
+    p = new Point;
+    l = new Locker;
+    r = p.set(1, 2);
+    s = p.sum(p);
+    t = l.bump(l);
+}";
+
+/// A scratch directory unique to this test invocation.
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bigfoot-xproc-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bfc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bfc"))
+        .args(args)
+        .output()
+        .expect("run bfc")
+}
+
+fn json_stdout(out: &Output) -> Json {
+    assert!(
+        out.status.success(),
+        "bfc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    parse(&text).unwrap_or_else(|e| panic!("invalid JSON at offset {}: {e:?}\n{text}", e.offset))
+}
+
+/// `(site, fingerprint)` pairs from an `analyze --json` report.
+fn fingerprints(report: &Json) -> Vec<(String, String)> {
+    report
+        .get("fingerprints")
+        .expect("fingerprints section")
+        .items()
+        .iter()
+        .map(|s| {
+            (
+                s.get("site").and_then(Json::as_str).unwrap().to_owned(),
+                s.get("fingerprint")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_owned(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn fingerprints_are_identical_across_processes() {
+    let dir = tmp_dir("fps");
+    let file = dir.join("p.bfj");
+    std::fs::write(&file, SRC).unwrap();
+    let file = file.to_str().unwrap();
+    let first = fingerprints(&json_stdout(&bfc(&["analyze", file, "--json"])));
+    let second = fingerprints(&json_stdout(&bfc(&["analyze", file, "--json"])));
+    assert_eq!(first.len(), 5, "four methods plus main: {first:?}");
+    assert_eq!(first, second, "digests must not vary per process");
+    // Every digest is a full 16-hex-digit word and the sites are distinct.
+    for (site, fp) in &first {
+        assert_eq!(fp.len(), 16, "{site}: short digest {fp}");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn placement_cache_written_by_one_process_is_hit_by_another() {
+    let dir = tmp_dir("cache");
+    let file = dir.join("p.bfj");
+    std::fs::write(&file, SRC).unwrap();
+    let file = file.to_str().unwrap();
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    let cold_out = dir.join("cold.txt");
+    let warm_out = dir.join("warm.txt");
+
+    // Process A analyzes cold and writes the cache.
+    let cold = json_stdout(&bfc(&[
+        "analyze",
+        file,
+        "--incremental",
+        "--cache-dir",
+        cache,
+        "--out",
+        cold_out.to_str().unwrap(),
+        "--json",
+    ]));
+    let c = cold.get("cache").unwrap();
+    assert_eq!(c.get("warm").and_then(Json::as_bool), Some(false));
+    assert_eq!(c.get("misses").and_then(Json::as_u64), Some(5));
+
+    // Process B must replay every placement from A's cache: same
+    // fingerprints, zero misses, byte-identical instrumented program.
+    let warm = json_stdout(&bfc(&[
+        "analyze",
+        file,
+        "--incremental",
+        "--cache-dir",
+        cache,
+        "--out",
+        warm_out.to_str().unwrap(),
+        "--json",
+    ]));
+    let c = warm.get("cache").unwrap();
+    assert_eq!(c.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(c.get("hits").and_then(Json::as_u64), Some(5));
+    assert_eq!(c.get("misses").and_then(Json::as_u64), Some(0));
+    assert_eq!(fingerprints(&cold), fingerprints(&warm));
+    assert_eq!(
+        std::fs::read(&cold_out).unwrap(),
+        std::fs::read(&warm_out).unwrap(),
+        "warm placement differs from the cold run that seeded it"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mutation_dirties_exactly_the_edited_cone_across_processes() {
+    let dir = tmp_dir("mutate");
+    let file = dir.join("p.bfj");
+    std::fs::write(&file, SRC).unwrap();
+    let file = file.to_str().unwrap();
+    let cache = dir.join("cache");
+    let cache = cache.to_str().unwrap();
+    let edited = dir.join("edited.bfj");
+    let edited = edited.to_str().unwrap();
+
+    // Seed the cache, then edit site 0 (Point.get) in a separate process.
+    json_stdout(&bfc(&[
+        "analyze",
+        file,
+        "--incremental",
+        "--cache-dir",
+        cache,
+        "--json",
+    ]));
+    let m = json_stdout(&bfc(&[
+        "mutate", file, "--site", "0", "--kind", "arith", "--salt", "9", "--out", edited, "--json",
+    ]));
+    assert_eq!(m.get("edited").and_then(Json::as_str), Some("Point.get"));
+    assert_eq!(m.get("sites").and_then(Json::as_u64), Some(5));
+
+    // A third process re-analyzes warm: the arithmetic tweak changes no
+    // cross-method facts, so only the edited method re-analyzes.
+    let warm_inc = dir.join("warm-inc.txt");
+    let warm = json_stdout(&bfc(&[
+        "analyze",
+        edited,
+        "--incremental",
+        "--cache-dir",
+        cache,
+        "--out",
+        warm_inc.to_str().unwrap(),
+        "--json",
+    ]));
+    let c = warm.get("cache").unwrap();
+    assert_eq!(c.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(c.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(c.get("hits").and_then(Json::as_u64), Some(4));
+
+    // And a fourth process runs the edited program cold: byte-identical.
+    let cold_ref = dir.join("cold-ref.txt");
+    json_stdout(&bfc(&[
+        "analyze",
+        edited,
+        "--out",
+        cold_ref.to_str().unwrap(),
+        "--json",
+    ]));
+    assert_eq!(
+        std::fs::read(&warm_inc).unwrap(),
+        std::fs::read(&cold_ref).unwrap(),
+        "incremental replay diverged from a from-scratch analysis"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,183 @@
+//! Seed-free, explicitly versioned hashing for persistent artifacts.
+//!
+//! Fingerprints that escape the process — placement-cache keys, method
+//! body hashes, fact digests — must be identical across runs, machines,
+//! and toolchain versions. The [`fx`](crate::fx) hasher (and `std`'s
+//! `RandomState`) are unsuitable: their output is an in-process
+//! implementation detail. [`StableHasher`] is a hand-rolled 64-bit
+//! FNV-1a with length-prefixed framing for variable-size inputs, so a
+//! digest means the same thing in every process that agrees on
+//! [`STABLE_HASH_VERSION`].
+//!
+//! The version constant must be bumped whenever the byte mapping of any
+//! `write_*` method changes; consumers fold it into their own format
+//! versions so stale digests are rejected rather than misread.
+//!
+//! # Examples
+//!
+//! ```
+//! use bigfoot_obs::stable::StableHasher;
+//!
+//! let mut h = StableHasher::new();
+//! h.write_str("crypt.run");
+//! h.write_u32(7);
+//! let a = h.finish();
+//!
+//! let mut h2 = StableHasher::new();
+//! h2.write_str("crypt.run");
+//! h2.write_u32(7);
+//! assert_eq!(a, h2.finish());
+//! ```
+
+/// Version of the stable hash byte mapping. Bump on any change to how
+/// `write_*` methods fold input into the digest.
+pub const STABLE_HASH_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a with explicit, versioned framing.
+///
+/// Unlike `std::hash::Hasher` implementations, this type is not seeded
+/// and does not depend on platform endianness: multi-byte integers are
+/// folded in little-endian order, and strings/byte-slices are length
+/// prefixed so `("ab", "c")` and `("a", "bc")` produce different digests.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the digest (no length prefix; use
+    /// [`write_bytes`](Self::write_bytes) for variable-length payloads).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a variable-length byte slice, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write_raw(bytes);
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_raw(&[v]);
+    }
+
+    /// Folds a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Folds an `i64` via its two's-complement little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_raw(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` widened to `u64` (digest is identical on 32- and
+    /// 64-bit targets).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Folds a string, length-prefixed (UTF-8 bytes).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot stable digest of a string (convenience for simple keys).
+pub fn stable_str_digest(s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(StableHasher::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_vector_pinned() {
+        // FNV-1a of b"a" (no framing): standard published vector.
+        let mut h = StableHasher::new();
+        h.write_raw(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn framed_strings_do_not_collide_on_concatenation() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn integers_fold_little_endian_regardless_of_host() {
+        let mut h = StableHasher::new();
+        h.write_u32(0x0102_0304);
+        let mut raw = StableHasher::new();
+        raw.write_raw(&[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(h.finish(), raw.finish());
+    }
+
+    #[test]
+    fn digest_is_deterministic_across_hashers() {
+        let digest = |seed: &str| {
+            let mut h = StableHasher::new();
+            h.write_str(seed);
+            h.write_i64(-42);
+            h.write_bool(true);
+            h.write_usize(19);
+            h.finish()
+        };
+        assert_eq!(digest("moldyn.step"), digest("moldyn.step"));
+        assert_ne!(digest("moldyn.step"), digest("moldyn.init"));
+    }
+
+    #[test]
+    fn one_shot_matches_manual() {
+        let mut h = StableHasher::new();
+        h.write_str("crypt");
+        assert_eq!(stable_str_digest("crypt"), h.finish());
+    }
+}
